@@ -1,0 +1,32 @@
+// Command cachetable regenerates the paper's Table I: the ratio of the
+// analytical model's maximum estimated cache misses to the actual cache
+// misses of the R-DP GE execution, per cache level and base size. The
+// "actual" misses come from the set-associative LRU cache simulator
+// replaying the kernel's exact address stream — the repository's stand-in
+// for the paper's PAPI measurements (see DESIGN.md).
+//
+// Usage:
+//
+//	cachetable            # default 1/8-scale geometry (1K trace, ~1.5 min)
+//	cachetable -scale 4   # 2K trace, caches scaled 1/16 (slower)
+//	cachetable -scale 1   # the paper's full 8K geometry (very slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpflow/internal/harness"
+)
+
+func main() {
+	scale := flag.Int("scale", 8, "linear scaling factor vs the paper's 8K run (1 = exact geometry)")
+	flag.Parse()
+	res, err := harness.RunTable1(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachetable:", err)
+		os.Exit(1)
+	}
+	res.WriteTable(os.Stdout)
+}

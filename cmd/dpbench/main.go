@@ -1,0 +1,108 @@
+// Command dpbench regenerates the paper's evaluation artifacts: every
+// figure (fig4..fig9), Table I (table1), and the §IV-B claims reports
+// (crossover, swspan, bestblock).
+//
+// Usage:
+//
+//	dpbench -exp fig4            # print the figure's panels as tables
+//	dpbench -exp fig8 -csv       # CSV instead of aligned tables
+//	dpbench -exp fig5 -scale 2   # quarter-size panels (fast preview)
+//	dpbench -exp table1 -tscale 8
+//	dpbench -exp all             # everything the paper reports
+//	dpbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpflow/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id ("+harness.ValidIDList()+", or 'all')")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonF  = flag.Bool("json", false, "emit JSON instead of aligned tables")
+		scale  = flag.Int("scale", 0, "divide figure problem sizes by 2^scale (0 = paper sizes)")
+		tscale = flag.Int("tscale", 8, "table1 linear scaling factor (1 = the paper's full 8K trace)")
+		tiles  = flag.Int("maxtiles", 256, "skip sweep points with more tiles per side than this (0 = no limit)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		quiet  = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(harness.ValidIDList())
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "dpbench: -exp required; one of:", harness.ValidIDList())
+		os.Exit(2)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harness.IDs()
+	}
+	for _, id := range ids {
+		if err := run(id, *csv, *jsonF, *scale, *tscale, *tiles, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "dpbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(id string, csv, jsonOut bool, scale, tscale, maxTiles int, quiet bool) error {
+	switch id {
+	case "table1":
+		res, err := harness.RunTable1(tscale)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	case "crossover":
+		return harness.WriteCrossover(os.Stdout)
+	case "swspan":
+		return harness.WriteSWSpan(os.Stdout)
+	case "bestblock":
+		return harness.WriteBestBlock(os.Stdout)
+	case "rway":
+		return harness.WriteRWay(os.Stdout)
+	case "computeon":
+		return harness.WriteComputeOn(os.Stdout)
+	case "scaling":
+		return harness.WriteScaling(os.Stdout)
+	case "cluster":
+		return harness.WriteCluster(os.Stdout)
+	case "swwave":
+		return harness.WriteSWWave(os.Stdout)
+	}
+	e, ok := harness.FigureByID(id)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (valid: %s)", id, harness.ValidIDList())
+	}
+	opts := harness.Options{Scale: scale, MaxTiles: maxTiles}
+	if !quiet {
+		opts.Progress = os.Stderr
+	}
+	res, err := e.Run(opts)
+	if err != nil {
+		return err
+	}
+	if csv {
+		res.WriteCSV(os.Stdout)
+		return nil
+	}
+	if jsonOut {
+		return res.WriteJSON(os.Stdout)
+	}
+	res.WriteTable(os.Stdout)
+	fmt.Println()
+	for _, line := range res.Best() {
+		fmt.Println("//", line)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command dpverify runs the full correctness matrix on the host: every
+// benchmark × every variant × several base sizes, all checked bit-for-bit
+// against the serial references. It is the quick smoke test for anyone
+// adopting the library ("do all execution models really agree on my
+// machine?").
+//
+// Usage:
+//
+//	dpverify [-n 256] [-workers 4] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"dpflow/internal/chol"
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/fw"
+	"dpflow/internal/ge"
+	"dpflow/internal/graphgen"
+	"dpflow/internal/kernels"
+	"dpflow/internal/matrix"
+	"dpflow/internal/par"
+	"dpflow/internal/seq"
+	"dpflow/internal/sw"
+)
+
+func main() {
+	n := flag.Int("n", 256, "problem size (power of two)")
+	workers := flag.Int("workers", 4, "runtime workers")
+	seed := flag.Int64("seed", 1, "input generator seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: *workers})
+	defer pool.Close()
+
+	variants := []core.Variant{core.SerialRDP, core.OMPTasking,
+		core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC}
+	bases := []int{*n / 32, *n / 8, *n / 2}
+
+	// Inputs and serial references.
+	geIn := matrix.NewSquare(*n)
+	geIn.FillDiagonallyDominant(rng)
+	geRef := geIn.Clone()
+	ge.Serial(geRef)
+
+	fwIn := graphgen.Random(graphgen.Config{N: *n, Density: 0.3, MaxWeight: 9, Infinity: fw.Infinity}, rng)
+	fwRef := fwIn.Clone()
+	fw.Serial(fwRef)
+
+	a := seq.RandomDNA(*n, rng)
+	swP := &sw.Problem{A: a, B: seq.Mutate(a, 0.2, seq.DNAAlphabet, rng), Scoring: kernels.DefaultScoring}
+	swRef := swP.Linear()
+
+	parP := par.RandomProblem(*n, 40, rng)
+	parRef, _ := parP.Run(core.SerialLoop, 1, 1, nil)
+
+	cholIn := chol.NewSPD(*n, rng)
+
+	failures := 0
+	check := func(bench string, v core.Variant, base int, ok bool, err error, elapsed time.Duration) {
+		status := "ok"
+		switch {
+		case err != nil:
+			status = "ERROR: " + err.Error()
+			failures++
+		case !ok:
+			status = "MISMATCH"
+			failures++
+		}
+		fmt.Printf("%-8s %-16s base=%-5d %10v  %s\n", bench, v, base, elapsed.Round(time.Microsecond), status)
+	}
+
+	fmt.Printf("dpverify: n=%d workers=%d seed=%d (%d variants x %d bases x 5 benchmarks)\n\n",
+		*n, *workers, *seed, len(variants), len(bases))
+	for _, v := range variants {
+		for _, base := range bases {
+			start := time.Now()
+			x := geIn.Clone()
+			_, err := ge.Run(v, x, base, *workers, pool)
+			check("GE", v, base, err == nil && matrix.Equal(x, geRef), err, time.Since(start))
+
+			start = time.Now()
+			d := fwIn.Clone()
+			_, err = fw.Run(v, d, base, *workers, pool)
+			check("FW", v, base, err == nil && matrix.Equal(d, fwRef), err, time.Since(start))
+
+			start = time.Now()
+			score, err := swP.Run(v, base, *workers, pool)
+			check("SW", v, base, err == nil && score == swRef, err, time.Since(start))
+
+			start = time.Now()
+			cost, err := parP.Run(v, base, *workers, pool)
+			check("PAR", v, base, err == nil && cost == parRef, err, time.Since(start))
+
+			start = time.Now()
+			cl := cholIn.Clone()
+			err = chol.Run(v, cl, base, *workers, pool)
+			cholWant := cholIn.Clone()
+			_ = chol.TiledSerial(cholWant, base)
+			check("CHOL", v, base, err == nil && matrix.Equal(cl, cholWant) && chol.Residual(cl, cholIn) < 1e-8,
+				err, time.Since(start))
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d FAILURES\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall checks passed: every execution model agrees bit-for-bit")
+}

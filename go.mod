@@ -1,0 +1,3 @@
+module dpflow
+
+go 1.22

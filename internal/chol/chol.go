@@ -1,0 +1,384 @@
+// Package chol implements tiled Cholesky factorisation — the flagship CnC
+// case study of the paper's related work (§V: Chandramowlishwaran et al.
+// matched or beat MKL with a CnC Cholesky; Budimlić et al. used it to show
+// CnC thread scaling). It factors a symmetric positive-definite matrix A
+// into L·Lᵀ with the classic three-kernel tile algorithm:
+//
+//	POTRF(K):      Cholesky of diagonal tile (K,K)
+//	TRSM(I,K):     triangular solve of tile (I,K) against L(K,K), I > K
+//	UPDATE(I,J,K): A(I,J) -= L(I,K)·L(J,K)ᵀ, K < J <= I
+//
+// The data-flow dependencies mirror the GE structure (the paper's Fig 2
+// family): POTRF(K) ← UPDATE(K,K,K−1); TRSM(I,K) ← POTRF(K) and
+// UPDATE(I,K,K−1); UPDATE(I,J,K) ← TRSM(I,K), TRSM(J,K) and
+// UPDATE(I,J,K−1). The fork-join version joins after each kernel batch of
+// a phase — the right-looking schedule with barriers.
+package chol
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/gep"
+	"dpflow/internal/matrix"
+)
+
+// NewSPD generates a random symmetric positive-definite n×n matrix
+// (B·Bᵀ/n + I for random B), suitable for Cholesky without pivoting.
+func NewSPD(n int, rng *rand.Rand) *matrix.Dense {
+	b := matrix.NewSquare(n)
+	b.FillRandom(rng, -1, 1)
+	a := matrix.NewSquare(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += b.At(i, k) * b.At(j, k)
+			}
+			v := sum/float64(n) + boolTo(i == j)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func boolTo(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Serial factors a in place (lower triangle becomes L; the strict upper
+// triangle is left untouched). It returns an error on a non-positive
+// pivot (a not SPD).
+func Serial(a *matrix.Dense) error {
+	n := a.Rows()
+	for k := 0; k < n; k++ {
+		d := a.At(k, k)
+		if d <= 0 {
+			return fmt.Errorf("chol: non-positive pivot %g at %d", d, k)
+		}
+		dk := math.Sqrt(d)
+		a.Set(k, k, dk)
+		for i := k + 1; i < n; i++ {
+			a.Set(i, k, a.At(i, k)/dk)
+		}
+		for j := k + 1; j < n; j++ {
+			ljk := a.At(j, k)
+			for i := j; i < n; i++ {
+				a.Set(i, j, a.At(i, j)-a.At(i, k)*ljk)
+			}
+		}
+	}
+	return nil
+}
+
+// The three tile kernels, all operating on the full matrix with global
+// tile coordinates and tile side bs. They apply exactly the same
+// per-element operations in the same order as Serial, so all drivers
+// produce bit-identical factors.
+
+func potrf(a *matrix.Dense, kt, bs int) error {
+	lo := kt * bs
+	for k := lo; k < lo+bs; k++ {
+		d := a.At(k, k)
+		if d <= 0 {
+			return fmt.Errorf("chol: non-positive pivot %g at %d", d, k)
+		}
+		dk := math.Sqrt(d)
+		a.Set(k, k, dk)
+		for i := k + 1; i < lo+bs; i++ {
+			a.Set(i, k, a.At(i, k)/dk)
+		}
+		for j := k + 1; j < lo+bs; j++ {
+			ljk := a.At(j, k)
+			for i := j; i < lo+bs; i++ {
+				a.Set(i, j, a.At(i, j)-a.At(i, k)*ljk)
+			}
+		}
+	}
+	return nil
+}
+
+func trsm(a *matrix.Dense, it, kt, bs int) {
+	iLo, kLo := it*bs, kt*bs
+	for k := kLo; k < kLo+bs; k++ {
+		dk := a.At(k, k)
+		for i := iLo; i < iLo+bs; i++ {
+			a.Set(i, k, a.At(i, k)/dk)
+		}
+		for j := k + 1; j < kLo+bs; j++ {
+			ljk := a.At(j, k)
+			for i := iLo; i < iLo+bs; i++ {
+				a.Set(i, j, a.At(i, j)-a.At(i, k)*ljk)
+			}
+		}
+	}
+}
+
+func update(a *matrix.Dense, it, jt, kt, bs int) {
+	iLo, jLo, kLo := it*bs, jt*bs, kt*bs
+	for k := kLo; k < kLo+bs; k++ {
+		for j := jLo; j < jLo+bs; j++ {
+			ljk := a.At(j, k)
+			iStart := iLo
+			if it == jt && j > iStart {
+				iStart = j // diagonal tiles update only the lower part
+			}
+			for i := iStart; i < iLo+bs; i++ {
+				a.Set(i, j, a.At(i, j)-a.At(i, k)*ljk)
+			}
+		}
+	}
+}
+
+func validate(a *matrix.Dense, base int) error {
+	n := a.Rows()
+	if n != a.Cols() {
+		return fmt.Errorf("chol: matrix must be square, got %dx%d", n, a.Cols())
+	}
+	if !matrix.IsPow2(n) {
+		return fmt.Errorf("chol: side %d must be a power of two", n)
+	}
+	if base < 1 {
+		return fmt.Errorf("chol: base %d must be >= 1", base)
+	}
+	return nil
+}
+
+// TiledSerial runs the right-looking tile algorithm serially.
+func TiledSerial(a *matrix.Dense, base int) error {
+	if err := validate(a, base); err != nil {
+		return err
+	}
+	bs := gep.BaseSize(a.Rows(), base)
+	tiles := a.Rows() / bs
+	for k := 0; k < tiles; k++ {
+		if err := potrf(a, k, bs); err != nil {
+			return err
+		}
+		for i := k + 1; i < tiles; i++ {
+			trsm(a, i, k, bs)
+		}
+		for j := k + 1; j < tiles; j++ {
+			for i := j; i < tiles; i++ {
+				update(a, i, j, k, bs)
+			}
+		}
+	}
+	return nil
+}
+
+// ForkJoin runs the right-looking schedule on the pool with a taskwait
+// after the TRSM batch and after the UPDATE batch of each phase.
+func ForkJoin(a *matrix.Dense, base int, pool *forkjoin.Pool) error {
+	if err := validate(a, base); err != nil {
+		return err
+	}
+	bs := gep.BaseSize(a.Rows(), base)
+	tiles := a.Rows() / bs
+	var firstErr error
+	pool.Run(func(ctx *forkjoin.Ctx) {
+		var g forkjoin.Group
+		for k := 0; k < tiles; k++ {
+			if err := potrf(a, k, bs); err != nil {
+				firstErr = err
+				return
+			}
+			for i := k + 1; i < tiles; i++ {
+				i := i
+				ctx.Spawn(&g, func(*forkjoin.Ctx) { trsm(a, i, k, bs) })
+			}
+			ctx.Wait(&g)
+			for j := k + 1; j < tiles; j++ {
+				for i := j; i < tiles; i++ {
+					i, j := i, j
+					ctx.Spawn(&g, func(*forkjoin.Ctx) { update(a, i, j, k, bs) })
+				}
+			}
+			ctx.Wait(&g)
+		}
+	})
+	return firstErr
+}
+
+// Tag identifies one tile task: Kind 0 = POTRF, 1 = TRSM, 2 = UPDATE.
+type Tag struct {
+	Kind    int
+	I, J, K int
+}
+
+// Key identifies a finished tile state in the item collection.
+type Key struct {
+	Kind    int
+	I, J, K int
+}
+
+// RunCnC runs the data-flow Cholesky: three step collections with the
+// dependency structure above, items at base-tile granularity.
+func RunCnC(a *matrix.Dense, base, workers int, variant core.Variant) (gep.CnCStats, error) {
+	if err := validate(a, base); err != nil {
+		return gep.CnCStats{}, err
+	}
+	bs := gep.BaseSize(a.Rows(), base)
+	tiles := a.Rows() / bs
+
+	g := cnc.NewGraph("chol-"+variant.String(), workers)
+	out := cnc.NewItemCollection[Key, bool](g, "tile_outputs")
+	tags := cnc.NewTagCollection[Tag](g, "tasks", false)
+
+	const (
+		kindPotrf = iota
+		kindTrsm
+		kindUpdate
+	)
+	await := func(k Key) bool {
+		if variant == core.NonBlockingCnC {
+			_, ok := out.TryGet(k)
+			return ok
+		}
+		out.Get(k)
+		return true
+	}
+	// prevUpdate is the write-write dependency on the same tile's previous
+	// phase (absent at K == 0).
+	prevUpdate := func(i, j, k int) (Key, bool) {
+		if k == 0 {
+			return Key{}, false
+		}
+		return Key{kindUpdate, i, j, k - 1}, true
+	}
+	step := cnc.NewStepCollection(g, "cholTask", func(t Tag) error {
+		switch t.Kind {
+		case kindPotrf:
+			if p, ok := prevUpdate(t.K, t.K, t.K); ok && !await(p) {
+				tags.Put(t)
+				return nil
+			}
+			if err := potrf(a, t.K, bs); err != nil {
+				return err
+			}
+			out.Put(Key{kindPotrf, t.K, t.K, t.K}, true)
+		case kindTrsm:
+			if !await(Key{kindPotrf, t.K, t.K, t.K}) {
+				tags.Put(t)
+				return nil
+			}
+			if p, ok := prevUpdate(t.I, t.K, t.K); ok && !await(p) {
+				tags.Put(t)
+				return nil
+			}
+			trsm(a, t.I, t.K, bs)
+			out.Put(Key{kindTrsm, t.I, t.K, t.K}, true)
+		default:
+			ok := await(Key{kindTrsm, t.I, t.K, t.K}) && await(Key{kindTrsm, t.J, t.K, t.K})
+			if ok {
+				if p, pOK := prevUpdate(t.I, t.J, t.K); pOK {
+					ok = await(p)
+				}
+			}
+			if !ok {
+				tags.Put(t)
+				return nil
+			}
+			update(a, t.I, t.J, t.K, bs)
+			out.Put(Key{kindUpdate, t.I, t.J, t.K}, true)
+		}
+		return nil
+	})
+	step.Consumes(out).Produces(out)
+
+	deps := func(t Tag) []cnc.Dep {
+		var ds []cnc.Dep
+		add := func(k Key) { ds = append(ds, out.Key(k)) }
+		switch t.Kind {
+		case kindPotrf:
+			if p, ok := prevUpdate(t.K, t.K, t.K); ok {
+				add(p)
+			}
+		case kindTrsm:
+			add(Key{kindPotrf, t.K, t.K, t.K})
+			if p, ok := prevUpdate(t.I, t.K, t.K); ok {
+				add(p)
+			}
+		default:
+			add(Key{kindTrsm, t.I, t.K, t.K})
+			if t.J != t.I {
+				add(Key{kindTrsm, t.J, t.K, t.K})
+			}
+			if p, ok := prevUpdate(t.I, t.J, t.K); ok {
+				add(p)
+			}
+		}
+		return ds
+	}
+	switch variant {
+	case core.TunerCnC:
+		step.WithDeps(cnc.TunedPrescheduled, deps)
+	case core.ManualCnC:
+		step.WithDeps(cnc.TunedTriggered, deps)
+	}
+	tags.Prescribe(step)
+
+	err := g.Run(func() {
+		for k := 0; k < tiles; k++ {
+			tags.Put(Tag{kindPotrf, k, k, k})
+			for i := k + 1; i < tiles; i++ {
+				tags.Put(Tag{kindTrsm, i, k, k})
+			}
+			for j := k + 1; j < tiles; j++ {
+				for i := j; i < tiles; i++ {
+					tags.Put(Tag{kindUpdate, i, j, k})
+				}
+			}
+		}
+	})
+	stats := gep.CnCStats{Stats: g.Stats(), BaseTasks: out.Len()}
+	return stats, err
+}
+
+// Run dispatches any variant (SerialLoop = element-wise Serial).
+func Run(v core.Variant, a *matrix.Dense, base, workers int, pool *forkjoin.Pool) error {
+	switch v {
+	case core.SerialLoop:
+		return Serial(a)
+	case core.SerialRDP:
+		return TiledSerial(a, base)
+	case core.OMPTasking:
+		if pool == nil {
+			return fmt.Errorf("chol: OMPTasking requires a fork-join pool")
+		}
+		return ForkJoin(a, base, pool)
+	case core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC:
+		_, err := RunCnC(a, base, workers, v)
+		return err
+	default:
+		return fmt.Errorf("chol: unsupported variant %v", v)
+	}
+}
+
+// Residual returns max |(L·Lᵀ − A0)[i][j]| over the lower triangle, where
+// l is a factored matrix and a0 the original — the end-to-end correctness
+// measure.
+func Residual(l, a0 *matrix.Dense) float64 {
+	n := l.Rows()
+	max := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := 0.0
+			for k := 0; k <= j; k++ {
+				sum += l.At(i, k) * l.At(j, k)
+			}
+			if d := math.Abs(sum - a0.At(i, j)); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,179 @@
+package chol
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/matrix"
+)
+
+func TestSerialKnownFactor(t *testing.T) {
+	// A = [[4, 12, -16], [12, 37, -43], [-16, -43, 98]] has the textbook
+	// factor L = [[2,0,0],[6,1,0],[-8,5,3]].
+	a := matrix.FromRows([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	if err := Serial(a); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2}, {6, 1}, {-8, 5, 3}}
+	for i, row := range want {
+		for j, v := range row {
+			if a.At(i, j) != v {
+				t.Fatalf("L[%d][%d] = %v, want %v", i, j, a.At(i, j), v)
+			}
+		}
+	}
+}
+
+func TestSerialRejectsNonSPD(t *testing.T) {
+	a := matrix.FromRows([][]float64{{-1, 0}, {0, 1}})
+	if err := Serial(a); err == nil {
+		t.Fatal("negative pivot accepted")
+	}
+}
+
+func TestResidualOnSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a0 := NewSPD(32, rng)
+	l := a0.Clone()
+	if err := Serial(l); err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(l, a0); r > 1e-10 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+// Every driver must produce a bit-identical factor: the kernels apply the
+// same per-element operations in the same order.
+func TestAllVariantsAgree(t *testing.T) {
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: 3})
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(2))
+	a0 := NewSPD(64, rng)
+
+	ref := a0.Clone()
+	if err := TiledSerial(ref, 8); err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(ref, a0); r > 1e-9 {
+		t.Fatalf("tiled-serial residual %g", r)
+	}
+
+	for _, v := range []core.Variant{core.OMPTasking, core.NativeCnC,
+		core.TunerCnC, core.ManualCnC, core.NonBlockingCnC} {
+		for _, base := range []int{8, 16, 64} {
+			x := a0.Clone()
+			if err := Run(v, x, base, 3, pool); err != nil {
+				t.Fatalf("%v base=%d: %v", v, base, err)
+			}
+			want := a0.Clone()
+			if err := TiledSerial(want, base); err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(x, want) {
+				t.Fatalf("%v base=%d: factor differs from tiled serial (maxdiff %g)",
+					v, base, matrix.MaxAbsDiff(x, want))
+			}
+		}
+	}
+}
+
+// Element-wise Serial and the tiled algorithm agree on the lower triangle
+// (the strict upper triangle is untouched input in both).
+func TestTiledMatchesElementwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a0 := NewSPD(32, rng)
+	el := a0.Clone()
+	if err := Serial(el); err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []int{1, 4, 32} {
+		ti := a0.Clone()
+		if err := TiledSerial(ti, base); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 32; i++ {
+			for j := 0; j <= i; j++ {
+				if math.Abs(ti.At(i, j)-el.At(i, j)) > 1e-9 {
+					t.Fatalf("base=%d: L[%d][%d] %v vs %v", base, i, j, ti.At(i, j), el.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// Property: for random SPD matrices, the CnC factor reconstructs A.
+func TestFactorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a0 := NewSPD(16, rng)
+		l := a0.Clone()
+		if _, err := RunCnC(l, 4, 2, core.NativeCnC); err != nil {
+			return false
+		}
+		return Residual(l, a0) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidationAndDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if err := TiledSerial(matrix.New(4, 6), 2); err == nil {
+		t.Error("non-square accepted")
+	}
+	if err := TiledSerial(NewSPD(16, rng), 0); err == nil {
+		t.Error("base 0 accepted")
+	}
+	if err := Run(core.OMPTasking, NewSPD(16, rng), 4, 2, nil); err == nil {
+		t.Error("OMPTasking without pool accepted")
+	}
+	if err := Run(core.Variant(77), NewSPD(16, rng), 4, 2, nil); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	a := NewSPD(16, rng)
+	if err := Run(core.SerialLoop, a, 4, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The CnC variants must surface the non-SPD error through the graph.
+func TestCnCPropagatesFactorError(t *testing.T) {
+	a := matrix.NewSquare(16) // all zeros: first pivot fails
+	_, err := RunCnC(a, 4, 2, core.NativeCnC)
+	if err == nil {
+		t.Fatal("zero matrix factored without error")
+	}
+}
+
+// Task census: tetrahedral number of tasks T(T+1)(T+2)/6 ... counted
+// directly: Σ_K (1 + (T-1-K) + (T-K)(T-K-1)/2 + (T-K-1)) tiles.
+func TestTaskCensus(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewSPD(64, rng)
+	stats, err := RunCnC(a, 8, 2, core.ManualCnC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := 8
+	want := 0
+	for k := 0; k < tiles; k++ {
+		r := tiles - k - 1        // rows below the diagonal tile
+		want += 1 + r + r*(r+1)/2 // potrf + trsms + updates
+	}
+	if stats.BaseTasks != want {
+		t.Fatalf("BaseTasks = %d, want %d", stats.BaseTasks, want)
+	}
+	if stats.Aborts != 0 {
+		t.Fatalf("manual variant aborted %d times", stats.Aborts)
+	}
+}

@@ -1,0 +1,327 @@
+// Package cnc is a Concurrent Collections (CnC) runtime in pure Go, modelled
+// on the Intel CnC / TBB implementation the paper benchmarks (Budimlić et
+// al., "Concurrent Collections", Scientific Programming 2010; paper §II).
+//
+// A CnC program is a graph of three kinds of collections:
+//
+//   - step collections: the computations, prescribed by tags;
+//   - tag collections: control — putting a tag creates one instance of every
+//     prescribed step collection, which eventually executes with that tag;
+//   - item collections: data — single-assignment associative containers used
+//     for all synchronisation between step instances.
+//
+// Blocking Get follows the Intel semantics the paper describes: a step
+// instance executes speculatively, and when a Get finds its item missing the
+// instance is aborted and parked on a wait list associated with the failed
+// Get; a later Put of that item re-schedules every parked instance from
+// scratch. Steps must therefore be written gets-first (pure reads), then
+// compute, then puts — exactly the shape of the paper's Listing 5.
+//
+// Two tuners reproduce the paper's tuned variants (§III-D):
+//
+//   - WithDeps + TunedPrescheduled ("Tuner-CnC"): the runtime resolves the
+//     declared dependencies when the tag is put; if all items are already
+//     available the step runs inline on the putting goroutine, otherwise it
+//     is triggered — without any speculative abort — when the last
+//     dependency arrives.
+//   - WithDeps + TunedTriggered ("Manual-CnC" building block): instances are
+//     never run speculatively; each waits on a countdown of its declared
+//     dependencies and is scheduled when the count reaches zero.
+//
+// The runtime dynamically enforces the single-assignment rule and, because
+// CnC programs are deterministic, reports deadlock precisely: when the graph
+// quiesces with parked instances, Run returns a DeadlockError listing every
+// blocked step and the item it is waiting for.
+package cnc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a snapshot of runtime activity, useful both for tests and for
+// calibrating the scheduling-overhead constants of the simulation model.
+type Stats struct {
+	TagsPut       uint64 // tags put across all tag collections
+	ItemsPut      uint64 // items put across all item collections
+	StepsStarted  uint64 // step executions begun (including re-executions)
+	StepsDone     uint64 // step instances completed successfully
+	Aborts        uint64 // speculative executions aborted by a failed Get
+	Requeues      uint64 // parked instances re-scheduled by an item Put
+	InlineRuns    uint64 // instances run inline by the prescheduling tuner
+	TriggeredRuns uint64 // instances released by a dependency countdown
+	PinnedRuns    uint64 // instances placed by a ComputeOn tuner
+}
+
+// DeadlockError reports a graph that quiesced with parked step instances.
+type DeadlockError struct {
+	// Blocked lists one entry per parked instance: "step@tag <- coll[key]".
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("cnc: deadlock: %d step instance(s) blocked: %s",
+		len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// ErrNotRunning is returned or panicked when collections are used outside
+// Graph.Run.
+var ErrNotRunning = errors.New("cnc: graph is not running")
+
+// Graph is a CnC context: it owns the collections, the worker pool and the
+// quiescence state. Build the collections, declare their relationships, then
+// call Run exactly once with an environment function that performs the
+// initial puts.
+type Graph struct {
+	name    string
+	workers int
+
+	queue    workQueue
+	running  atomic.Bool
+	finished atomic.Bool
+
+	outstanding atomic.Int64
+	quiesceMu   sync.Mutex
+	quiesceCond *sync.Cond
+	parked      atomic.Int64
+
+	failMu sync.Mutex
+	err    error
+
+	stats struct {
+		tagsPut, itemsPut, started, done    atomic.Uint64
+		aborts, requeues, inline, triggered atomic.Uint64
+		pinned                              atomic.Uint64
+	}
+
+	// Static graph structure, for Describe/Dot and deadlock reports.
+	structMu  sync.Mutex
+	steps     []*stepMeta
+	tags      []string
+	items     []string
+	reporters []blockedReporter
+}
+
+type stepMeta struct {
+	name               string
+	prescribedBy       []string
+	consumes, produces []string
+}
+
+// NewGraph creates a graph with the given number of workers (minimum 1).
+func NewGraph(name string, workers int) *Graph {
+	if workers < 1 {
+		workers = 1
+	}
+	g := &Graph{name: name, workers: workers}
+	g.quiesceCond = sync.NewCond(&g.quiesceMu)
+	g.queue.cond = sync.NewCond(&g.queue.mu)
+	g.queue.init(workers)
+	return g
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// Workers returns the worker count the graph runs with.
+func (g *Graph) Workers() int { return g.workers }
+
+// Stats returns a snapshot of the activity counters.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		TagsPut:       g.stats.tagsPut.Load(),
+		ItemsPut:      g.stats.itemsPut.Load(),
+		StepsStarted:  g.stats.started.Load(),
+		StepsDone:     g.stats.done.Load(),
+		Aborts:        g.stats.aborts.Load(),
+		Requeues:      g.stats.requeues.Load(),
+		InlineRuns:    g.stats.inline.Load(),
+		TriggeredRuns: g.stats.triggered.Load(),
+		PinnedRuns:    g.stats.pinned.Load(),
+	}
+}
+
+// Run starts the workers, invokes env — which performs the initial item and
+// tag puts, playing the role of the CnC environment — and blocks until the
+// graph quiesces. It returns the first error recorded during execution
+// (single-assignment violation, step error, or deadlock). Run may be called
+// only once per graph.
+func (g *Graph) Run(env func()) error {
+	if g.finished.Load() || !g.running.CompareAndSwap(false, true) {
+		return errors.New("cnc: Run called twice")
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(g.workers)
+	for i := 0; i < g.workers; i++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				w, ok := g.queue.pop(worker)
+				if !ok {
+					return
+				}
+				w()
+			}
+		}(i)
+	}
+
+	// The environment counts as outstanding work while it runs so that the
+	// graph cannot quiesce before the initial puts are complete.
+	g.outstanding.Add(1)
+	if env != nil {
+		env()
+	}
+	g.taskDone()
+
+	g.quiesceMu.Lock()
+	for g.outstanding.Load() > 0 {
+		g.quiesceCond.Wait()
+	}
+	g.quiesceMu.Unlock()
+
+	g.running.Store(false)
+	g.finished.Store(true)
+	g.queue.close()
+	wg.Wait()
+
+	if g.parked.Load() > 0 {
+		g.fail(&DeadlockError{Blocked: g.collectBlocked()})
+	}
+	g.failMu.Lock()
+	defer g.failMu.Unlock()
+	return g.err
+}
+
+func (g *Graph) fail(err error) {
+	g.failMu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.failMu.Unlock()
+}
+
+// schedule enqueues a runnable step instance on the global queue.
+func (g *Graph) schedule(run func()) {
+	g.outstanding.Add(1)
+	g.queue.push(run)
+}
+
+// scheduleOn enqueues a runnable step instance pinned to one worker (the
+// compute_on placement). Out-of-range workers wrap around so tuners can
+// use plain tile arithmetic.
+func (g *Graph) scheduleOn(worker int, run func()) {
+	g.outstanding.Add(1)
+	w := worker % g.workers
+	if w < 0 {
+		w += g.workers
+	}
+	g.stats.pinned.Add(1)
+	g.queue.pushLocal(w, run)
+}
+
+// taskDone retires one unit of outstanding work and signals quiescence when
+// none remains.
+func (g *Graph) taskDone() {
+	if g.outstanding.Add(-1) == 0 {
+		g.quiesceMu.Lock()
+		g.quiesceCond.Broadcast()
+		g.quiesceMu.Unlock()
+	}
+}
+
+func (g *Graph) checkRunning() {
+	if !g.running.Load() {
+		panic(ErrNotRunning)
+	}
+}
+
+// blockedReporter is implemented by item collections to enumerate parked
+// instances for deadlock reports.
+type blockedReporter interface {
+	blockedInstances() []string
+}
+
+func (g *Graph) registerReporter(r blockedReporter) {
+	g.structMu.Lock()
+	g.reporters = append(g.reporters, r)
+	g.structMu.Unlock()
+}
+
+func (g *Graph) collectBlocked() []string {
+	g.structMu.Lock()
+	rs := g.reporters
+	g.structMu.Unlock()
+	var out []string
+	for _, r := range rs {
+		out = append(out, r.blockedInstances()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// workQueue is the runtime's work pool: an unbounded global FIFO plus one
+// FIFO per worker for steps pinned by a ComputeOn tuner (the Intel CnC
+// compute_on hint). Pinned work runs only on its designated worker.
+type workQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []func()   // global queue
+	local  [][]func() // per-worker pinned queues
+	closed bool
+}
+
+func (q *workQueue) init(workers int) {
+	q.local = make([][]func(), workers)
+}
+
+func (q *workQueue) push(w func()) {
+	q.mu.Lock()
+	q.items = append(q.items, w)
+	q.mu.Unlock()
+	// Broadcast rather than Signal: a Signal could wake a worker whose
+	// pinned queue is empty while another waits for this global item.
+	q.cond.Broadcast()
+}
+
+// pushLocal enqueues pinned work for one worker.
+func (q *workQueue) pushLocal(worker int, w func()) {
+	q.mu.Lock()
+	q.local[worker] = append(q.local[worker], w)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop returns the next unit for the given worker: pinned work first, then
+// global. It blocks until work arrives or the queue closes.
+func (q *workQueue) pop(worker int) (func(), bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.local[worker]) == 0 && len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if l := q.local[worker]; len(l) > 0 {
+		w := l[0]
+		l[0] = nil
+		q.local[worker] = l[1:]
+		return w, true
+	}
+	if len(q.items) > 0 {
+		w := q.items[0]
+		q.items[0] = nil
+		q.items = q.items[1:]
+		return w, true
+	}
+	return nil, false
+}
+
+func (q *workQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,410 @@
+package cnc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// StepFunc is the body of a step collection: the computation executed for
+// each prescribed tag. It must be written gets-first: perform all item Gets
+// before any Put or other side effect, because under Native scheduling the
+// runtime executes instances speculatively and re-executes them from scratch
+// after a failed Get. Returning a non-nil error fails the whole graph.
+type StepFunc[T comparable] func(tag T) error
+
+// TuningMode selects how a tuned step collection schedules its instances.
+type TuningMode int
+
+const (
+	// TunedPrescheduled is the paper's "Tuner-CnC": dependencies declared by
+	// WithDeps are resolved when the tag is put; if all items are already
+	// present the instance runs inline on the putting goroutine, avoiding
+	// the scheduler round-trip; otherwise it is scheduled when the last
+	// dependency arrives.
+	TunedPrescheduled TuningMode = iota
+	// TunedTriggered is the building block of the paper's "Manual-CnC":
+	// every instance waits on a countdown of its declared dependencies and
+	// is scheduled (never inline) when the countdown reaches zero.
+	TunedTriggered
+)
+
+// Dep names one item dependency of a step instance: a key in a specific
+// item collection. Construct them with ItemCollection.Key so the key type
+// always matches the collection.
+type Dep struct {
+	store itemStore
+	key   any
+}
+
+// String renders the dependency as "collection[key]".
+func (d Dep) String() string { return fmt.Sprintf("%s[%v]", d.store.collName(), d.key) }
+
+// itemStore is the type-erased view of an item collection used by tuned
+// scheduling.
+type itemStore interface {
+	collName() string
+	// subscribe registers notify to fire once when key becomes present.
+	// It returns false — without registering — when key is already present.
+	subscribe(key any, label string, notify func()) bool
+}
+
+// StepCollection is a named computation prescribed by one or more tag
+// collections.
+type StepCollection[T comparable] struct {
+	g    *Graph
+	meta *stepMeta
+	fn   StepFunc[T]
+
+	deps      func(T) []Dep
+	mode      TuningMode
+	computeOn func(T) int
+}
+
+// NewStepCollection registers a step collection on g.
+func NewStepCollection[T comparable](g *Graph, name string, fn StepFunc[T]) *StepCollection[T] {
+	meta := &stepMeta{name: name}
+	g.structMu.Lock()
+	g.steps = append(g.steps, meta)
+	g.structMu.Unlock()
+	return &StepCollection[T]{g: g, meta: meta, fn: fn}
+}
+
+// WithDeps declares the per-tag item dependencies of the step and the tuning
+// mode to use. With deps declared, instances are never executed
+// speculatively: they run exactly once, when every declared dependency is
+// available. The declaration must cover every Get the step performs;
+// undeclared Gets fall back to the speculative abort path.
+func (sc *StepCollection[T]) WithDeps(mode TuningMode, deps func(T) []Dep) *StepCollection[T] {
+	sc.deps = deps
+	sc.mode = mode
+	return sc
+}
+
+// WithComputeOn installs a placement tuner (Intel CnC's compute_on hint):
+// every instance runs on worker fn(tag) mod Workers, never elsewhere. The
+// paper's §IV-B suggests exactly this to pin tile tasks to cores and
+// minimise inter-core and inter-NUMA data movement. Compute-on placement
+// disables the prescheduling tuner's inline execution (a step must not run
+// on the putting goroutine when it is pinned elsewhere).
+func (sc *StepCollection[T]) WithComputeOn(fn func(T) int) *StepCollection[T] {
+	sc.computeOn = fn
+	return sc
+}
+
+// Consumes records, for documentation and Describe output, that the step
+// reads from the given item collection (cf. the consumes declarations of the
+// paper's Listing 4). It has no scheduling effect.
+func (sc *StepCollection[T]) Consumes(ic Named) *StepCollection[T] {
+	sc.g.structMu.Lock()
+	sc.meta.consumes = append(sc.meta.consumes, ic.CollectionName())
+	sc.g.structMu.Unlock()
+	return sc
+}
+
+// Produces records that the step writes to the given item collection.
+// Like Consumes it is declarative only.
+func (sc *StepCollection[T]) Produces(ic Named) *StepCollection[T] {
+	sc.g.structMu.Lock()
+	sc.meta.produces = append(sc.meta.produces, ic.CollectionName())
+	sc.g.structMu.Unlock()
+	return sc
+}
+
+// Named is any collection with a name; used by the declarative graph
+// description methods.
+type Named interface{ CollectionName() string }
+
+// CollectionName returns the step collection's name.
+func (sc *StepCollection[T]) CollectionName() string { return sc.meta.name }
+
+// dispatch schedules one runnable execution attempt, honouring compute_on
+// placement.
+func (sc *StepCollection[T]) dispatch(tag T) {
+	if sc.computeOn != nil {
+		sc.g.scheduleOn(sc.computeOn(tag), func() { sc.execute(tag) })
+		return
+	}
+	sc.g.schedule(func() { sc.execute(tag) })
+}
+
+// instance launches the step instance for tag according to the collection's
+// tuning mode.
+func (sc *StepCollection[T]) instance(tag T) {
+	g := sc.g
+	if sc.deps == nil {
+		sc.dispatch(tag)
+		return
+	}
+	deps := sc.deps(tag)
+	label := fmt.Sprintf("%s@%v", sc.meta.name, tag)
+
+	// Countdown latch: the +1 sentinel guarantees the release runs at most
+	// once and only after every subscribe call has been issued.
+	var remaining atomic.Int64
+	remaining.Store(1)
+	g.parked.Add(1)
+	release := func(inline bool) {
+		g.parked.Add(-1)
+		if inline && sc.mode == TunedPrescheduled && sc.computeOn == nil {
+			g.stats.inline.Add(1)
+			g.outstanding.Add(1)
+			sc.execute(tag)
+			return
+		}
+		g.stats.triggered.Add(1)
+		sc.dispatch(tag)
+	}
+	arrive := func(inline bool) {
+		if remaining.Add(-1) == 0 {
+			release(inline)
+		}
+	}
+	for _, d := range deps {
+		remaining.Add(1)
+		if !d.store.subscribe(d.key, label, func() { arrive(false) }) {
+			remaining.Add(-1) // already present
+		}
+	}
+	arrive(true) // retire the sentinel; runs inline when no dep was missing
+}
+
+// execute runs one (possibly speculative) execution attempt of the instance.
+func (sc *StepCollection[T]) execute(tag T) {
+	g := sc.g
+	g.stats.started.Add(1)
+	defer g.taskDone()
+	defer func() {
+		r := recover()
+		if r == nil {
+			g.stats.done.Add(1)
+			return
+		}
+		if rs, ok := r.(*retrySignal); ok {
+			// Failed blocking Get: park this instance on the item's wait
+			// list; Put will re-schedule it from scratch.
+			g.stats.aborts.Add(1)
+			label := fmt.Sprintf("%s@%v", sc.meta.name, tag)
+			rs.park(label, func() {
+				g.stats.requeues.Add(1)
+				sc.dispatch(tag)
+			})
+			return
+		}
+		g.fail(fmt.Errorf("cnc: step %s panicked on tag %v: %v", sc.meta.name, tag, r))
+	}()
+	if err := sc.fn(tag); err != nil {
+		g.fail(fmt.Errorf("cnc: step %s failed on tag %v: %w", sc.meta.name, tag, err))
+	}
+}
+
+// TagCollection is a control collection: putting a tag creates an instance
+// of every prescribed step collection.
+type TagCollection[T comparable] struct {
+	g    *Graph
+	name string
+
+	mu         sync.Mutex
+	prescribed []interface{ instance(T) }
+	memoize    bool
+	seen       map[T]struct{}
+}
+
+// NewTagCollection registers a tag collection on g. When memoize is true the
+// collection deduplicates tags, as Intel CnC's default tag memoization does:
+// re-putting a tag that was already put is a no-op.
+func NewTagCollection[T comparable](g *Graph, name string, memoize bool) *TagCollection[T] {
+	g.structMu.Lock()
+	g.tags = append(g.tags, name)
+	g.structMu.Unlock()
+	tc := &TagCollection[T]{g: g, name: name, memoize: memoize}
+	if memoize {
+		tc.seen = make(map[T]struct{})
+	}
+	return tc
+}
+
+// CollectionName returns the tag collection's name.
+func (tc *TagCollection[T]) CollectionName() string { return tc.name }
+
+// Prescribe attaches a step collection: each future tag put creates one
+// instance of it. Record the relationship before Run.
+func (tc *TagCollection[T]) Prescribe(sc *StepCollection[T]) {
+	tc.g.structMu.Lock()
+	sc.meta.prescribedBy = append(sc.meta.prescribedBy, tc.name)
+	tc.g.structMu.Unlock()
+	tc.mu.Lock()
+	tc.prescribed = append(tc.prescribed, sc)
+	tc.mu.Unlock()
+}
+
+// Put puts a tag, creating an instance of every prescribed step collection.
+// It may be called from the environment function or from inside steps.
+func (tc *TagCollection[T]) Put(tag T) {
+	tc.g.checkRunning()
+	if tc.memoize {
+		tc.mu.Lock()
+		if _, dup := tc.seen[tag]; dup {
+			tc.mu.Unlock()
+			return
+		}
+		tc.seen[tag] = struct{}{}
+		tc.mu.Unlock()
+	}
+	tc.g.stats.tagsPut.Add(1)
+	tc.mu.Lock()
+	pres := tc.prescribed
+	tc.mu.Unlock()
+	for _, sc := range pres {
+		sc.instance(tag)
+	}
+}
+
+// PutRange puts the tags mk(lo), mk(lo+1), …, mk(hi-1) — the Intel CnC
+// tag-range pattern for prescribing dense index spaces in one call.
+func (tc *TagCollection[T]) PutRange(lo, hi int, mk func(int) T) {
+	for i := lo; i < hi; i++ {
+		tc.Put(mk(i))
+	}
+}
+
+// ItemCollection is a single-assignment associative data collection.
+type ItemCollection[K comparable, V any] struct {
+	g    *Graph
+	name string
+
+	mu      sync.Mutex
+	items   map[K]V
+	waiters map[K][]waiter
+}
+
+type waiter struct {
+	label  string
+	notify func()
+}
+
+// NewItemCollection registers an item collection on g.
+func NewItemCollection[K comparable, V any](g *Graph, name string) *ItemCollection[K, V] {
+	ic := &ItemCollection[K, V]{
+		g:       g,
+		name:    name,
+		items:   make(map[K]V),
+		waiters: make(map[K][]waiter),
+	}
+	g.structMu.Lock()
+	g.items = append(g.items, name)
+	g.structMu.Unlock()
+	g.registerReporter(ic)
+	return ic
+}
+
+// CollectionName returns the item collection's name.
+func (ic *ItemCollection[K, V]) CollectionName() string { return ic.name }
+
+func (ic *ItemCollection[K, V]) collName() string { return ic.name }
+
+// Key builds a Dep naming item k of this collection, for WithDeps
+// declarations.
+func (ic *ItemCollection[K, V]) Key(k K) Dep { return Dep{store: ic, key: k} }
+
+// Put stores the item under key k and wakes every step instance parked on
+// it. Re-putting a key violates CnC's dynamic single assignment rule and
+// fails the graph.
+func (ic *ItemCollection[K, V]) Put(k K, v V) {
+	ic.g.checkRunning()
+	ic.mu.Lock()
+	if _, dup := ic.items[k]; dup {
+		ic.mu.Unlock()
+		ic.g.fail(fmt.Errorf("cnc: single-assignment violation: item %s[%v] put twice", ic.name, k))
+		return
+	}
+	ic.items[k] = v
+	ws := ic.waiters[k]
+	delete(ic.waiters, k)
+	ic.mu.Unlock()
+	ic.g.stats.itemsPut.Add(1)
+	for _, w := range ws {
+		w.notify()
+	}
+}
+
+// Get returns the item stored under k, blocking in the CnC sense: when the
+// item is missing, the calling step instance is aborted and re-executed
+// after the item is put. Get must only be called from inside a step body.
+func (ic *ItemCollection[K, V]) Get(k K) V {
+	if v, ok := ic.TryGet(k); ok {
+		return v
+	}
+	panic(&retrySignal{
+		park: func(label string, requeue func()) {
+			ic.mu.Lock()
+			if _, ok := ic.items[k]; ok {
+				// The item arrived between TryGet and parking: requeue
+				// immediately instead of waiting.
+				ic.mu.Unlock()
+				requeue()
+				return
+			}
+			ic.g.parked.Add(1)
+			ic.waiters[k] = append(ic.waiters[k], waiter{label: label, notify: func() {
+				ic.g.parked.Add(-1)
+				requeue()
+			}})
+			ic.mu.Unlock()
+		},
+	})
+}
+
+// TryGet is the non-blocking get (the paper's §IV-B ablation): it reports
+// whether the item is present without aborting the step.
+func (ic *ItemCollection[K, V]) TryGet(k K) (V, bool) {
+	ic.mu.Lock()
+	v, ok := ic.items[k]
+	ic.mu.Unlock()
+	return v, ok
+}
+
+// Len returns the number of items currently stored.
+func (ic *ItemCollection[K, V]) Len() int {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return len(ic.items)
+}
+
+// subscribe implements itemStore for tuned scheduling.
+func (ic *ItemCollection[K, V]) subscribe(key any, label string, notify func()) bool {
+	k, ok := key.(K)
+	if !ok {
+		// Fail the graph but treat the dependency as satisfied so the
+		// countdown still completes and the graph quiesces.
+		ic.g.fail(fmt.Errorf("cnc: dependency key %v has wrong type for collection %s", key, ic.name))
+		return false
+	}
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if _, present := ic.items[k]; present {
+		return false
+	}
+	ic.waiters[k] = append(ic.waiters[k], waiter{label: label, notify: notify})
+	return true
+}
+
+// blockedInstances enumerates parked instances for deadlock reports.
+func (ic *ItemCollection[K, V]) blockedInstances() []string {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	var out []string
+	for k, ws := range ic.waiters {
+		for _, w := range ws {
+			out = append(out, fmt.Sprintf("%s <- %s[%v]", w.label, ic.name, k))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// retrySignal is the panic payload of a failed blocking Get.
+type retrySignal struct {
+	park func(label string, requeue func())
+}

@@ -1,0 +1,151 @@
+package cnc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// Failure injection: steps fail at random points of a large graph; the
+// graph must quiesce (never hang), report an error, and stop being usable.
+func TestRandomStepFailures(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := NewGraph(fmt.Sprintf("chaos-%d", seed), 4)
+		rng := rand.New(rand.NewSource(seed))
+		failAt := rng.Intn(200)
+		items := NewItemCollection[int, int](g, "it")
+		tags := NewTagCollection[int](g, "tg", false)
+		var executed atomic.Int64
+		step := NewStepCollection(g, "s", func(i int) error {
+			executed.Add(1)
+			if i == failAt {
+				return fmt.Errorf("injected failure at %d", i)
+			}
+			items.Put(i, i)
+			return nil
+		})
+		tags.Prescribe(step)
+		err := g.Run(func() {
+			for i := 0; i < 200; i++ {
+				tags.Put(i)
+			}
+		})
+		if err == nil || !strings.Contains(err.Error(), "injected failure") {
+			t.Fatalf("seed %d: err = %v", seed, err)
+		}
+		if executed.Load() == 0 {
+			t.Fatalf("seed %d: nothing executed", seed)
+		}
+	}
+}
+
+// A producer failing must surface its own error even though the consumers
+// it starves end up parked (first error wins over the deadlock report).
+func TestProducerFailureBeatsDeadlockReport(t *testing.T) {
+	g := NewGraph("pfail", 3)
+	items := NewItemCollection[int, int](g, "it")
+	prodTags := NewTagCollection[int](g, "pt", false)
+	consTags := NewTagCollection[int](g, "ct", false)
+	producer := NewStepCollection(g, "p", func(i int) error {
+		return errors.New("producer exploded")
+	})
+	consumer := NewStepCollection(g, "c", func(i int) error {
+		items.Get(i) // never produced
+		return nil
+	})
+	prodTags.Prescribe(producer)
+	consTags.Prescribe(consumer)
+	err := g.Run(func() {
+		consTags.Put(1)
+		prodTags.Put(1)
+	})
+	if err == nil || !strings.Contains(err.Error(), "producer exploded") {
+		t.Fatalf("err = %v, want the producer's error", err)
+	}
+}
+
+// Panics inside steps on every worker simultaneously must all be contained.
+func TestPanicStorm(t *testing.T) {
+	g := NewGraph("storm", 8)
+	tags := NewTagCollection[int](g, "tg", false)
+	step := NewStepCollection(g, "s", func(i int) error {
+		if i%2 == 0 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		return nil
+	})
+	tags.Prescribe(step)
+	err := g.Run(func() {
+		for i := 0; i < 100; i++ {
+			tags.Put(i)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TagRange: putting a dense range of tags (the Intel CnC tag-range
+// pattern) through PutRange must prescribe every instance exactly once.
+func TestPutRange(t *testing.T) {
+	g := NewGraph("range", 4)
+	tags := NewTagCollection[int](g, "tg", false)
+	var count atomic.Int64
+	step := NewStepCollection(g, "s", func(int) error {
+		count.Add(1)
+		return nil
+	})
+	tags.Prescribe(step)
+	if err := g.Run(func() {
+		tags.PutRange(10, 110, func(i int) int { return i })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Fatalf("%d instances, want 100", count.Load())
+	}
+}
+
+// Large-scale stress: a 100k-step wavefront through the runtime, checking
+// quiescence accounting never wedges.
+func TestLargeGraphStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const side = 316 // ~100k steps
+	g := NewGraph("stress", 8)
+	cells := NewItemCollection[[2]int, int32](g, "cells")
+	tags := NewTagCollection[[2]int](g, "tg", true)
+	step := NewStepCollection(g, "s", func(t [2]int) error {
+		i, j := t[0], t[1]
+		var v int32 = 1
+		if i > 0 {
+			v += cells.Get([2]int{i - 1, j})
+		}
+		if j > 0 && i == 0 {
+			v += cells.Get([2]int{i, j - 1})
+		}
+		cells.Put(t, v%1000)
+		if i+1 < side {
+			tags.Put([2]int{i + 1, j})
+		}
+		if j+1 < side {
+			tags.Put([2]int{i, j + 1})
+		}
+		return nil
+	})
+	tags.Prescribe(step)
+	if err := g.Run(func() { tags.Put([2]int{0, 0}) }); err != nil {
+		t.Fatal(err)
+	}
+	if cells.Len() != side*side {
+		t.Fatalf("%d cells, want %d", cells.Len(), side*side)
+	}
+	s := g.Stats()
+	if s.StepsDone != side*side {
+		t.Fatalf("StepsDone = %d", s.StepsDone)
+	}
+}

@@ -1,0 +1,189 @@
+// Package dag builds the task graphs that the two execution models induce
+// over the same set of base-case tile tasks, at tile granularity:
+//
+//   - The data-flow graph contains exactly the true dependencies of the DP
+//     recurrence (what the CnC item collections enforce). It is represented
+//     analytically — predecessors and successors of a task are computed
+//     from its coordinates — so graphs with millions of tasks cost a few
+//     bytes per task.
+//   - The fork-join graph contains the ordering that Spawn/Wait imposes:
+//     the same base tasks plus zero-cost join nodes, with an edge from
+//     every task of a stage to the join that guards the next stage. It is
+//     materialised in CSR form by running the R-DP recursion symbolically.
+//
+// Comparing the two graphs' spans quantifies the paper's central claim:
+// joins add artificial dependencies that grow the span asymptotically.
+package dag
+
+import "fmt"
+
+// Kind classifies a task node.
+type Kind uint8
+
+// Task kinds. KindA..KindD are the GEP functions, KindSW is a
+// Smith-Waterman tile, KindJoin is a zero-cost fork-join synchronisation
+// node.
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+	KindD
+	KindSW
+	KindJoin
+	NumKinds = int(KindJoin) + 1
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	return [...]string{"A", "B", "C", "D", "SW", "join"}[k]
+}
+
+// Graph is a task DAG. Implementations must be immutable after
+// construction so they can be shared across simulations.
+type Graph interface {
+	// Len returns the number of nodes; ids are 0..Len()-1.
+	Len() int
+	// Kind returns the node's task kind.
+	Kind(id int) Kind
+	// InDeg returns the number of predecessors of the node.
+	InDeg(id int) int
+	// EachSucc calls f for every successor of id.
+	EachSucc(id int, f func(succ int))
+}
+
+// Stats summarises a graph.
+type Stats struct {
+	Nodes     int
+	Tasks     int // non-join nodes
+	Edges     int
+	ByKind    [NumKinds]int
+	MaxInDeg  int
+	SourceCnt int // nodes with no predecessors
+}
+
+// Analyze walks a graph and returns its statistics.
+func Analyze(g Graph) Stats {
+	var s Stats
+	s.Nodes = g.Len()
+	for id := 0; id < g.Len(); id++ {
+		k := g.Kind(id)
+		s.ByKind[k]++
+		if k != KindJoin {
+			s.Tasks++
+		}
+		d := g.InDeg(id)
+		if d == 0 {
+			s.SourceCnt++
+		}
+		if d > s.MaxInDeg {
+			s.MaxInDeg = d
+		}
+		g.EachSucc(id, func(int) { s.Edges++ })
+	}
+	return s
+}
+
+// CheckAcyclic runs Kahn's algorithm and returns an error if the graph has
+// a cycle or inconsistent in-degrees (a node never becoming ready).
+func CheckAcyclic(g Graph) error {
+	n := g.Len()
+	indeg := make([]int32, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = int32(g.InDeg(i))
+	}
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		g.EachSucc(int(id), func(s int) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, int32(s))
+			}
+			if indeg[s] < 0 {
+				panic(fmt.Sprintf("dag: in-degree of %d went negative (declared %d)", s, g.InDeg(s)))
+			}
+		})
+	}
+	if seen != n {
+		return fmt.Errorf("dag: only %d of %d nodes reachable from sources — cycle or wrong InDeg", seen, n)
+	}
+	return nil
+}
+
+// CSR is an explicit graph in compressed sparse row form, built by the
+// fork-join builders.
+type CSR struct {
+	kinds   []Kind
+	indeg   []int32
+	succOff []int32
+	succs   []int32
+}
+
+// Len implements Graph.
+func (c *CSR) Len() int { return len(c.kinds) }
+
+// Kind implements Graph.
+func (c *CSR) Kind(id int) Kind { return c.kinds[id] }
+
+// InDeg implements Graph.
+func (c *CSR) InDeg(id int) int { return int(c.indeg[id]) }
+
+// EachSucc implements Graph.
+func (c *CSR) EachSucc(id int, f func(int)) {
+	for _, s := range c.succs[c.succOff[id]:c.succOff[id+1]] {
+		f(int(s))
+	}
+}
+
+// builder accumulates nodes and edges, then freezes into a CSR.
+type builder struct {
+	kinds []Kind
+	from  []int32
+	to    []int32
+}
+
+func (b *builder) node(k Kind) int32 {
+	b.kinds = append(b.kinds, k)
+	return int32(len(b.kinds) - 1)
+}
+
+func (b *builder) edge(from, to int32) {
+	if from < 0 {
+		return // root call has no predecessor
+	}
+	b.from = append(b.from, from)
+	b.to = append(b.to, to)
+}
+
+func (b *builder) freeze() *CSR {
+	n := len(b.kinds)
+	c := &CSR{
+		kinds:   b.kinds,
+		indeg:   make([]int32, n),
+		succOff: make([]int32, n+1),
+		succs:   make([]int32, len(b.from)),
+	}
+	for i := range b.from {
+		c.succOff[b.from[i]+1]++
+		c.indeg[b.to[i]]++
+	}
+	for i := 0; i < n; i++ {
+		c.succOff[i+1] += c.succOff[i]
+	}
+	fill := make([]int32, n)
+	for i := range b.from {
+		f := b.from[i]
+		c.succs[c.succOff[f]+fill[f]] = b.to[i]
+		fill[f]++
+	}
+	b.from, b.to = nil, nil
+	return c
+}

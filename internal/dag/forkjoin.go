@@ -1,0 +1,169 @@
+package dag
+
+import (
+	"fmt"
+
+	"dpflow/internal/gep"
+)
+
+// NewGEPForkJoin materialises the ordering DAG of the fork-join R-DP
+// execution (Listing 3) for a tiles×tiles grid: the recursion is run
+// symbolically down to single-tile base cases; every parallel stage is
+// followed by a zero-cost join node, and sequential stages are chained —
+// so the graph contains precisely the constraints Spawn/Wait imposes,
+// artificial dependencies included.
+//
+// tiles must be a power of two (the recursion halves until single tiles).
+func NewGEPForkJoin(tiles int, shape gep.Shape) *CSR {
+	if tiles < 1 || tiles&(tiles-1) != 0 {
+		panic(fmt.Sprintf("dag: fork-join tiles = %d must be a power of two", tiles))
+	}
+	b := &fjBuilder{shape: shape}
+	b.funcA(-1, 0, tiles)
+	return b.freeze()
+}
+
+// fjBuilder runs the GEP recursion symbolically. Each func takes the node
+// that must precede the call (-1 for none) and returns the node that
+// completes it, mirroring the sequential/parallel structure of the real
+// drivers in internal/gep.
+type fjBuilder struct {
+	builder
+	shape gep.Shape
+}
+
+// leaf emits a base task of the given kind after pred.
+func (b *fjBuilder) leaf(pred int32, k Kind) int32 {
+	n := b.node(k)
+	b.edge(pred, n)
+	return n
+}
+
+// join emits a zero-cost join node after every sink of a parallel stage.
+func (b *fjBuilder) join(sinks ...int32) int32 {
+	j := b.node(KindJoin)
+	for _, s := range sinks {
+		b.edge(s, j)
+	}
+	return j
+}
+
+func (b *fjBuilder) funcA(pred int32, d, s int) int32 {
+	if s == 1 {
+		return b.leaf(pred, KindA)
+	}
+	h := s / 2
+	cur := b.funcA(pred, d, h)
+	cur = b.join(b.funcB(cur, d, d+h, d, h), b.funcC(cur, d+h, d, d, h))
+	cur = b.funcD(cur, d+h, d+h, d, h)
+	cur = b.funcA(cur, d+h, h)
+	if b.shape == gep.Cube {
+		cur = b.join(b.funcB(cur, d+h, d, d+h, h), b.funcC(cur, d, d+h, d+h, h))
+		cur = b.funcD(cur, d, d, d+h, h)
+	}
+	return cur
+}
+
+func (b *fjBuilder) funcB(pred int32, i0, j0, k0, s int) int32 {
+	if s == 1 {
+		return b.leaf(pred, KindB)
+	}
+	h := s / 2
+	cur := b.join(b.funcB(pred, i0, j0, k0, h), b.funcB(pred, i0, j0+h, k0, h))
+	cur = b.join(b.funcD(cur, i0+h, j0, k0, h), b.funcD(cur, i0+h, j0+h, k0, h))
+	cur = b.join(b.funcB(cur, i0+h, j0, k0+h, h), b.funcB(cur, i0+h, j0+h, k0+h, h))
+	if b.shape == gep.Cube {
+		cur = b.join(b.funcD(cur, i0, j0, k0+h, h), b.funcD(cur, i0, j0+h, k0+h, h))
+	}
+	return cur
+}
+
+func (b *fjBuilder) funcC(pred int32, i0, j0, k0, s int) int32 {
+	if s == 1 {
+		return b.leaf(pred, KindC)
+	}
+	h := s / 2
+	cur := b.join(b.funcC(pred, i0, j0, k0, h), b.funcC(pred, i0+h, j0, k0, h))
+	cur = b.join(b.funcD(cur, i0, j0+h, k0, h), b.funcD(cur, i0+h, j0+h, k0, h))
+	cur = b.join(b.funcC(cur, i0, j0+h, k0+h, h), b.funcC(cur, i0+h, j0+h, k0+h, h))
+	if b.shape == gep.Cube {
+		cur = b.join(b.funcD(cur, i0, j0, k0+h, h), b.funcD(cur, i0+h, j0, k0+h, h))
+	}
+	return cur
+}
+
+func (b *fjBuilder) funcD(pred int32, i0, j0, k0, s int) int32 {
+	if s == 1 {
+		return b.leaf(pred, KindD)
+	}
+	h := s / 2
+	cur := pred
+	for kk := 0; kk <= h; kk += h {
+		cur = b.join(
+			b.funcD(cur, i0, j0, k0+kk, h),
+			b.funcD(cur, i0, j0+h, k0+kk, h),
+			b.funcD(cur, i0+h, j0, k0+kk, h),
+			b.funcD(cur, i0+h, j0+h, k0+kk, h),
+		)
+	}
+	return cur
+}
+
+// NewSWForkJoin materialises the fork-join ordering DAG of the R-DP
+// Smith-Waterman recursion R(X) = R(X00); R(X01) ∥ R(X10); R(X11) for a
+// tiles×tiles grid (power of two).
+func NewSWForkJoin(tiles int) *CSR {
+	if tiles < 1 || tiles&(tiles-1) != 0 {
+		panic(fmt.Sprintf("dag: fork-join tiles = %d must be a power of two", tiles))
+	}
+	b := &builder{}
+	var rec func(pred int32, s int) int32
+	rec = func(pred int32, s int) int32 {
+		if s == 1 {
+			n := b.node(KindSW)
+			b.edge(pred, n)
+			return n
+		}
+		h := s / 2
+		cur := rec(pred, h)
+		left := rec(cur, h)
+		right := rec(cur, h)
+		j := b.node(KindJoin)
+		b.edge(left, j)
+		b.edge(right, j)
+		return rec(j, h)
+	}
+	rec(-1, tiles)
+	return b.freeze()
+}
+
+// NewSWWavefrontBarrier materialises the barrier-per-anti-diagonal SW
+// schedule (the paper's footnote 6): all tiles of diagonal d run in
+// parallel, then a join, then diagonal d+1. Span-optimal (2T−1 stages) yet
+// stiffer than the data-flow graph: the join makes every tile of a
+// diagonal wait for all of the previous one.
+func NewSWWavefrontBarrier(tiles int) *CSR {
+	if tiles < 1 {
+		panic(fmt.Sprintf("dag: tiles = %d", tiles))
+	}
+	b := &builder{}
+	prev := int32(-1)
+	for d := 0; d < 2*tiles-1; d++ {
+		lo := 0
+		if d >= tiles {
+			lo = d - tiles + 1
+		}
+		hi := d
+		if hi >= tiles {
+			hi = tiles - 1
+		}
+		join := b.node(KindJoin)
+		for i := lo; i <= hi; i++ {
+			t := b.node(KindSW)
+			b.edge(prev, t)
+			b.edge(t, join)
+		}
+		prev = join
+	}
+	return b.freeze()
+}

@@ -1,0 +1,165 @@
+package dag
+
+import (
+	"fmt"
+
+	"dpflow/internal/gep"
+)
+
+// NewGEPForkJoinR materialises the ordering DAG of the r-way fork-join
+// R-DP execution (internal/gep's ForkJoinR) for a tiles×tiles grid.
+// tiles must be a power of r. With r == tiles the recursion flattens into
+// one level of phase-parallel batches — the closest a fork-join program
+// gets to the data-flow schedule — so sweeping r quantifies how much of
+// the artificial-dependency span the parametric r-way algorithms of the
+// paper's references [15, 16] recover.
+func NewGEPForkJoinR(tiles, r int, shape gep.Shape) *CSR {
+	if r < 2 {
+		panic(fmt.Sprintf("dag: r-way split needs r >= 2, got %d", r))
+	}
+	for s := tiles; s > 1; s /= r {
+		if s%r != 0 {
+			panic(fmt.Sprintf("dag: tiles=%d is not a power of r=%d", tiles, r))
+		}
+	}
+	b := &rwayBuilder{r: r, shape: shape}
+	b.funcA(-1, 0, tiles)
+	return b.freeze()
+}
+
+type rwayBuilder struct {
+	builder
+	r     int
+	shape gep.Shape
+}
+
+func (b *rwayBuilder) leaf(pred int32, k Kind) int32 {
+	n := b.node(k)
+	b.edge(pred, n)
+	return n
+}
+
+func (b *rwayBuilder) joinAll(sinks []int32) int32 {
+	if len(sinks) == 1 {
+		return sinks[0]
+	}
+	j := b.node(KindJoin)
+	for _, s := range sinks {
+		b.edge(s, j)
+	}
+	return j
+}
+
+func (b *rwayBuilder) funcA(pred int32, d, s int) int32 {
+	if s == 1 {
+		return b.leaf(pred, KindA)
+	}
+	r, h := b.r, s/b.r
+	cube := b.shape == gep.Cube
+	cur := pred
+	for k := 0; k < r; k++ {
+		kd := d + k*h
+		cur = b.funcA(cur, kd, h)
+		var batch []int32
+		for x := 0; x < r; x++ {
+			if x == k || (!cube && x < k) {
+				continue
+			}
+			batch = append(batch,
+				b.funcB(cur, kd, d+x*h, h),
+				b.funcC(cur, d+x*h, kd, h))
+		}
+		if len(batch) > 0 {
+			cur = b.joinAll(batch)
+		}
+		batch = batch[:0]
+		for i := 0; i < r; i++ {
+			for j := 0; j < r; j++ {
+				if i == k || j == k || (!cube && (i < k || j < k)) {
+					continue
+				}
+				batch = append(batch, b.funcD(cur, h))
+			}
+		}
+		if len(batch) > 0 {
+			cur = b.joinAll(batch)
+		}
+	}
+	return cur
+}
+
+func (b *rwayBuilder) funcB(pred int32, i0, j0, s int) int32 {
+	if s == 1 {
+		return b.leaf(pred, KindB)
+	}
+	r, h := b.r, s/b.r
+	cube := b.shape == gep.Cube
+	cur := pred
+	for k := 0; k < r; k++ {
+		var batch []int32
+		for j := 0; j < r; j++ {
+			batch = append(batch, b.funcB(cur, i0+k*h, j0+j*h, h))
+		}
+		cur = b.joinAll(batch)
+		batch = batch[:0]
+		for i := 0; i < r; i++ {
+			if i == k || (!cube && i < k) {
+				continue
+			}
+			for j := 0; j < r; j++ {
+				batch = append(batch, b.funcD(cur, h))
+			}
+		}
+		if len(batch) > 0 {
+			cur = b.joinAll(batch)
+		}
+	}
+	return cur
+}
+
+func (b *rwayBuilder) funcC(pred int32, i0, j0, s int) int32 {
+	if s == 1 {
+		return b.leaf(pred, KindC)
+	}
+	r, h := b.r, s/b.r
+	cube := b.shape == gep.Cube
+	cur := pred
+	for k := 0; k < r; k++ {
+		var batch []int32
+		for i := 0; i < r; i++ {
+			batch = append(batch, b.funcC(cur, i0+i*h, j0+k*h, h))
+		}
+		cur = b.joinAll(batch)
+		batch = batch[:0]
+		for j := 0; j < r; j++ {
+			if j == k || (!cube && j < k) {
+				continue
+			}
+			for i := 0; i < r; i++ {
+				batch = append(batch, b.funcD(cur, h))
+			}
+		}
+		if len(batch) > 0 {
+			cur = b.joinAll(batch)
+		}
+	}
+	return cur
+}
+
+// funcD's sub-blocks have no distinguishing coordinates in the DAG — every
+// descendant is a D leaf — so only the size matters.
+func (b *rwayBuilder) funcD(pred int32, s int) int32 {
+	if s == 1 {
+		return b.leaf(pred, KindD)
+	}
+	r, h := b.r, s/b.r
+	cur := pred
+	for k := 0; k < r; k++ {
+		batch := make([]int32, 0, r*r)
+		for i := 0; i < r*r; i++ {
+			batch = append(batch, b.funcD(cur, h))
+		}
+		cur = b.joinAll(batch)
+	}
+	return cur
+}

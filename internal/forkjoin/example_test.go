@@ -1,0 +1,26 @@
+package forkjoin_test
+
+import (
+	"fmt"
+
+	"dpflow/internal/forkjoin"
+)
+
+// The Spawn/Wait pair is the analogue of "#pragma omp task" and
+// "#pragma omp taskwait": Wait blocks until every task spawned on the
+// group has finished — including the artificial dependencies that entails.
+func Example() {
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: 4})
+	defer pool.Close()
+
+	results := make([]int, 4)
+	pool.Run(func(ctx *forkjoin.Ctx) {
+		var g forkjoin.Group
+		for i := range results {
+			ctx.Spawn(&g, func(*forkjoin.Ctx) { results[i] = i * i })
+		}
+		ctx.Wait(&g) // taskwait: all four children are done here
+	})
+	fmt.Println(results)
+	// Output: [0 1 4 9]
+}

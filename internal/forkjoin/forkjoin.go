@@ -1,0 +1,343 @@
+// Package forkjoin implements the fork-join execution model the paper's
+// OpenMP benchmarks use: a fixed pool of workers with per-worker task deques
+// and work stealing, plus task groups whose Wait method is the analogue of
+// "#pragma omp taskwait" (and of cilk_sync).
+//
+// The structural property under study — joins acting as barriers over all
+// spawned children and thereby introducing artificial dependencies — is
+// inherent to the Spawn/Wait API: Wait returns only after every task spawned
+// on the group has finished, even when a continuation depends on just one of
+// them.
+//
+// Scheduling follows the classic child-stealing design: a worker pushes
+// spawned tasks to the bottom of its own deque and pops from the bottom
+// (LIFO, preserving locality), while thieves steal from the top (FIFO,
+// stealing the oldest and typically largest sub-computations). A worker
+// blocked in Wait helps by draining its own deque and stealing, so waiting
+// never idles a worker that could make progress.
+package forkjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of work. The Ctx identifies the worker executing the task
+// and must be used for any nested Spawn or Wait.
+type Task func(*Ctx)
+
+// StealPolicy selects how an idle worker picks victims.
+type StealPolicy int
+
+const (
+	// StealRandom probes victims in (pseudo) random order; the default, as
+	// in Cilk-style runtimes.
+	StealRandom StealPolicy = iota
+	// StealSequential probes victims in round-robin order starting after
+	// the thief; kept as an ablation knob.
+	StealSequential
+)
+
+// Config controls pool construction.
+type Config struct {
+	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Policy selects the steal order; the zero value is StealRandom.
+	Policy StealPolicy
+	// Seed seeds the per-worker steal RNGs so runs are reproducible.
+	Seed int64
+}
+
+// Stats is a snapshot of pool activity counters.
+type Stats struct {
+	Spawned      uint64 // tasks pushed via Spawn or Run
+	Executed     uint64 // tasks completed
+	Steals       uint64 // successful steals
+	FailedProbes uint64 // victim probes that found an empty deque
+	Yields       uint64 // scheduler yields while out of work
+}
+
+// Pool is a fork-join worker pool. Create one with NewPool and release it
+// with Close. A Pool may execute any number of Run calls, one at a time or
+// concurrently.
+type Pool struct {
+	workers []*worker
+	policy  StealPolicy
+
+	done     atomic.Bool
+	sleepers atomic.Int32
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+
+	spawned  atomic.Uint64
+	executed atomic.Uint64
+	steals   atomic.Uint64
+	failed   atomic.Uint64
+	yields   atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+type worker struct {
+	pool *Pool
+	id   int
+	mu   sync.Mutex
+	dq   []Task
+	rng  *rand.Rand
+}
+
+// Ctx is the execution context of a task: the worker it runs on. A Ctx is
+// only valid inside the task invocation that received it.
+type Ctx struct {
+	w *worker
+}
+
+// WorkerID returns the index of the worker executing the current task, in
+// [0, Workers).
+func (c *Ctx) WorkerID() int { return c.w.id }
+
+// Pool returns the pool the current task runs on.
+func (c *Ctx) Pool() *Pool { return c.w.pool }
+
+// NewPool creates and starts a pool.
+func NewPool(cfg Config) *Pool {
+	n := cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{policy: cfg.Policy}
+	p.idleCond = sync.NewCond(&p.idleMu)
+	p.workers = make([]*worker, n)
+	for i := range p.workers {
+		p.workers[i] = &worker{
+			pool: p,
+			id:   i,
+			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1)),
+		}
+	}
+	p.wg.Add(n)
+	for _, w := range p.workers {
+		go w.loop()
+	}
+	return p
+}
+
+// Workers returns the number of workers in the pool.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Stats returns a snapshot of the pool's activity counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Spawned:      p.spawned.Load(),
+		Executed:     p.executed.Load(),
+		Steals:       p.steals.Load(),
+		FailedProbes: p.failed.Load(),
+		Yields:       p.yields.Load(),
+	}
+}
+
+// Close shuts the pool down and waits for the workers to exit. Tasks still
+// queued are abandoned; callers should Close only after their Run calls have
+// returned.
+func (p *Pool) Close() {
+	p.done.Store(true)
+	p.idleMu.Lock()
+	p.idleCond.Broadcast()
+	p.idleMu.Unlock()
+	p.wg.Wait()
+}
+
+// Run injects f as a root task and blocks until f — including every task it
+// transitively spawns and waits for — has returned. It panics with the
+// task's panic value if the computation panicked.
+func (p *Pool) Run(f Task) {
+	if p.done.Load() {
+		panic("forkjoin: Run on closed pool")
+	}
+	done := make(chan any, 1)
+	root := func(ctx *Ctx) {
+		defer func() { done <- recover() }()
+		f(ctx)
+	}
+	p.spawned.Add(1)
+	w := p.workers[0]
+	w.push(root)
+	p.wakeOne()
+	if r := <-done; r != nil {
+		panic(r)
+	}
+}
+
+// Group tracks a set of spawned tasks for a taskwait-style join. The zero
+// value is ready to use. Groups may be reused after Wait returns.
+type Group struct {
+	pending atomic.Int64
+	panicMu sync.Mutex
+	panics  []any
+}
+
+// Spawn pushes f onto the current worker's deque as a child task of g.
+// It is the analogue of "#pragma omp task".
+func (c *Ctx) Spawn(g *Group, f Task) {
+	g.pending.Add(1)
+	w := c.w
+	w.pool.spawned.Add(1)
+	w.push(func(ctx *Ctx) {
+		defer func() {
+			if r := recover(); r != nil {
+				g.panicMu.Lock()
+				g.panics = append(g.panics, r)
+				g.panicMu.Unlock()
+			}
+			g.pending.Add(-1)
+		}()
+		f(ctx)
+	})
+	if w.pool.sleepers.Load() > 0 {
+		w.pool.wakeOne()
+	}
+}
+
+// Wait blocks until every task spawned on g has completed — the analogue of
+// "#pragma omp taskwait". While waiting, the current worker executes pending
+// tasks (its own first, then stolen ones), so Wait never wastes the worker.
+// If any child panicked, Wait re-panics with the first recorded value.
+func (c *Ctx) Wait(g *Group) {
+	w := c.w
+	for g.pending.Load() > 0 {
+		if t := w.pop(); t != nil {
+			w.execute(t)
+			continue
+		}
+		if t := w.steal(); t != nil {
+			w.execute(t)
+			continue
+		}
+		w.pool.yields.Add(1)
+		runtime.Gosched()
+	}
+	g.panicMu.Lock()
+	defer g.panicMu.Unlock()
+	if len(g.panics) > 0 {
+		r := g.panics[0]
+		g.panics = nil
+		panic(fmt.Sprintf("forkjoin: child task panicked: %v", r))
+	}
+}
+
+func (w *worker) push(t Task) {
+	w.mu.Lock()
+	w.dq = append(w.dq, t)
+	w.mu.Unlock()
+}
+
+// pop removes the newest task (bottom of the deque): owner-side LIFO.
+func (w *worker) pop() Task {
+	w.mu.Lock()
+	n := len(w.dq)
+	if n == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	t := w.dq[n-1]
+	w.dq[n-1] = nil
+	w.dq = w.dq[:n-1]
+	w.mu.Unlock()
+	return t
+}
+
+// stealFrom removes the oldest task (top of the deque): thief-side FIFO.
+func (w *worker) stealFrom() Task {
+	w.mu.Lock()
+	if len(w.dq) == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	t := w.dq[0]
+	w.dq[0] = nil
+	w.dq = w.dq[1:]
+	w.mu.Unlock()
+	return t
+}
+
+// steal probes the other workers once each, in policy order, and returns a
+// stolen task or nil.
+func (w *worker) steal() Task {
+	p := w.pool
+	n := len(p.workers)
+	if n == 1 {
+		return nil
+	}
+	start := 0
+	switch p.policy {
+	case StealRandom:
+		start = w.rng.Intn(n)
+	case StealSequential:
+		start = w.id + 1
+	}
+	for i := 0; i < n; i++ {
+		v := p.workers[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if t := v.stealFrom(); t != nil {
+			p.steals.Add(1)
+			return t
+		}
+		p.failed.Add(1)
+	}
+	return nil
+}
+
+func (w *worker) execute(t Task) {
+	t(&Ctx{w})
+	w.pool.executed.Add(1)
+}
+
+func (w *worker) loop() {
+	defer w.pool.wg.Done()
+	p := w.pool
+	for {
+		if t := w.pop(); t != nil {
+			w.execute(t)
+			continue
+		}
+		if t := w.steal(); t != nil {
+			w.execute(t)
+			continue
+		}
+		if p.done.Load() {
+			return
+		}
+		// Nothing to do: park until a Spawn or Close wakes us. The re-check
+		// under the lock closes the lost-wakeup window.
+		p.idleMu.Lock()
+		p.sleepers.Add(1)
+		if !p.anyWork() && !p.done.Load() {
+			p.idleCond.Wait()
+		}
+		p.sleepers.Add(-1)
+		p.idleMu.Unlock()
+	}
+}
+
+func (p *Pool) anyWork() bool {
+	for _, w := range p.workers {
+		w.mu.Lock()
+		n := len(w.dq)
+		w.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pool) wakeOne() {
+	p.idleMu.Lock()
+	p.idleCond.Signal()
+	p.idleMu.Unlock()
+}

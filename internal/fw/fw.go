@@ -1,0 +1,50 @@
+// Package fw implements the paper's third benchmark: Floyd-Warshall
+// all-pairs shortest path. It instantiates the GEP recursion of
+// internal/gep with the min-plus kernel over the full cubic update set
+// (every tile updates at every elimination step, unlike GE's triangular
+// set), which yields the classic blocked FW phase structure: diagonal tile,
+// then pivot row and column, then the rest.
+package fw
+
+import (
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/gep"
+	"dpflow/internal/kernels"
+	"dpflow/internal/matrix"
+)
+
+// Infinity is the distance used for absent edges. It is large enough to
+// dominate any real path yet small enough that sums of two infinities do
+// not overflow float64 precision (so min-plus arithmetic stays exact for
+// integer edge weights).
+const Infinity = 1 << 30
+
+// Algorithm is the GEP instantiation for FW: the min-plus kernel over the
+// full cubic update set.
+var Algorithm = gep.Algorithm{Kernel: kernels.FW, Shape: gep.Cube}
+
+// Serial runs the classic triply nested Floyd-Warshall loop.
+func Serial(x *matrix.Dense) { kernels.FWSerial(x) }
+
+// RDPSerial runs the 2-way recursive divide-and-conquer FW serially.
+func RDPSerial(x *matrix.Dense, base int) error { return Algorithm.RDPSerial(x, base) }
+
+// ForkJoin runs the fork-join (OpenMP-tasking style) R-DP FW on pool.
+func ForkJoin(x *matrix.Dense, base int, pool *forkjoin.Pool) error {
+	return Algorithm.ForkJoin(x, base, pool)
+}
+
+// RunCnC runs the data-flow R-DP FW in the given CnC variant.
+func RunCnC(x *matrix.Dense, base, workers int, v core.Variant) (gep.CnCStats, error) {
+	return Algorithm.RunCnC(x, base, workers, v)
+}
+
+// Run dispatches any variant. SerialLoop ignores base, workers and pool.
+func Run(v core.Variant, x *matrix.Dense, base, workers int, pool *forkjoin.Pool) (gep.CnCStats, error) {
+	if v == core.SerialLoop {
+		Serial(x)
+		return gep.CnCStats{}, nil
+	}
+	return Algorithm.Run(v, x, base, workers, pool)
+}

@@ -1,0 +1,102 @@
+package fw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/graphgen"
+	"dpflow/internal/matrix"
+)
+
+func randomGraph(n int, seed int64) *matrix.Dense {
+	return graphgen.Random(graphgen.Config{N: n, Density: 0.35, MaxWeight: 9, Infinity: Infinity},
+		rand.New(rand.NewSource(seed)))
+}
+
+func TestAllVariantsAgree(t *testing.T) {
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: 3})
+	defer pool.Close()
+	orig := randomGraph(64, 2)
+	ref := orig.Clone()
+	Serial(ref)
+
+	variants := []core.Variant{core.SerialLoop, core.SerialRDP, core.OMPTasking,
+		core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC}
+	for _, v := range variants {
+		x := orig.Clone()
+		if _, err := Run(v, x, 8, 3, pool); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !matrix.Equal(x, ref) {
+			t.Fatalf("%v disagrees with serial (maxdiff %g)", v, matrix.MaxAbsDiff(x, ref))
+		}
+	}
+}
+
+// The ring graph has a closed-form APSP solution: check every variant
+// against the oracle, not just against each other.
+func TestRingOracle(t *testing.T) {
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: 2})
+	defer pool.Close()
+	const n = 32
+	for _, v := range []core.Variant{core.SerialLoop, core.OMPTasking, core.NativeCnC, core.ManualCnC} {
+		d := graphgen.Ring(n, Infinity)
+		if _, err := Run(v, d, 4, 2, pool); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if want := graphgen.RingDistance(n, i, j); d.At(i, j) != want {
+					t.Fatalf("%v: dist(%d,%d) = %v, want %v", v, i, j, d.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+// Property: CnC FW output satisfies the triangle inequality and matches the
+// serial loop, for random graphs, sizes, densities and base sizes.
+func TestFWProperty(t *testing.T) {
+	f := func(seed int64, baseExp uint8) bool {
+		n := 16
+		base := 1 << (baseExp % 5) // 1..16
+		d := randomGraph(n, seed)
+		ref := d.Clone()
+		Serial(ref)
+		if _, err := RunCnC(d, base, 3, core.TunerCnC); err != nil {
+			return false
+		}
+		if !matrix.Equal(d, ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					if d.At(i, j) > d.At(i, k)+d.At(k, j) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseGraphAllFinite(t *testing.T) {
+	d := graphgen.Random(graphgen.Config{N: 16, Density: 1, MaxWeight: 5, Infinity: Infinity},
+		rand.New(rand.NewSource(4)))
+	Serial(d)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if d.At(i, j) >= Infinity {
+				t.Fatalf("complete graph left dist(%d,%d) infinite", i, j)
+			}
+		}
+	}
+}

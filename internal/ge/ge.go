@@ -1,0 +1,93 @@
+// Package ge is the paper's running example: Gaussian Elimination without
+// pivoting (§III). It instantiates the GEP recursion of internal/gep with
+// the GE kernel and the triangular update set, and adds the linear-system
+// utilities the examples use.
+//
+// GE without pivoting is numerically meaningful for symmetric positive-
+// definite or diagonally dominant matrices; the generators here produce the
+// latter. Following the paper's convention, a system of n-1 equations in
+// n-1 unknowns is represented as an n×n matrix whose last column is the
+// right-hand side.
+package ge
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/gep"
+	"dpflow/internal/kernels"
+	"dpflow/internal/matrix"
+)
+
+// Algorithm is the GEP instantiation for GE: the elimination kernel over the
+// triangular update set Σ_GE = {(i,j,k): i > k, j > k}.
+var Algorithm = gep.Algorithm{Kernel: kernels.GE, Shape: gep.Triangular}
+
+// Serial runs the loop-based serial implementation (Listing 2).
+func Serial(x *matrix.Dense) { kernels.GESerial(x) }
+
+// RDPSerial runs the 2-way recursive divide-and-conquer GE serially.
+func RDPSerial(x *matrix.Dense, base int) error { return Algorithm.RDPSerial(x, base) }
+
+// ForkJoin runs the fork-join (OpenMP-tasking style) R-DP GE on pool.
+func ForkJoin(x *matrix.Dense, base int, pool *forkjoin.Pool) error {
+	return Algorithm.ForkJoin(x, base, pool)
+}
+
+// RunCnC runs the data-flow R-DP GE in the given CnC variant.
+func RunCnC(x *matrix.Dense, base, workers int, v core.Variant) (gep.CnCStats, error) {
+	return Algorithm.RunCnC(x, base, workers, v)
+}
+
+// Run dispatches any variant. SerialLoop ignores base, workers and pool.
+func Run(v core.Variant, x *matrix.Dense, base, workers int, pool *forkjoin.Pool) (gep.CnCStats, error) {
+	if v == core.SerialLoop {
+		Serial(x)
+		return gep.CnCStats{}, nil
+	}
+	return Algorithm.Run(v, x, base, workers, pool)
+}
+
+// NewSystem builds a random diagonally dominant n×n augmented system whose
+// last column is A·x for a random solution x, and returns the matrix and
+// the exact solution (of length n-1).
+func NewSystem(n int, rng *rand.Rand) (*matrix.Dense, []float64) {
+	a := matrix.NewSquare(n)
+	a.FillDiagonallyDominant(rng)
+	x := make([]float64, n-1)
+	for i := range x {
+		x[i] = -1 + 2*rng.Float64()
+	}
+	for i := 0; i < n-1; i++ {
+		sum := 0.0
+		for j := 0; j < n-1; j++ {
+			sum += a.At(i, j) * x[j]
+		}
+		a.Set(i, n-1, sum)
+	}
+	return a, x
+}
+
+// BackSubstitute solves the upper-triangularised augmented system produced
+// by any of the GE drivers, returning the n-1 unknowns.
+func BackSubstitute(a *matrix.Dense) ([]float64, error) {
+	n := a.Rows()
+	if n < 2 || n != a.Cols() {
+		return nil, fmt.Errorf("ge: augmented system must be square with n >= 2, got %dx%d", n, a.Cols())
+	}
+	x := make([]float64, n-1)
+	for i := n - 2; i >= 0; i-- {
+		sum := a.At(i, n-1)
+		for j := i + 1; j < n-1; j++ {
+			sum -= a.At(i, j) * x[j]
+		}
+		p := a.At(i, i)
+		if p == 0 {
+			return nil, fmt.Errorf("ge: zero pivot at row %d (matrix not diagonally dominant?)", i)
+		}
+		x[i] = sum / p
+	}
+	return x, nil
+}

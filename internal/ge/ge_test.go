@@ -1,0 +1,117 @@
+package ge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/matrix"
+)
+
+func TestAllVariantsAgree(t *testing.T) {
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: 3})
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(1))
+	orig := matrix.NewSquare(64)
+	orig.FillDiagonallyDominant(rng)
+
+	ref := orig.Clone()
+	Serial(ref)
+
+	variants := []core.Variant{core.SerialLoop, core.SerialRDP, core.OMPTasking,
+		core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC}
+	for _, v := range variants {
+		x := orig.Clone()
+		if _, err := Run(v, x, 8, 3, pool); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !matrix.Equal(x, ref) {
+			t.Fatalf("%v disagrees with serial (maxdiff %g)", v, matrix.MaxAbsDiff(x, ref))
+		}
+	}
+}
+
+// End-to-end: every variant must actually solve linear systems.
+func TestSolveSystemAllVariants(t *testing.T) {
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: 2})
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(7))
+	for _, v := range []core.Variant{core.SerialLoop, core.SerialRDP, core.OMPTasking, core.NativeCnC, core.TunerCnC, core.ManualCnC} {
+		a, want := NewSystem(32, rng)
+		if _, err := Run(v, a, 4, 2, pool); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		got, err := BackSubstitute(a)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("%v: x[%d] = %v, want %v", v, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Property: for random diagonally dominant systems of random power-of-two
+// sizes and random base sizes, the CnC solution solves the system.
+func TestSolveProperty(t *testing.T) {
+	f := func(seed int64, sizeExp, baseExp uint8) bool {
+		n := 8 << (sizeExp % 3)               // 8, 16, 32
+		base := 1 << (baseExp % 4)            // 1, 2, 4, 8
+		rng := rand.New(rand.NewSource(seed)) // deterministic per case
+		a, want := NewSystem(n, rng)
+		if _, err := RunCnC(a, base, 2, core.NativeCnC); err != nil {
+			return false
+		}
+		got, err := BackSubstitute(a)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackSubstituteErrors(t *testing.T) {
+	if _, err := BackSubstitute(matrix.New(3, 4)); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := BackSubstitute(matrix.New(1, 1)); err == nil {
+		t.Error("too-small system accepted")
+	}
+	z := matrix.NewSquare(3) // zero pivots
+	if _, err := BackSubstitute(z); err == nil {
+		t.Error("zero pivot not reported")
+	}
+}
+
+// The CnC determinism guarantee: identical DP tables for any worker count.
+func TestCnCDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := matrix.NewSquare(32)
+	orig.FillDiagonallyDominant(rng)
+	ref := orig.Clone()
+	if _, err := RunCnC(ref, 4, 1, core.NativeCnC); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		x := orig.Clone()
+		if _, err := RunCnC(x, 4, workers, core.NativeCnC); err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Equal(x, ref) {
+			t.Fatalf("workers=%d: nondeterministic result", workers)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package gep
+
+import (
+	"fmt"
+
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/matrix"
+)
+
+// Tag identifies a block instance of one of the recursive functions, as in
+// the paper's Listing 4: CollectionT = <<I,J>,<K,b>>. I, J, K are block
+// coordinates in units of S; the block covers rows [I*S, (I+1)*S), columns
+// [J*S, (J+1)*S), elimination steps [K*S, (K+1)*S).
+type Tag struct {
+	I, J, K int
+	S       int
+}
+
+// String renders a tag like the paper's <<I,J>,<K,b>> notation.
+func (t Tag) String() string {
+	return fmt.Sprintf("<<%d,%d>,<%d,%d>>", t.I, t.J, t.K, t.S)
+}
+
+// ItemKey identifies a completed base-case update: tile (I, J) finished its
+// elimination step K, at base-tile granularity (the paper's
+// <<I,J>,<K,b>> -> bool items with b fixed at the base size).
+type ItemKey struct {
+	I, J, K int
+}
+
+// Func identifies one of the four recursive functions.
+type Func int
+
+// The four functions of Figure 2.
+const (
+	FuncA Func = iota
+	FuncB
+	FuncC
+	FuncD
+)
+
+// String returns the paper's function name.
+func (f Func) String() string { return [...]string{"funcA", "funcB", "funcC", "funcD"}[f] }
+
+// Classify returns which function owns the base task updating tile (i, j)
+// at elimination step k: A on the diagonal, B in the pivot row, C in the
+// pivot column, D elsewhere.
+func Classify(i, j, k int) Func {
+	switch {
+	case i == k && j == k:
+		return FuncA
+	case i == k:
+		return FuncB
+	case j == k:
+		return FuncC
+	default:
+		return FuncD
+	}
+}
+
+// CnCStats couples the runtime counters with the task census of a CnC run.
+type CnCStats struct {
+	cnc.Stats
+	BaseTasks int // base-case step instances (tile updates) executed
+}
+
+// RunCnC executes the data-flow R-DP program on x: four step collections
+// (funcA..funcD), four tag collections prescribing them, and four item
+// collections used purely for fine-grained synchronisation, as in Listings
+// 4 and 5. The variant selects Native (speculative blocking gets), Tuner
+// (pre-scheduling tuner), Manual (eager full expansion with pre-declared
+// dependencies) or NonBlocking (poll and re-put own tag).
+func (alg Algorithm) RunCnC(x *matrix.Dense, base, workers int, variant core.Variant) (CnCStats, error) {
+	if err := validate(x, base); err != nil {
+		return CnCStats{}, err
+	}
+	n := x.Rows()
+	bs := BaseSize(n, base)
+
+	g := cnc.NewGraph("gep-"+variant.String(), workers)
+	d := &dataflow{
+		g:       g,
+		x:       x,
+		base:    base,
+		bs:      bs,
+		tiles:   n / bs,
+		variant: variant,
+		alg:     alg,
+	}
+	d.build()
+
+	err := g.Run(func() {
+		if variant == core.ManualCnC {
+			d.expandAll()
+			return
+		}
+		d.tags[FuncA].Put(Tag{0, 0, 0, n})
+	})
+	stats := CnCStats{Stats: g.Stats()}
+	for _, ic := range d.out {
+		stats.BaseTasks += ic.Len()
+	}
+	return stats, err
+}
+
+// NewCnCGraph builds the CnC program's static structure — the four step,
+// tag and item collections and their prescribe/produce/consume
+// relationships of Listing 4 — without running it, for description and
+// visualisation (cmd/cncgraph).
+func (alg Algorithm) NewCnCGraph(name string, variant core.Variant) *cnc.Graph {
+	g := cnc.NewGraph(name, 1)
+	d := &dataflow{g: g, variant: variant, alg: alg, base: 1, bs: 1, tiles: 1}
+	d.build()
+	return g
+}
+
+// dataflow holds the GEContext of Listing 4: the DP table, the problem
+// parameters and the collections.
+type dataflow struct {
+	g       *cnc.Graph
+	x       *matrix.Dense
+	base    int
+	bs      int // base tile side
+	tiles   int // tiles per matrix side
+	variant core.Variant
+	alg     Algorithm
+
+	tags [4]*cnc.TagCollection[Tag]
+	out  [4]*cnc.ItemCollection[ItemKey, bool]
+}
+
+func (d *dataflow) build() {
+	g := d.g
+	var steps [4]*cnc.StepCollection[Tag]
+	bodies := [4]cnc.StepFunc[Tag]{d.executeA, d.executeB, d.executeC, d.executeD}
+	for f := FuncA; f <= FuncD; f++ {
+		d.out[f] = cnc.NewItemCollection[ItemKey, bool](g, f.String()+"_outputs")
+		d.tags[f] = cnc.NewTagCollection[Tag](g, f.String()+"_tags", false)
+		steps[f] = cnc.NewStepCollection(g, f.String(), bodies[f])
+	}
+
+	// Declarative graph structure (Listing 4's produces/consumes).
+	steps[FuncA].Produces(d.out[FuncA]).Consumes(d.out[FuncD])
+	steps[FuncB].Produces(d.out[FuncB]).Consumes(d.out[FuncA]).Consumes(d.out[FuncD])
+	steps[FuncC].Produces(d.out[FuncC]).Consumes(d.out[FuncA]).Consumes(d.out[FuncD])
+	steps[FuncD].Produces(d.out[FuncD]).Consumes(d.out[FuncA]).
+		Consumes(d.out[FuncB]).Consumes(d.out[FuncC]).Consumes(d.out[FuncD])
+
+	switch d.variant {
+	case core.TunerCnC:
+		for f := FuncA; f <= FuncD; f++ {
+			steps[f].WithDeps(cnc.TunedPrescheduled, d.depsFor(f))
+		}
+	case core.ManualCnC:
+		for f := FuncA; f <= FuncD; f++ {
+			steps[f].WithDeps(cnc.TunedTriggered, d.depsFor(f))
+		}
+	}
+
+	for f := FuncA; f <= FuncD; f++ {
+		d.tags[f].Prescribe(steps[f])
+	}
+}
+
+// expandAll instantiates every base-case task directly — the paper's
+// "manually pre-scheduled" program: all dependencies are declared before any
+// update executes, so the scheduler triggers tasks as items become
+// available. The cost is instantiating the whole task graph up front.
+func (d *dataflow) expandAll() {
+	t := d.tiles
+	for k := 0; k < t; k++ {
+		lo := 0
+		if d.alg.Shape == Triangular {
+			lo = k // tiles with i < k or j < k are no-ops under Σ_GE
+		}
+		for i := lo; i < t; i++ {
+			for j := lo; j < t; j++ {
+				f := Classify(i, j, k)
+				d.tags[f].Put(Tag{i, j, k, d.bs})
+			}
+		}
+	}
+}
+
+// depsFor returns the pre-declared dependency function of one step
+// collection for the tuned variants. Recursive (non-base) tags have no
+// dependencies; base tags declare exactly what their blocking Gets would
+// fetch.
+func (d *dataflow) depsFor(f Func) func(Tag) []cnc.Dep {
+	return func(t Tag) []cnc.Dep {
+		if t.S > d.base {
+			return nil
+		}
+		var deps []cnc.Dep
+		if f == FuncB || f == FuncC || f == FuncD {
+			deps = append(deps, d.out[FuncA].Key(ItemKey{t.K, t.K, t.K}))
+		}
+		if f == FuncD {
+			deps = append(deps,
+				d.out[FuncB].Key(ItemKey{t.K, t.J, t.K}),
+				d.out[FuncC].Key(ItemKey{t.I, t.K, t.K}))
+		}
+		if t.K > 0 {
+			prev := Classify(t.I, t.J, t.K-1)
+			deps = append(deps, d.out[prev].Key(ItemKey{t.I, t.J, t.K - 1}))
+		}
+		d.antiDeps(t, func(fn Func, k ItemKey) bool {
+			deps = append(deps, d.out[fn].Key(k))
+			return true
+		})
+		return deps
+	}
+}
+
+// await enforces one read-write or write-write dependency according to the
+// variant's synchronisation style. It returns false when the dependency is
+// unsatisfied and the step must retry (non-blocking variant only).
+func (d *dataflow) await(f Func, key ItemKey) bool {
+	if d.variant == core.NonBlockingCnC {
+		_, ok := d.out[f].TryGet(key)
+		return ok
+	}
+	d.out[f].Get(key) // blocking get: aborts and requeues the step when missing
+	return true
+}
+
+// awaitPrev enforces the write-write dependency on the previous elimination
+// step of the same tile.
+func (d *dataflow) awaitPrev(t Tag) bool {
+	if t.K == 0 {
+		return true
+	}
+	return d.await(Classify(t.I, t.J, t.K-1), ItemKey{t.I, t.J, t.K - 1})
+}
+
+// antiDeps enumerates the write-after-read dependencies a base task must
+// honour under the Cube shape. GE never needs these: its pivot row/column
+// tiles are final after their own phase. FW keeps updating every tile, so
+// a task overwriting a tile that served as pivot row/column/diagonal in
+// phase K−1 must wait until every phase-K−1 reader of that tile has
+// finished — a hazard the flag-based dependency scheme of the paper's
+// Listing 5 does not cover (it surfaces as a data race the moment two
+// workers run FW concurrently; caught by this repository's race tests).
+// The readers' own output items serve as the receipts.
+func (d *dataflow) antiDeps(t Tag, f func(Func, ItemKey) bool) bool {
+	if d.alg.Shape != Cube || t.K == 0 {
+		return true
+	}
+	p := t.K - 1
+	switch {
+	case t.I == p && t.J == p:
+		// The old diagonal tile was read by every B and C of phase p.
+		for x := 0; x < d.tiles; x++ {
+			if x == p {
+				continue
+			}
+			if !f(FuncB, ItemKey{p, x, p}) || !f(FuncC, ItemKey{x, p, p}) {
+				return false
+			}
+		}
+	case t.I == p:
+		// The old pivot-row tile (p, J) was read by D(x, J, p) for x != p.
+		for x := 0; x < d.tiles; x++ {
+			if x == p {
+				continue
+			}
+			if !f(FuncD, ItemKey{x, t.J, p}) {
+				return false
+			}
+		}
+	case t.J == p:
+		// The old pivot-column tile (I, p) was read by D(I, x, p), x != p.
+		for x := 0; x < d.tiles; x++ {
+			if x == p {
+				continue
+			}
+			if !f(FuncD, ItemKey{t.I, x, p}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// awaitAnti blocks on the anti-dependencies (variant-appropriately).
+func (d *dataflow) awaitAnti(t Tag) bool {
+	return d.antiDeps(t, func(fn Func, k ItemKey) bool { return d.await(fn, k) })
+}
+
+// finish runs the kernel for a base tag and publishes its output item.
+func (d *dataflow) finish(f Func, t Tag) {
+	d.alg.Kernel(d.x, t.I*t.S, t.J*t.S, t.K*t.S, t.S)
+	d.out[f].Put(ItemKey{t.I, t.J, t.K}, true)
+}
+
+func (d *dataflow) executeA(t Tag) error {
+	if t.S > d.base {
+		h := t.S / 2
+		i := 2 * t.I
+		d.tags[FuncA].Put(Tag{i, i, i, h})
+		d.tags[FuncB].Put(Tag{i, i + 1, i, h})
+		d.tags[FuncC].Put(Tag{i + 1, i, i, h})
+		d.tags[FuncD].Put(Tag{i + 1, i + 1, i, h})
+		d.tags[FuncA].Put(Tag{i + 1, i + 1, i + 1, h})
+		if d.alg.Shape == Cube {
+			d.tags[FuncB].Put(Tag{i + 1, i, i + 1, h})
+			d.tags[FuncC].Put(Tag{i, i + 1, i + 1, h})
+			d.tags[FuncD].Put(Tag{i, i, i + 1, h})
+		}
+		return nil
+	}
+	if !d.awaitPrev(t) || !d.awaitAnti(t) {
+		d.tags[FuncA].Put(t)
+		return nil
+	}
+	d.finish(FuncA, t)
+	return nil
+}
+
+func (d *dataflow) executeB(t Tag) error {
+	if t.S > d.base {
+		h := t.S / 2
+		i, j, k := 2*t.I, 2*t.J, 2*t.K
+		d.tags[FuncB].Put(Tag{i, j, k, h})
+		d.tags[FuncB].Put(Tag{i, j + 1, k, h})
+		d.tags[FuncD].Put(Tag{i + 1, j, k, h})
+		d.tags[FuncD].Put(Tag{i + 1, j + 1, k, h})
+		d.tags[FuncB].Put(Tag{i + 1, j, k + 1, h})
+		d.tags[FuncB].Put(Tag{i + 1, j + 1, k + 1, h})
+		if d.alg.Shape == Cube {
+			d.tags[FuncD].Put(Tag{i, j, k + 1, h})
+			d.tags[FuncD].Put(Tag{i, j + 1, k + 1, h})
+		}
+		return nil
+	}
+	if !d.await(FuncA, ItemKey{t.K, t.K, t.K}) || !d.awaitPrev(t) || !d.awaitAnti(t) {
+		d.tags[FuncB].Put(t)
+		return nil
+	}
+	d.finish(FuncB, t)
+	return nil
+}
+
+func (d *dataflow) executeC(t Tag) error {
+	if t.S > d.base {
+		h := t.S / 2
+		i, j, k := 2*t.I, 2*t.J, 2*t.K
+		d.tags[FuncC].Put(Tag{i, j, k, h})
+		d.tags[FuncC].Put(Tag{i + 1, j, k, h})
+		d.tags[FuncD].Put(Tag{i, j + 1, k, h})
+		d.tags[FuncD].Put(Tag{i + 1, j + 1, k, h})
+		d.tags[FuncC].Put(Tag{i, j + 1, k + 1, h})
+		d.tags[FuncC].Put(Tag{i + 1, j + 1, k + 1, h})
+		if d.alg.Shape == Cube {
+			d.tags[FuncD].Put(Tag{i, j, k + 1, h})
+			d.tags[FuncD].Put(Tag{i + 1, j, k + 1, h})
+		}
+		return nil
+	}
+	if !d.await(FuncA, ItemKey{t.K, t.K, t.K}) || !d.awaitPrev(t) || !d.awaitAnti(t) {
+		d.tags[FuncC].Put(t)
+		return nil
+	}
+	d.finish(FuncC, t)
+	return nil
+}
+
+// executeD is the paper's Listing 5, in structure: the write-write
+// dependency on the previous elimination step of the same tile, the three
+// read-write dependencies on the A, B and C outputs, then the kernel and
+// the output put; the recursive part puts the eight child tags.
+func (d *dataflow) executeD(t Tag) error {
+	if t.S > d.base {
+		h := t.S / 2
+		for kk := 0; kk < 2; kk++ {
+			for ii := 0; ii < 2; ii++ {
+				for jj := 0; jj < 2; jj++ {
+					d.tags[FuncD].Put(Tag{2*t.I + ii, 2*t.J + jj, 2*t.K + kk, h})
+				}
+			}
+		}
+		return nil
+	}
+	ok := d.awaitPrev(t) &&
+		d.await(FuncA, ItemKey{t.K, t.K, t.K}) &&
+		d.await(FuncB, ItemKey{t.K, t.J, t.K}) &&
+		d.await(FuncC, ItemKey{t.I, t.K, t.K}) &&
+		d.awaitAnti(t)
+	if !ok {
+		d.tags[FuncD].Put(t)
+		return nil
+	}
+	d.finish(FuncD, t)
+	return nil
+}
+
+// TaskCount returns the number of base-case tasks of each function for a
+// tiles×tiles grid under the given shape — the recursive algorithm's task
+// census, also used by the analytical model.
+func TaskCount(tiles int, shape Shape) (a, b, c, dd int) {
+	a = tiles
+	if shape == Cube {
+		b = tiles * (tiles - 1)
+		c = tiles * (tiles - 1)
+		dd = tiles * (tiles - 1) * (tiles - 1)
+		return a, b, c, dd
+	}
+	for k := 0; k < tiles; k++ {
+		b += tiles - 1 - k
+		c += tiles - 1 - k
+		dd += (tiles - 1 - k) * (tiles - 1 - k)
+	}
+	return a, b, c, dd
+}

@@ -1,0 +1,270 @@
+package gep
+
+import (
+	"fmt"
+
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/matrix"
+)
+
+// This file implements the parametric r-way recursive divide-and-conquer
+// generalisation of the GEP recursion (Javanmard et al., the paper's
+// references [15, 16]): each level splits the block into r×r sub-blocks
+// instead of 2×2. Larger r exposes more parallelism per join — as r
+// approaches the tile count the algorithm degenerates into the flat tiled
+// wavefront and the fork-join artificial-dependency penalty vanishes —
+// at the price of losing cache obliviousness. The r-way fork-join span
+// is the object of the rway experiment (cmd/dpbench -exp rway).
+
+// BaseSizeR returns the block size the r-way recursion bottoms out at:
+// divide n by r while the result stays divisible and above base.
+func BaseSizeR(n, base, r int) int {
+	s := n
+	for s > base && s%r == 0 && s/r >= 1 {
+		s /= r
+	}
+	return s
+}
+
+func validateR(x *matrix.Dense, base, r int) error {
+	if err := validate(x, base); err != nil {
+		return err
+	}
+	if r < 2 {
+		return fmt.Errorf("gep: r-way split needs r >= 2, got %d", r)
+	}
+	return nil
+}
+
+// RDPSerialR runs the r-way recursion serially.
+func (alg Algorithm) RDPSerialR(x *matrix.Dense, base, r int) error {
+	if err := validateR(x, base, r); err != nil {
+		return err
+	}
+	rec := rwayRec{x: x, base: base, r: r, alg: alg}
+	rec.funcA(0, x.Rows())
+	return nil
+}
+
+type rwayRec struct {
+	x    *matrix.Dense
+	base int
+	r    int
+	alg  Algorithm
+}
+
+// stop reports whether the recursion bottoms out at block size s.
+func (rc *rwayRec) stop(s int) bool { return s <= rc.base || s%rc.r != 0 }
+
+func (rc *rwayRec) funcA(d, s int) {
+	if rc.stop(s) {
+		rc.alg.Kernel(rc.x, d, d, d, s)
+		return
+	}
+	r, h := rc.r, s/rc.r
+	cube := rc.alg.Shape == Cube
+	for k := 0; k < r; k++ {
+		kd := d + k*h
+		rc.funcA(kd, h)
+		for x := 0; x < r; x++ {
+			if x == k || (!cube && x < k) {
+				continue
+			}
+			rc.funcB(kd, d+x*h, kd, h)
+			rc.funcC(d+x*h, kd, kd, h)
+		}
+		for i := 0; i < r; i++ {
+			for j := 0; j < r; j++ {
+				if i == k || j == k || (!cube && (i < k || j < k)) {
+					continue
+				}
+				rc.funcD(d+i*h, d+j*h, kd, h)
+			}
+		}
+	}
+}
+
+func (rc *rwayRec) funcB(i0, j0, k0, s int) {
+	if rc.stop(s) {
+		rc.alg.Kernel(rc.x, i0, j0, k0, s)
+		return
+	}
+	r, h := rc.r, s/rc.r
+	cube := rc.alg.Shape == Cube
+	for k := 0; k < r; k++ {
+		for j := 0; j < r; j++ {
+			rc.funcB(i0+k*h, j0+j*h, k0+k*h, h)
+		}
+		for i := 0; i < r; i++ {
+			if i == k || (!cube && i < k) {
+				continue
+			}
+			for j := 0; j < r; j++ {
+				rc.funcD(i0+i*h, j0+j*h, k0+k*h, h)
+			}
+		}
+	}
+}
+
+func (rc *rwayRec) funcC(i0, j0, k0, s int) {
+	if rc.stop(s) {
+		rc.alg.Kernel(rc.x, i0, j0, k0, s)
+		return
+	}
+	r, h := rc.r, s/rc.r
+	cube := rc.alg.Shape == Cube
+	for k := 0; k < r; k++ {
+		for i := 0; i < r; i++ {
+			rc.funcC(i0+i*h, j0+k*h, k0+k*h, h)
+		}
+		for j := 0; j < r; j++ {
+			if j == k || (!cube && j < k) {
+				continue
+			}
+			for i := 0; i < r; i++ {
+				rc.funcD(i0+i*h, j0+j*h, k0+k*h, h)
+			}
+		}
+	}
+}
+
+func (rc *rwayRec) funcD(i0, j0, k0, s int) {
+	if rc.stop(s) {
+		rc.alg.Kernel(rc.x, i0, j0, k0, s)
+		return
+	}
+	r, h := rc.r, s/rc.r
+	for k := 0; k < r; k++ {
+		for i := 0; i < r; i++ {
+			for j := 0; j < r; j++ {
+				rc.funcD(i0+i*h, j0+j*h, k0+k*h, h)
+			}
+		}
+	}
+}
+
+// ForkJoinR runs the r-way recursion on the fork-join pool: within each
+// phase, the B/C batch and the D batch are parallel stages joined by
+// taskwait, mirroring the 2-way driver's structure at arity r.
+func (alg Algorithm) ForkJoinR(x *matrix.Dense, base, r int, p *forkjoin.Pool) error {
+	if err := validateR(x, base, r); err != nil {
+		return err
+	}
+	rec := rwayFJ{x: x, base: base, r: r, alg: alg}
+	p.Run(func(ctx *forkjoin.Ctx) { rec.funcA(ctx, 0, x.Rows()) })
+	return nil
+}
+
+type rwayFJ struct {
+	x    *matrix.Dense
+	base int
+	r    int
+	alg  Algorithm
+}
+
+func (rc *rwayFJ) stop(s int) bool { return s <= rc.base || s%rc.r != 0 }
+
+func (rc *rwayFJ) funcA(ctx *forkjoin.Ctx, d, s int) {
+	if rc.stop(s) {
+		rc.alg.Kernel(rc.x, d, d, d, s)
+		return
+	}
+	r, h := rc.r, s/rc.r
+	cube := rc.alg.Shape == Cube
+	var g forkjoin.Group
+	for k := 0; k < r; k++ {
+		kd := d + k*h
+		rc.funcA(ctx, kd, h)
+		for x := 0; x < r; x++ {
+			if x == k || (!cube && x < k) {
+				continue
+			}
+			xd := d + x*h
+			ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcB(c, kd, xd, kd, h) })
+			ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcC(c, xd, kd, kd, h) })
+		}
+		ctx.Wait(&g)
+		for i := 0; i < r; i++ {
+			for j := 0; j < r; j++ {
+				if i == k || j == k || (!cube && (i < k || j < k)) {
+					continue
+				}
+				id, jd := d+i*h, d+j*h
+				ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcD(c, id, jd, kd, h) })
+			}
+		}
+		ctx.Wait(&g)
+	}
+}
+
+func (rc *rwayFJ) funcB(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
+	if rc.stop(s) {
+		rc.alg.Kernel(rc.x, i0, j0, k0, s)
+		return
+	}
+	r, h := rc.r, s/rc.r
+	cube := rc.alg.Shape == Cube
+	var g forkjoin.Group
+	for k := 0; k < r; k++ {
+		for j := 0; j < r; j++ {
+			ib, jb, kb := i0+k*h, j0+j*h, k0+k*h
+			ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcB(c, ib, jb, kb, h) })
+		}
+		ctx.Wait(&g)
+		for i := 0; i < r; i++ {
+			if i == k || (!cube && i < k) {
+				continue
+			}
+			for j := 0; j < r; j++ {
+				id, jd, kd := i0+i*h, j0+j*h, k0+k*h
+				ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcD(c, id, jd, kd, h) })
+			}
+		}
+		ctx.Wait(&g)
+	}
+}
+
+func (rc *rwayFJ) funcC(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
+	if rc.stop(s) {
+		rc.alg.Kernel(rc.x, i0, j0, k0, s)
+		return
+	}
+	r, h := rc.r, s/rc.r
+	cube := rc.alg.Shape == Cube
+	var g forkjoin.Group
+	for k := 0; k < r; k++ {
+		for i := 0; i < r; i++ {
+			ic, jc, kc := i0+i*h, j0+k*h, k0+k*h
+			ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcC(c, ic, jc, kc, h) })
+		}
+		ctx.Wait(&g)
+		for j := 0; j < r; j++ {
+			if j == k || (!cube && j < k) {
+				continue
+			}
+			for i := 0; i < r; i++ {
+				id, jd, kd := i0+i*h, j0+j*h, k0+k*h
+				ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcD(c, id, jd, kd, h) })
+			}
+		}
+		ctx.Wait(&g)
+	}
+}
+
+func (rc *rwayFJ) funcD(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
+	if rc.stop(s) {
+		rc.alg.Kernel(rc.x, i0, j0, k0, s)
+		return
+	}
+	r, h := rc.r, s/rc.r
+	var g forkjoin.Group
+	for k := 0; k < r; k++ {
+		for i := 0; i < r; i++ {
+			for j := 0; j < r; j++ {
+				id, jd, kd := i0+i*h, j0+j*h, k0+k*h
+				ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcD(c, id, jd, kd, h) })
+			}
+		}
+		ctx.Wait(&g)
+	}
+}

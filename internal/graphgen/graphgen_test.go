@@ -1,0 +1,88 @@
+package graphgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Random(Config{N: 32, Density: 0.5, MaxWeight: 9, Infinity: 1e9}, rng)
+	edges := 0
+	for i := 0; i < 32; i++ {
+		if d.At(i, i) != 0 {
+			t.Fatalf("diagonal (%d,%d) = %v", i, i, d.At(i, i))
+		}
+		for j := 0; j < 32; j++ {
+			v := d.At(i, j)
+			switch {
+			case i == j:
+			case v == 1e9:
+			case v >= 1 && v <= 9 && v == float64(int(v)):
+				edges++
+			default:
+				t.Fatalf("weight (%d,%d) = %v invalid", i, j, v)
+			}
+		}
+	}
+	if edges < 300 || edges > 700 {
+		t.Fatalf("edge count %d far from expectation ~496", edges)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Random(Config{N: 8}, rng) // zero density/weight/infinity -> defaults
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j && d.At(i, j) != 1<<30 && (d.At(i, j) < 1 || d.At(i, j) > 10) {
+				t.Fatalf("default weights wrong at (%d,%d): %v", i, j, d.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRingAndOracle(t *testing.T) {
+	const n = 8
+	d := Ring(n, 1e9)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				if d.At(i, j) != 0 {
+					t.Fatal("diagonal not zero")
+				}
+			case (i+1)%n == j:
+				if d.At(i, j) != 1 {
+					t.Fatal("ring edge missing")
+				}
+			default:
+				if d.At(i, j) != 1e9 {
+					t.Fatal("non-edge not infinite")
+				}
+			}
+		}
+	}
+	if RingDistance(n, 2, 5) != 3 || RingDistance(n, 5, 2) != 5 || RingDistance(n, 3, 3) != 0 {
+		t.Fatal("RingDistance closed form wrong")
+	}
+}
+
+// Property: RingDistance is always in [0, n) and satisfies the cycle
+// identity d(i,j) + d(j,i) ∈ {0, n}.
+func TestRingDistanceProperty(t *testing.T) {
+	f := func(i, j uint8) bool {
+		n := 16
+		a := RingDistance(n, int(i)%n, int(j)%n)
+		b := RingDistance(n, int(j)%n, int(i)%n)
+		if a < 0 || a >= float64(n) {
+			return false
+		}
+		sum := a + b
+		return sum == 0 || sum == float64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,368 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"dpflow/internal/core"
+	"dpflow/internal/dag"
+	"dpflow/internal/gep"
+	"dpflow/internal/machine"
+	"dpflow/internal/model"
+	"dpflow/internal/simsched"
+)
+
+// maxSweepTiles guards claim sweeps against building graphs with hundreds
+// of millions of tasks (an FW cube at 512 tiles/side is 134M base tasks);
+// points beyond the guard are skipped, which never moves the minimum — the
+// skipped points are deep in the overhead-dominated regime.
+const maxSweepTiles = 256
+
+// BestOverBases returns the minimum simulated time of a variant over a
+// base-size sweep, and the base achieving it.
+func BestOverBases(mach *machine.Machine, bench core.BenchID, n int, v core.Variant, bases []int) (float64, int, error) {
+	cache := map[string]dag.Graph{}
+	best, bestBase := math.Inf(1), 0
+	for _, base := range bases {
+		if base > n/2 {
+			continue
+		}
+		if tiles := n / gep.BaseSize(n, base); tiles > maxSweepTiles {
+			continue
+		}
+		t, err := simulatePoint(cache, mach, bench, n, base, v)
+		if err != nil {
+			return 0, 0, err
+		}
+		if t < best {
+			best, bestBase = t, base
+		}
+	}
+	return best, bestBase, nil
+}
+
+// WriteCrossover reproduces the paper's two headline claims as a report:
+// with fixed cores, fork-join overtakes data-flow as the input grows; with
+// a fixed problem, moving to the machine with more cores hands the win back
+// to data-flow.
+func WriteCrossover(w io.Writer) error {
+	bases := []int{32, 64, 128, 256, 512}
+	fmt.Fprintln(w, "# crossover: best time over base sweep, GE (data-flow = best CnC variant)")
+	fmt.Fprintf(w, "%12s %8s %14s %14s %10s\n", "machine", "n", "data-flow", "fork-join", "winner")
+	for _, mk := range []func() *machine.Machine{machine.EPYC64, machine.SKYLAKE192} {
+		mach := mk()
+		for _, n := range []int{2048, 4096, 8192, 16384} {
+			df := math.Inf(1)
+			for _, v := range []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC} {
+				t, _, err := BestOverBases(mach, core.GE, n, v, bases)
+				if err != nil {
+					return err
+				}
+				if t < df {
+					df = t
+				}
+			}
+			fj, _, err := BestOverBases(mach, core.GE, n, core.OMPTasking, bases)
+			if err != nil {
+				return err
+			}
+			winner := "data-flow"
+			if fj < df {
+				winner = "fork-join"
+			}
+			fmt.Fprintf(w, "%12s %8d %14.4f %14.4f %10s\n", mach.Name, n, df, fj, winner)
+		}
+	}
+	return nil
+}
+
+// WriteSWSpan reproduces the §IV-B wavefront claim quantitatively: the
+// fork-join span of R-DP Smith-Waterman grows like T^lg3 while the
+// data-flow span grows like 2T-1, so the artificial-dependency penalty is
+// unbounded.
+func WriteSWSpan(w io.Writer) error {
+	var unit simsched.Costs
+	for k := 0; k < dag.NumKinds; k++ {
+		if dag.Kind(k) != dag.KindJoin {
+			unit.Exec[k] = 1
+		}
+	}
+	fmt.Fprintln(w, "# swspan: critical path length (in unit tasks) of R-DP Smith-Waterman")
+	fmt.Fprintf(w, "%8s %12s %12s %8s %22s\n", "tiles", "data-flow", "fork-join", "ratio", "theory fj = T^lg3")
+	for _, tiles := range []int{4, 8, 16, 32, 64, 128} {
+		df, err := simsched.Simulate(dag.NewSWDataflow(tiles), 0, unit)
+		if err != nil {
+			return err
+		}
+		fj, err := simsched.Simulate(dag.NewSWForkJoin(tiles), 0, unit)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%8d %12.0f %12.0f %8.2f %22.0f\n",
+			tiles, df.Makespan, fj.Makespan, fj.Makespan/df.Makespan,
+			math.Pow(float64(tiles), math.Log2(3)))
+	}
+	fmt.Fprintln(w, "\n# GE spans for comparison (A->B/C->D chain: data-flow = 3T-2)")
+	fmt.Fprintf(w, "%8s %12s %12s %8s\n", "tiles", "data-flow", "fork-join", "ratio")
+	for _, tiles := range []int{4, 8, 16, 32, 64} {
+		df, err := simsched.Simulate(dag.NewGEPDataflow(tiles, gep.Triangular), 0, unit)
+		if err != nil {
+			return err
+		}
+		fj, err := simsched.Simulate(dag.NewGEPForkJoin(tiles, gep.Triangular), 0, unit)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%8d %12.0f %12.0f %8.2f\n", tiles, df.Makespan, fj.Makespan, fj.Makespan/df.Makespan)
+	}
+	return nil
+}
+
+// WriteBestBlock reproduces the paper's closing observation that the best
+// running times land at interior block sizes (the paper reports 128–256 on
+// its testbeds) for every variant of every benchmark.
+func WriteBestBlock(w io.Writer) error {
+	bases := []int{16, 32, 64, 128, 256, 512, 1024}
+	fmt.Fprintln(w, "# bestblock: argmin base size per benchmark/machine/variant, n=8192")
+	fmt.Fprintf(w, "%12s %10s %14s %10s %14s\n", "machine", "bench", "variant", "best base", "time")
+	for _, mk := range []func() *machine.Machine{machine.EPYC64, machine.SKYLAKE192} {
+		mach := mk()
+		for _, bench := range []core.BenchID{core.GE, core.SW, core.FW} {
+			for _, v := range core.ParallelVariants {
+				t, base, err := BestOverBases(mach, bench, 8192, v, bases)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%12s %10s %14s %10d %14.4f\n", mach.Name, bench, v, base, t)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteRWay quantifies how much of the fork-join artificial-dependency span
+// the parametric r-way algorithms (the paper's references [15, 16], §I)
+// recover: as the split arity r grows toward the tile count, the fork-join
+// span approaches the data-flow span — at the cost of giving up cache
+// obliviousness.
+func WriteRWay(w io.Writer) error {
+	mach := machine.EPYC64()
+	const (
+		n     = 8192
+		base  = 128
+		tiles = n / base // 64
+	)
+	var unit simsched.Costs
+	for k := 0; k < dag.NumKinds; k++ {
+		if dag.Kind(k) != dag.KindJoin {
+			unit.Exec[k] = 1
+		}
+	}
+	costs := func(v core.Variant, total int) simsched.Costs {
+		return model.CostsFor(mach, core.GE, n, base, v, total)
+	}
+	df := dag.NewGEPDataflow(tiles, gep.Triangular)
+	dfSpan, err := simsched.Simulate(df, 0, unit)
+	if err != nil {
+		return err
+	}
+	dfTime, err := simsched.Simulate(df, mach.Cores, costs(core.NativeCnC, df.Len()))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# rway: r-way fork-join GE, n=%d base=%d (%d tiles) on %s\n", n, base, tiles, mach.Name)
+	fmt.Fprintf(w, "%10s %14s %14s %14s\n", "r", "span (tasks)", "sim time (s)", "vs data-flow")
+	fmt.Fprintf(w, "%10s %14.0f %14.4f %14s\n", "data-flow", dfSpan.Makespan, dfTime.Makespan, "1.00")
+	for _, r := range []int{2, 4, 8, tiles} {
+		g := dag.NewGEPForkJoinR(tiles, r, gep.Triangular)
+		span, err := simsched.Simulate(g, 0, unit)
+		if err != nil {
+			return err
+		}
+		sim, err := simsched.Simulate(g, mach.Cores, costs(core.OMPTasking, df.Len()))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%10d %14.0f %14.4f %14.2f\n", r, span.Makespan, sim.Makespan, sim.Makespan/dfTime.Makespan)
+	}
+	return nil
+}
+
+// WriteComputeOn projects the compute_on tuner the paper's §IV-B closes
+// with: pinning tile tasks to a home socket ("thereby minimizing potential
+// inter-core and inter-NUMA data movement"). The migration penalty is the
+// modelled cost of a tile's three-block working set crossing the socket
+// interconnect; the policy column shows FIFO dispatch (no placement) versus
+// home-socket-preferring dispatch.
+func WriteComputeOn(w io.Writer) error {
+	mach := machine.SKYLAKE192()
+	const (
+		n    = 8192
+		base = 128
+	)
+	tiles := n / gep.BaseSize(n, base)
+	df := dag.NewGEPDataflow(tiles, gep.Triangular)
+	costs := model.CostsFor(mach, core.GE, n, base, core.TunerCnC, df.Len())
+	m := gep.BaseSize(n, base)
+	// A migrated tile re-streams its working set across the interconnect.
+	penalty := float64(model.WorkingSetBytes(m)) / 64.0 * mach.MemMissCost
+	home := func(id int) int {
+		i, j, _ := df.Coords(id)
+		return (i*131 + j) % mach.Sockets
+	}
+	fmt.Fprintf(w, "# computeon: GE n=%d base=%d on %s, %d sockets, migration penalty %.3gms/task\n",
+		n, base, mach.Name, mach.Sockets, penalty*1e3)
+	fmt.Fprintf(w, "%18s %14s %14s %14s\n", "policy", "time (s)", "migrations", "utilization")
+	for _, pol := range []struct {
+		name   string
+		prefer bool
+	}{{"fifo (no hint)", false}, {"compute_on", true}} {
+		r, err := simsched.SimulateAffinity(df, mach.Cores, costs, simsched.Affinity{
+			Sockets:        mach.Sockets,
+			Home:           home,
+			MigratePenalty: penalty,
+			PreferHome:     pol.prefer,
+			ScanLimit:      256,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%18s %14.4f %14d %13.1f%%\n", pol.name, r.Makespan, r.Migrations, 100*r.Utilization)
+	}
+	return nil
+}
+
+// WriteScaling sweeps the processor count at a fixed problem — the
+// continuous form of the paper's "more cores favour data-flow" claim (and
+// the strong-scaling presentation its related-work section cites for CnC).
+// The speedup columns are T_serial / T_P per execution model.
+func WriteScaling(w io.Writer) error {
+	const (
+		n    = 4096
+		base = 128
+	)
+	mach := machine.EPYC64() // cost constants; the core count is swept
+	fmt.Fprintf(w, "# scaling: simulated strong scaling, n=%d base=%d (%s cost model)\n", n, base, mach.Name)
+	for _, bench := range []core.BenchID{core.GE, core.SW} {
+		tiles := n / gep.BaseSize(n, base)
+		var df, fj dag.Graph
+		if bench == core.SW {
+			df, fj = dag.NewSWDataflow(tiles), dag.NewSWForkJoin(tiles)
+		} else {
+			df, fj = dag.NewGEPDataflow(tiles, gep.Triangular), dag.NewGEPForkJoin(tiles, gep.Triangular)
+		}
+		dfCosts := model.CostsFor(mach, bench, n, base, core.NativeCnC, df.Len())
+		fjCosts := model.CostsFor(mach, bench, n, base, core.OMPTasking, df.Len())
+		dfOne, err := simsched.Simulate(df, 1, dfCosts)
+		if err != nil {
+			return err
+		}
+		fjOne, err := simsched.Simulate(fj, 1, fjCosts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n## %s (%d tiles/side)\n", bench, tiles)
+		fmt.Fprintf(w, "%8s %14s %12s %14s %12s %10s\n",
+			"P", "data-flow (s)", "speedup", "fork-join (s)", "speedup", "winner")
+		for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+			rdf, err := simsched.Simulate(df, p, dfCosts)
+			if err != nil {
+				return err
+			}
+			rfj, err := simsched.Simulate(fj, p, fjCosts)
+			if err != nil {
+				return err
+			}
+			winner := "data-flow"
+			if rfj.Makespan < rdf.Makespan {
+				winner = "fork-join"
+			}
+			fmt.Fprintf(w, "%8d %14.4f %12.1f %14.4f %12.1f %10s\n",
+				p, rdf.Makespan, dfOne.Makespan/rdf.Makespan,
+				rfj.Makespan, fjOne.Makespan/rfj.Makespan, winner)
+		}
+	}
+	return nil
+}
+
+// WriteCluster explores the paper's distributed-memory future work: the
+// data-flow GE DAG under owner-computes placement (2-D block-cyclic tiles)
+// on clusters of EPYC-like nodes, with per-edge communication costs. The
+// small-base rows show communication swamping the extra parallelism; the
+// large-base rows scale until starvation — the surface-to-volume tradeoff
+// distributed R-DP work revolves around.
+func WriteCluster(w io.Writer) error {
+	mach := machine.EPYC64()
+	const n = 8192
+	fmt.Fprintf(w, "# cluster: distributed data-flow GE, n=%d, owner-computes block-cyclic tiles\n", n)
+	fmt.Fprintf(w, "%8s %8s %8s %14s %12s %12s %12s\n",
+		"base", "nodes", "cores", "time (s)", "speedup", "messages", "comm (s)")
+	for _, base := range []int{128, 512} {
+		tiles := n / gep.BaseSize(n, base)
+		g := dag.NewGEPDataflow(tiles, gep.Triangular)
+		costs := model.CostsFor(mach, core.GE, n, base, core.NativeCnC, g.Len())
+		m := gep.BaseSize(n, base)
+		transfer := float64(m*m*8) / (10 << 30) // tile over 10 GiB/s links
+		var t1 float64
+		for _, nodes := range []int{1, 2, 4, 8, 16} {
+			pr := 1
+			for pr*pr < nodes {
+				pr *= 2
+			} // process grid pr x nodes/pr
+			pc := nodes / pr
+			if pc == 0 {
+				pc = 1
+			}
+			home := func(id int) int {
+				i, j, _ := g.Coords(id)
+				return (i%pr)*pc + (j % pc)
+			}
+			r, err := simsched.SimulateCluster(g, simsched.Cluster{
+				Nodes: nodes, CoresPerNode: 32, Home: home,
+				Latency: 2e-6, TransferTime: transfer,
+			}, costs)
+			if err != nil {
+				return err
+			}
+			if nodes == 1 {
+				t1 = r.Makespan
+			}
+			fmt.Fprintf(w, "%8d %8d %8d %14.4f %12.2f %12d %12.3f\n",
+				base, nodes, nodes*32, r.Makespan, t1/r.Makespan, r.Messages, r.CommTime)
+		}
+	}
+	return nil
+}
+
+// WriteSWWave compares the three SW schedules the paper discusses: the
+// 2-way fork-join recursion (artificial dependencies), the
+// barrier-per-wavefront fork-join of footnote 6 (span-optimal but rigid),
+// and the pure data-flow wavefront. Simulated on EPYC-64 with per-variant
+// overheads.
+func WriteSWWave(w io.Writer) error {
+	mach := machine.EPYC64()
+	const n = 8192
+	fmt.Fprintf(w, "# swwave: three SW schedules, n=%d on %s\n", n, mach.Name)
+	fmt.Fprintf(w, "%8s %18s %18s %18s\n", "base", "fj-recursion (s)", "fj-wavefront (s)", "data-flow (s)")
+	for _, base := range []int{64, 128, 256, 512} {
+		tiles := n / gep.BaseSize(n, base)
+		df := dag.NewSWDataflow(tiles)
+		costsFJ := model.CostsFor(mach, core.SW, n, base, core.OMPTasking, df.Len())
+		costsDF := model.CostsFor(mach, core.SW, n, base, core.NativeCnC, df.Len())
+		rec, err := simsched.Simulate(dag.NewSWForkJoin(tiles), mach.Cores, costsFJ)
+		if err != nil {
+			return err
+		}
+		wave, err := simsched.Simulate(dag.NewSWWavefrontBarrier(tiles), mach.Cores, costsFJ)
+		if err != nil {
+			return err
+		}
+		flow, err := simsched.Simulate(df, mach.Cores, costsDF)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%8d %18.4f %18.4f %18.4f\n", base, rec.Makespan, wave.Makespan, flow.Makespan)
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"dpflow/internal/core"
+	"dpflow/internal/machine"
+)
+
+func TestFiguresRegistry(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 6 {
+		t.Fatalf("%d figures, want 6", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if seen[f.ID] {
+			t.Fatalf("duplicate id %s", f.ID)
+		}
+		seen[f.ID] = true
+		if f.Machine == nil || f.BasesFor == nil || len(f.Ns) == 0 {
+			t.Fatalf("%s incomplete", f.ID)
+		}
+	}
+	if _, ok := FigureByID("fig4"); !ok {
+		t.Fatal("fig4 missing")
+	}
+	if _, ok := FigureByID("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+	if !strings.Contains(ValidIDList(), "table1") {
+		t.Fatal("id list missing table1")
+	}
+}
+
+// A scaled-down fig4 run must produce complete panels with one series per
+// variant plus Estimated, every series the same length as the base axis.
+func TestRunFig4Scaled(t *testing.T) {
+	exp, _ := FigureByID("fig4")
+	res, err := exp.Run(Options{Scale: 3, MaxTiles: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) == 0 {
+		t.Fatal("no panels")
+	}
+	for _, p := range res.Panels {
+		if len(p.Series) != len(core.ParallelVariants)+1 {
+			t.Fatalf("n=%d: %d series", p.N, len(p.Series))
+		}
+		for _, s := range p.Series {
+			if len(s.Points) != len(p.Bases) {
+				t.Fatalf("n=%d series %s: %d points for %d bases", p.N, s.Label, len(s.Points), len(p.Bases))
+			}
+			for _, pt := range s.Points {
+				if pt.Seconds <= 0 {
+					t.Fatalf("non-positive time %v at %+v", pt.Seconds, pt)
+				}
+			}
+		}
+	}
+	var tbl, csv strings.Builder
+	res.WriteTable(&tbl)
+	if !strings.Contains(tbl.String(), "Estimated") || !strings.Contains(tbl.String(), "OpenMP") {
+		t.Fatalf("table rendering incomplete:\n%s", tbl.String())
+	}
+	res.WriteCSV(&csv)
+	if !strings.Contains(csv.String(), "fig4,EPYC-64,GE") {
+		t.Fatalf("csv rendering incomplete:\n%.200s", csv.String())
+	}
+	if best := res.Best(); len(best) != len(res.Panels) {
+		t.Fatalf("Best() returned %d lines", len(best))
+	}
+}
+
+// SW figures have no Estimated series.
+func TestRunFig6Scaled(t *testing.T) {
+	exp, _ := FigureByID("fig6")
+	res, err := exp.Run(Options{Scale: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Panels {
+		if len(p.Series) != len(core.ParallelVariants) {
+			t.Fatalf("SW panel has %d series", len(p.Series))
+		}
+	}
+}
+
+func TestSimulatePointAllBenches(t *testing.T) {
+	mach := machine.EPYC64()
+	for _, bench := range []core.BenchID{core.GE, core.SW, core.FW} {
+		for _, v := range core.ParallelVariants {
+			secs, err := SimulatePoint(mach, bench, 1024, 64, v)
+			if err != nil {
+				t.Fatalf("%v %v: %v", bench, v, err)
+			}
+			if secs <= 0 {
+				t.Fatalf("%v %v: %v seconds", bench, v, secs)
+			}
+		}
+	}
+}
+
+func TestBestOverBases(t *testing.T) {
+	mach := machine.EPYC64()
+	best, base, err := BestOverBases(mach, core.GE, 2048, core.TunerCnC, []int{32, 64, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best <= 0 || base == 0 {
+		t.Fatalf("best=%v base=%d", best, base)
+	}
+}
+
+func TestClaimsReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims sweep is slow")
+	}
+	var sb strings.Builder
+	if err := WriteSWSpan(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "swspan") {
+		t.Fatal("swspan header missing")
+	}
+	sb.Reset()
+	if err := WriteBestBlock(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "EPYC-64") || !strings.Contains(out, "FW-APSP") {
+		t.Fatalf("bestblock output incomplete:\n%s", out)
+	}
+}
+
+func TestTable1Scaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache trace is slow")
+	}
+	res, err := RunTable1(16) // n=512
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// The L3 cliff: the ratio at the paper-base-2048 row must be far below
+	// the fitting rows, as in the paper.
+	var fit, overflow float64
+	for _, r := range res.Rows {
+		if r.PaperBase == 512 {
+			fit = r.L3Ratio
+		}
+		if r.PaperBase == 2048 {
+			overflow = r.L3Ratio
+		}
+	}
+	if fit == 0 || overflow == 0 || overflow > fit/3 {
+		t.Fatalf("L3 ratio cliff missing: fit=%v overflow=%v", fit, overflow)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "paper L3") {
+		t.Fatal("table rendering incomplete")
+	}
+}
+
+func TestExtensionReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension sweeps are slow")
+	}
+	var sb strings.Builder
+	if err := WriteRWay(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "data-flow") {
+		t.Fatal("rway output incomplete")
+	}
+	sb.Reset()
+	if err := WriteComputeOn(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "compute_on") {
+		t.Fatal("computeon output incomplete")
+	}
+	sb.Reset()
+	if err := WriteScaling(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Fatal("scaling output incomplete")
+	}
+}

@@ -1,0 +1,90 @@
+package machine
+
+import "testing"
+
+func TestPaperGeometries(t *testing.T) {
+	e := EPYC64()
+	if e.Cores != 64 || e.Sockets != 2 {
+		t.Fatalf("EPYC: %d cores, %d sockets", e.Cores, e.Sockets)
+	}
+	if e.L2.SizeBytes != 512<<10 {
+		t.Fatalf("EPYC L2 = %d", e.L2.SizeBytes)
+	}
+	s := SKYLAKE192()
+	if s.Cores != 192 || s.Sockets != 8 {
+		t.Fatalf("SKX: %d cores, %d sockets", s.Cores, s.Sockets)
+	}
+	if s.L2.SizeBytes != 1<<20 || s.L3.SizeBytes != 32<<20 {
+		t.Fatalf("SKX caches: L2=%d L3=%d", s.L2.SizeBytes, s.L3.SizeBytes)
+	}
+}
+
+func TestLevelsTopDown(t *testing.T) {
+	m := EPYC64()
+	ls := m.Levels()
+	if len(ls) != 3 {
+		t.Fatalf("%d levels", len(ls))
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i].SizeBytes <= ls[i-1].SizeBytes {
+			t.Fatalf("level %d (%d B) not larger than level %d (%d B)",
+				i, ls[i].SizeBytes, i-1, ls[i-1].SizeBytes)
+		}
+		if ls[i].MissCost <= ls[i-1].MissCost {
+			t.Fatalf("miss costs not increasing down the hierarchy")
+		}
+	}
+}
+
+func TestFits(t *testing.T) {
+	l := CacheLevel{SizeBytes: 1024}
+	if !l.Fits(1024) || l.Fits(1025) {
+		t.Fatal("Fits boundary wrong")
+	}
+}
+
+func TestOverheadRelations(t *testing.T) {
+	for _, m := range []*Machine{EPYC64(), SKYLAKE192(), Host()} {
+		o := m.Overheads
+		if o.SpawnFJ <= 0 || o.TagPut <= 0 || o.AbortRetry <= 0 {
+			t.Fatalf("%s: zero overheads %+v", m.Name, o)
+		}
+		// The qualitative facts the model encodes: CnC steps cost more to
+		// create than OpenMP tasks; a failed get costs more than a tag put;
+		// the fork-join central queue serialises harder than TBB's deques.
+		if o.TagPut <= o.SpawnFJ {
+			t.Fatalf("%s: TagPut %v <= SpawnFJ %v", m.Name, o.TagPut, o.SpawnFJ)
+		}
+		if o.AbortRetry <= o.TagPut {
+			t.Fatalf("%s: AbortRetry %v <= TagPut %v", m.Name, o.AbortRetry, o.TagPut)
+		}
+		if o.FJSerial <= o.CnCSerial {
+			t.Fatalf("%s: FJSerial %v <= CnCSerial %v", m.Name, o.FJSerial, o.CnCSerial)
+		}
+	}
+}
+
+func TestSocketFactorScalesOverheads(t *testing.T) {
+	e, s := EPYC64(), SKYLAKE192()
+	if s.Overheads.TagPut <= e.Overheads.TagPut {
+		t.Fatal("8-socket scheduling should cost more than 2-socket")
+	}
+}
+
+func TestHostReflectsRuntime(t *testing.T) {
+	h := Host()
+	if h.Cores < 1 || h.Name != "HOST" {
+		t.Fatalf("Host: %+v", h)
+	}
+}
+
+func TestPrefetchFactorRange(t *testing.T) {
+	for _, m := range []*Machine{EPYC64(), SKYLAKE192(), Host()} {
+		if m.PrefetchFactor <= 0 || m.PrefetchFactor >= 1 {
+			t.Fatalf("%s: PrefetchFactor %v outside (0,1)", m.Name, m.PrefetchFactor)
+		}
+		if m.MemMissCost <= m.L3.MissCost/10 {
+			t.Fatalf("%s: memory miss cost implausibly low", m.Name)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package matrix provides the dense row-major float64 matrix used as the DP
+// table by every benchmark in this repository, together with tile (sub-matrix)
+// views and comparison helpers.
+//
+// The matrix is deliberately simple: a single contiguous backing slice with
+// row-major indexing, exactly like the double* tables of the paper's C++
+// benchmarks. Tiles are lightweight views; they alias the parent storage so
+// the recursive divide-and-conquer functions can update quadrants in place.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Dense is a row-major n×m matrix of float64 values.
+//
+// The zero value is an empty matrix; use New or FromRows to create a usable
+// one.
+type Dense struct {
+	rows, cols int
+	stride     int
+	data       []float64
+}
+
+// New returns a zero-filled rows×cols matrix backed by one allocation.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{
+		rows:   rows,
+		cols:   cols,
+		stride: cols,
+		data:   make([]float64, rows*cols),
+	}
+}
+
+// NewSquare returns a zero-filled n×n matrix.
+func NewSquare(n int) *Dense { return New(n, n) }
+
+// FromRows builds a matrix from a slice of equal-length rows, copying the
+// data.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("matrix: ragged rows: row 0 has %d cols, row %d has %d", m.cols, i, len(r)))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Stride returns the distance, in elements, between vertically adjacent
+// entries of the backing storage. For a freshly allocated matrix the stride
+// equals Cols; for tile views it is the stride of the root matrix.
+func (m *Dense) Stride() int { return m.stride }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.stride+j] }
+
+// Set stores v at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.stride+j] = v }
+
+// Row returns the i-th row as a slice aliasing the matrix storage. The slice
+// has length Cols.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.stride : i*m.stride+m.cols] }
+
+// Data returns the backing slice when the matrix is contiguous (stride ==
+// cols). It panics for non-contiguous tile views, where a flat slice would
+// silently interleave out-of-tile elements.
+func (m *Dense) Data() []float64 {
+	if m.stride != m.cols {
+		panic("matrix: Data called on non-contiguous view")
+	}
+	return m.data[:m.rows*m.cols]
+}
+
+// View returns the r×c sub-matrix whose top-left corner is (i, j). The view
+// aliases the receiver's storage: writes through the view are visible in the
+// parent and vice versa.
+func (m *Dense) View(i, j, r, c int) *Dense {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.rows || j+c > m.cols {
+		panic(fmt.Sprintf("matrix: view [%d:%d, %d:%d] out of %dx%d", i, i+r, j, j+c, m.rows, m.cols))
+	}
+	return &Dense{
+		rows:   r,
+		cols:   c,
+		stride: m.stride,
+		data:   m.data[i*m.stride+j:],
+	}
+}
+
+// Quadrant indices used by the 2-way recursive divide-and-conquer functions.
+// For a matrix split at the midpoint: Q00 is top-left, Q01 top-right, Q10
+// bottom-left and Q11 bottom-right.
+const (
+	Q00 = iota
+	Q01
+	Q10
+	Q11
+)
+
+// Quad returns the four quadrants of a square matrix with even side length,
+// in the order Q00, Q01, Q10, Q11. It panics when the matrix is not square
+// or its side is odd: the divide-and-conquer drivers in this repository only
+// recurse on power-of-two extents.
+func (m *Dense) Quad() [4]*Dense {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("matrix: Quad of non-square %dx%d", m.rows, m.cols))
+	}
+	if m.rows%2 != 0 {
+		panic(fmt.Sprintf("matrix: Quad of odd side %d", m.rows))
+	}
+	h := m.rows / 2
+	return [4]*Dense{
+		m.View(0, 0, h, h),
+		m.View(0, h, h, h),
+		m.View(h, 0, h, h),
+		m.View(h, h, h, h),
+	}
+}
+
+// Clone returns a deep copy with contiguous storage.
+func (m *Dense) Clone() *Dense {
+	c := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		copy(c.Row(i), m.Row(i))
+	}
+	return c
+}
+
+// CopyFrom copies src into the receiver. Both matrices must have identical
+// shapes.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("matrix: CopyFrom shape mismatch %dx%d <- %dx%d", m.rows, m.cols, src.rows, src.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// FillRandom fills the matrix with pseudo-random values in [lo, hi) drawn
+// from rng.
+func (m *Dense) FillRandom(rng *rand.Rand, lo, hi float64) {
+	span := hi - lo
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = lo + span*rng.Float64()
+		}
+	}
+}
+
+// FillDiagonallyDominant fills the matrix with random values and then boosts
+// the diagonal so the matrix is strictly diagonally dominant. GE without
+// pivoting is numerically stable on such matrices, which is why the paper
+// restricts itself to them.
+func (m *Dense) FillDiagonallyDominant(rng *rand.Rand) {
+	if m.rows != m.cols {
+		panic("matrix: FillDiagonallyDominant needs a square matrix")
+	}
+	m.FillRandom(rng, 0, 1)
+	for i := 0; i < m.rows; i++ {
+		sum := 0.0
+		row := m.Row(i)
+		for j, v := range row {
+			if j != i {
+				sum += math.Abs(v)
+			}
+		}
+		row[i] = sum + 1 + rng.Float64()
+	}
+}
+
+// Equal reports whether the two matrices have the same shape and identical
+// elements.
+func Equal(a, b *Dense) bool { return MaxAbsDiff(a, b) == 0 && sameShape(a, b) }
+
+// AlmostEqual reports whether the two matrices have the same shape and all
+// elements within tol of each other, using a mixed absolute/relative test so
+// large GE pivoted values compare sensibly.
+func AlmostEqual(a, b *Dense, tol float64) bool {
+	if !sameShape(a, b) {
+		return false
+	}
+	for i := 0; i < a.rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if !closeEnough(ra[j], rb[j], tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func closeEnough(x, y, tol float64) bool {
+	d := math.Abs(x - y)
+	if d <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(x), math.Abs(y))
+	return d <= tol*scale
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between two
+// same-shaped matrices, or +Inf when the shapes differ.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if !sameShape(a, b) {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for i := 0; i < a.rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if d := math.Abs(ra[j] - rb[j]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func sameShape(a, b *Dense) bool { return a.rows == b.rows && a.cols == b.cols }
+
+// String renders small matrices for debugging; large matrices are summarised.
+func (m *Dense) String() string {
+	const limit = 12
+	if m.rows > limit || m.cols > limit {
+		return fmt.Sprintf("Dense(%dx%d)", m.rows, m.cols)
+	}
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%8.3f", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,38 @@
+// Package seq generates synthetic biological sequences for the
+// Smith-Waterman benchmark — the workload generator standing in for the DNA
+// / amino-acid inputs of the paper's SW experiments.
+package seq
+
+import "math/rand"
+
+// DNAAlphabet is the nucleotide alphabet.
+const DNAAlphabet = "ACGT"
+
+// ProteinAlphabet is the 20-letter amino-acid alphabet.
+const ProteinAlphabet = "ACDEFGHIKLMNPQRSTVWY"
+
+// Random returns a random sequence of length n over the given alphabet.
+func Random(n int, alphabet string, rng *rand.Rand) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return s
+}
+
+// RandomDNA returns a random nucleotide sequence of length n.
+func RandomDNA(n int, rng *rand.Rand) []byte { return Random(n, DNAAlphabet, rng) }
+
+// Mutate returns a copy of s with each position independently substituted
+// with probability rate — a cheap way to build pairs of homologous
+// sequences whose local alignments are long and score highly, which is the
+// regime where SW wavefront parallelism matters.
+func Mutate(s []byte, rate float64, alphabet string, rng *rand.Rand) []byte {
+	out := append([]byte(nil), s...)
+	for i := range out {
+		if rng.Float64() < rate {
+			out[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+	}
+	return out
+}

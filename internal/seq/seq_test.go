@@ -1,0 +1,52 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomLengthAndAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := RandomDNA(100, rng)
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, c := range s {
+		switch c {
+		case 'A', 'C', 'G', 'T':
+		default:
+			t.Fatalf("unexpected base %q", c)
+		}
+	}
+	p := Random(50, ProteinAlphabet, rng)
+	if len(p) != 50 {
+		t.Fatalf("protein len = %d", len(p))
+	}
+}
+
+func TestMutateRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := RandomDNA(1000, rng)
+	same := Mutate(s, 0, DNAAlphabet, rng)
+	for i := range s {
+		if s[i] != same[i] {
+			t.Fatal("rate 0 must not mutate")
+		}
+	}
+	all := Mutate(s, 1, DNAAlphabet, rng)
+	diff := 0
+	for i := range s {
+		if s[i] != all[i] {
+			diff++
+		}
+	}
+	// With rate 1 every position resamples; ~75% differ for a 4-letter
+	// alphabet. Anything above half is clearly "mutated everywhere".
+	if diff < 500 {
+		t.Fatalf("rate 1 changed only %d/1000 positions", diff)
+	}
+	// Mutate must not modify its input.
+	if &s[0] == &all[0] {
+		t.Fatal("Mutate aliased its input")
+	}
+}

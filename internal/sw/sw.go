@@ -1,0 +1,281 @@
+// Package sw implements the paper's second benchmark: Smith-Waterman local
+// alignment. The DP table has the classic wavefront dependency structure —
+// cell (i, j) depends on (i−1, j), (i, j−1) and (i−1, j−1) — so at tile
+// granularity the data-flow program exposes Θ(n/b) anti-diagonal
+// parallelism, while the fork-join recursion
+//
+//	R(X) = R(X00); R(X01) ∥ R(X10); R(X11)
+//
+// inserts a join between the anti-diagonals of different recursion levels.
+// That join is the artificial dependency the paper highlights: it blocks
+// wavefront pipelining (tile (2,0) cannot start when (1,0) finishes — it
+// must wait for the whole X00∥X10-subtree barrier), which is why SW is the
+// benchmark where data-flow beats fork-join at every problem size.
+package sw
+
+import (
+	"fmt"
+
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/gep"
+	"dpflow/internal/kernels"
+	"dpflow/internal/matrix"
+)
+
+// Problem bundles one SW instance: two sequences of equal power-of-two
+// length and a scoring scheme. The DP table is (N+1)×(N+1) with the zero
+// row/column boundary.
+type Problem struct {
+	A, B    []byte
+	Scoring kernels.Scoring
+}
+
+// N returns the sequence length.
+func (p *Problem) N() int { return len(p.A) }
+
+// NewTable allocates the (N+1)×(N+1) DP table.
+func (p *Problem) NewTable() *matrix.Dense { return matrix.New(p.N()+1, p.N()+1) }
+
+func (p *Problem) validate(h *matrix.Dense, base int) error {
+	n := p.N()
+	if len(p.B) != n {
+		return fmt.Errorf("sw: sequences must have equal length, got %d and %d", n, len(p.B))
+	}
+	if !matrix.IsPow2(n) {
+		return fmt.Errorf("sw: length %d must be a power of two", n)
+	}
+	if h.Rows() != n+1 || h.Cols() != n+1 {
+		return fmt.Errorf("sw: table must be %dx%d, got %dx%d", n+1, n+1, h.Rows(), h.Cols())
+	}
+	if base < 1 {
+		return fmt.Errorf("sw: base %d must be >= 1", base)
+	}
+	return nil
+}
+
+// Serial fills the table with the straightforward loop and returns the
+// maximum local-alignment score.
+func (p *Problem) Serial(h *matrix.Dense) float64 {
+	return kernels.SWSerial(h, p.A, p.B, p.Scoring)
+}
+
+// Linear computes the score in O(n) space (the paper's space optimisation).
+func (p *Problem) Linear() float64 { return kernels.SWLinear(p.A, p.B, p.Scoring) }
+
+// RDPSerial runs the 2-way recursive divide-and-conquer SW serially.
+func (p *Problem) RDPSerial(h *matrix.Dense, base int) (float64, error) {
+	if err := p.validate(h, base); err != nil {
+		return 0, err
+	}
+	p.recurse(h, 0, 0, p.N(), base)
+	return kernels.MaxScore(h), nil
+}
+
+func (p *Problem) recurse(h *matrix.Dense, i0, j0, s, base int) {
+	if s <= base {
+		kernels.SW(h, p.A, p.B, p.Scoring, 1+i0, 1+j0, s)
+		return
+	}
+	half := s / 2
+	p.recurse(h, i0, j0, half, base)
+	p.recurse(h, i0, j0+half, half, base)
+	p.recurse(h, i0+half, j0, half, base)
+	p.recurse(h, i0+half, j0+half, half, base)
+}
+
+// ForkJoin runs the fork-join R-DP SW on pool: R(X00); R(X01) ∥ R(X10);
+// join; R(X11), with the same structure recursively.
+func (p *Problem) ForkJoin(h *matrix.Dense, base int, pool *forkjoin.Pool) (float64, error) {
+	if err := p.validate(h, base); err != nil {
+		return 0, err
+	}
+	pool.Run(func(ctx *forkjoin.Ctx) { p.fjRecurse(ctx, h, 0, 0, p.N(), base) })
+	return kernels.MaxScore(h), nil
+}
+
+func (p *Problem) fjRecurse(ctx *forkjoin.Ctx, h *matrix.Dense, i0, j0, s, base int) {
+	if s <= base {
+		kernels.SW(h, p.A, p.B, p.Scoring, 1+i0, 1+j0, s)
+		return
+	}
+	half := s / 2
+	p.fjRecurse(ctx, h, i0, j0, half, base)
+	var g forkjoin.Group
+	ctx.Spawn(&g, func(c *forkjoin.Ctx) { p.fjRecurse(c, h, i0, j0+half, half, base) })
+	ctx.Spawn(&g, func(c *forkjoin.Ctx) { p.fjRecurse(c, h, i0+half, j0, half, base) })
+	ctx.Wait(&g) // artificial dependency: X11 waits for both anti-diagonal halves
+	p.fjRecurse(ctx, h, i0+half, j0+half, half, base)
+}
+
+// TileTag identifies a recursive block (I, J) of size S (in units of S), as
+// in the GEP tags but without a K dimension — SW has a single pass.
+type TileTag struct {
+	I, J int
+	S    int
+}
+
+// TileKey identifies a completed base tile in the item collection.
+type TileKey struct {
+	I, J int
+}
+
+// NewCnCGraph builds the static CnC structure of the SW program — one step
+// collection prescribed by one tag collection, synchronised through one
+// item collection of finished tiles — without running it.
+func NewCnCGraph(name string) *cnc.Graph {
+	g := cnc.NewGraph(name, 1)
+	out := cnc.NewItemCollection[TileKey, bool](g, "tile_outputs")
+	tags := cnc.NewTagCollection[TileTag](g, "tile_tags", false)
+	step := cnc.NewStepCollection(g, "swTile", func(TileTag) error { return nil })
+	step.Consumes(out).Produces(out)
+	tags.Prescribe(step)
+	return g
+}
+
+// RunCnC runs the data-flow SW: one step collection prescribed by one tag
+// collection, one item collection of finished tiles. Base tiles fire as
+// soon as their west, north and north-west neighbours are done — the
+// wavefront the fork-join version cannot express.
+func (p *Problem) RunCnC(h *matrix.Dense, base, workers int, variant core.Variant) (float64, gep.CnCStats, error) {
+	if err := p.validate(h, base); err != nil {
+		return 0, gep.CnCStats{}, err
+	}
+	n := p.N()
+	bs := gep.BaseSize(n, base)
+	tiles := n / bs
+
+	g := cnc.NewGraph("sw-"+variant.String(), workers)
+	out := cnc.NewItemCollection[TileKey, bool](g, "tile_outputs")
+	tags := cnc.NewTagCollection[TileTag](g, "tile_tags", false)
+
+	await := func(k TileKey) bool {
+		if variant == core.NonBlockingCnC {
+			_, ok := out.TryGet(k)
+			return ok
+		}
+		out.Get(k)
+		return true
+	}
+	step := cnc.NewStepCollection(g, "swTile", func(t TileTag) error {
+		if t.S > base {
+			half := t.S / 2
+			tags.Put(TileTag{2 * t.I, 2 * t.J, half})
+			tags.Put(TileTag{2 * t.I, 2*t.J + 1, half})
+			tags.Put(TileTag{2*t.I + 1, 2 * t.J, half})
+			tags.Put(TileTag{2*t.I + 1, 2*t.J + 1, half})
+			return nil
+		}
+		if t.I > 0 && !await(TileKey{t.I - 1, t.J}) ||
+			t.J > 0 && !await(TileKey{t.I, t.J - 1}) ||
+			t.I > 0 && t.J > 0 && !await(TileKey{t.I - 1, t.J - 1}) {
+			tags.Put(t)
+			return nil
+		}
+		kernels.SW(h, p.A, p.B, p.Scoring, 1+t.I*t.S, 1+t.J*t.S, t.S)
+		out.Put(TileKey{t.I, t.J}, true)
+		return nil
+	})
+	step.Consumes(out).Produces(out)
+
+	deps := func(t TileTag) []cnc.Dep {
+		if t.S > base {
+			return nil
+		}
+		var ds []cnc.Dep
+		if t.I > 0 {
+			ds = append(ds, out.Key(TileKey{t.I - 1, t.J}))
+		}
+		if t.J > 0 {
+			ds = append(ds, out.Key(TileKey{t.I, t.J - 1}))
+		}
+		if t.I > 0 && t.J > 0 {
+			ds = append(ds, out.Key(TileKey{t.I - 1, t.J - 1}))
+		}
+		return ds
+	}
+	switch variant {
+	case core.TunerCnC:
+		step.WithDeps(cnc.TunedPrescheduled, deps)
+	case core.ManualCnC:
+		step.WithDeps(cnc.TunedTriggered, deps)
+	}
+	tags.Prescribe(step)
+
+	err := g.Run(func() {
+		if variant == core.ManualCnC {
+			for i := 0; i < tiles; i++ {
+				for j := 0; j < tiles; j++ {
+					tags.Put(TileTag{i, j, bs})
+				}
+			}
+			return
+		}
+		tags.Put(TileTag{0, 0, n})
+	})
+	stats := gep.CnCStats{Stats: g.Stats(), BaseTasks: out.Len()}
+	if err != nil {
+		return 0, stats, err
+	}
+	return kernels.MaxScore(h), stats, nil
+}
+
+// Run dispatches any variant; it allocates the table internally and returns
+// the alignment score.
+func (p *Problem) Run(v core.Variant, base, workers int, pool *forkjoin.Pool) (float64, error) {
+	h := p.NewTable()
+	switch v {
+	case core.SerialLoop:
+		return p.Serial(h), nil
+	case core.SerialRDP:
+		return p.RDPSerial(h, base)
+	case core.OMPTasking:
+		if pool == nil {
+			return 0, fmt.Errorf("sw: OMPTasking requires a fork-join pool")
+		}
+		return p.ForkJoin(h, base, pool)
+	case core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC:
+		score, _, err := p.RunCnC(h, base, workers, v)
+		return score, err
+	default:
+		return 0, fmt.Errorf("sw: unsupported variant %v", v)
+	}
+}
+
+// ForkJoinWavefront runs the tiled wavefront with one taskwait barrier per
+// anti-diagonal — the alternative fork-join formulation the paper's
+// footnote 6 describes ("in fork-join implementation, there is a barrier
+// synchronization for every wavefront computation"). Its span is the
+// optimal 2T−1 diagonals, but every diagonal is a full barrier: a tile
+// cannot start until ALL tiles of the previous diagonal finish, not just
+// its three neighbours, so it still under-utilises relative to data-flow
+// when tile costs vary or workers outnumber the diagonal width.
+func (p *Problem) ForkJoinWavefront(h *matrix.Dense, base int, pool *forkjoin.Pool) (float64, error) {
+	if err := p.validate(h, base); err != nil {
+		return 0, err
+	}
+	bs := gep.BaseSize(p.N(), base)
+	tiles := p.N() / bs
+	pool.Run(func(ctx *forkjoin.Ctx) {
+		var g forkjoin.Group
+		for d := 0; d < 2*tiles-1; d++ {
+			lo := 0
+			if d >= tiles {
+				lo = d - tiles + 1
+			}
+			hi := d
+			if hi >= tiles {
+				hi = tiles - 1
+			}
+			for i := lo; i <= hi; i++ {
+				ti, tj := i, d-i
+				ctx.Spawn(&g, func(*forkjoin.Ctx) {
+					kernels.SW(h, p.A, p.B, p.Scoring, 1+ti*bs, 1+tj*bs, bs)
+				})
+			}
+			ctx.Wait(&g) // barrier per wavefront
+		}
+	})
+	return kernels.MaxScore(h), nil
+}

@@ -1,0 +1,175 @@
+package sw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/kernels"
+	"dpflow/internal/matrix"
+	"dpflow/internal/seq"
+)
+
+func problem(n int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	a := seq.RandomDNA(n, rng)
+	b := seq.Mutate(a, 0.3, seq.DNAAlphabet, rng)
+	return &Problem{A: a, B: b, Scoring: kernels.DefaultScoring}
+}
+
+func TestAllVariantsAgreeOnScoreAndTable(t *testing.T) {
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: 3})
+	defer pool.Close()
+	p := problem(64, 1)
+
+	ref := p.NewTable()
+	wantScore := p.Serial(ref)
+	if want := p.Linear(); want != wantScore {
+		t.Fatalf("linear-space score %v != full-table score %v", want, wantScore)
+	}
+
+	type fill func() (*matrix.Dense, float64, error)
+	cases := map[string]fill{
+		"rdp": func() (*matrix.Dense, float64, error) {
+			h := p.NewTable()
+			s, err := p.RDPSerial(h, 8)
+			return h, s, err
+		},
+		"forkjoin": func() (*matrix.Dense, float64, error) {
+			h := p.NewTable()
+			s, err := p.ForkJoin(h, 8, pool)
+			return h, s, err
+		},
+	}
+	for _, v := range []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC} {
+		cases[v.String()] = func() (*matrix.Dense, float64, error) {
+			h := p.NewTable()
+			s, _, err := p.RunCnC(h, 8, 3, v)
+			return h, s, err
+		}
+	}
+	for name, run := range cases {
+		h, score, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if score != wantScore {
+			t.Fatalf("%s: score %v, want %v", name, score, wantScore)
+		}
+		if !matrix.Equal(h, ref) {
+			t.Fatalf("%s: table differs from serial", name)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: 2})
+	defer pool.Close()
+	p := problem(32, 2)
+	want, _ := p.Run(core.SerialLoop, 4, 1, nil)
+	for _, v := range []core.Variant{core.SerialRDP, core.OMPTasking, core.NativeCnC, core.TunerCnC, core.ManualCnC} {
+		got, err := p.Run(v, 4, 2, pool)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got != want {
+			t.Fatalf("%v: score %v, want %v", v, got, want)
+		}
+	}
+	if _, err := p.Run(core.OMPTasking, 4, 2, nil); err == nil {
+		t.Fatal("OMPTasking without pool should error")
+	}
+	if _, err := p.Run(core.Variant(99), 4, 2, nil); err == nil {
+		t.Fatal("unknown variant should error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := problem(32, 3)
+	if _, err := p.RDPSerial(matrix.New(3, 3), 4); err == nil {
+		t.Error("wrong table size accepted")
+	}
+	if _, err := p.RDPSerial(p.NewTable(), 0); err == nil {
+		t.Error("base 0 accepted")
+	}
+	bad := &Problem{A: []byte("ACGTACG"), B: []byte("ACGTACG"), Scoring: kernels.DefaultScoring}
+	if _, err := bad.RDPSerial(matrix.New(8, 8), 4); err == nil {
+		t.Error("non-power-of-two length accepted")
+	}
+	uneven := &Problem{A: []byte("ACGT"), B: []byte("AC"), Scoring: kernels.DefaultScoring}
+	if _, err := uneven.RDPSerial(matrix.New(5, 5), 4); err == nil {
+		t.Error("unequal lengths accepted")
+	}
+}
+
+// Property: for random sequences and base sizes, the data-flow score equals
+// the linear-space reference and never drops below the self-alignment lower
+// bound on identical prefixes.
+func TestCnCScoreProperty(t *testing.T) {
+	f := func(seed int64, baseExp uint8) bool {
+		p := problem(32, seed)
+		base := 1 << (baseExp % 6) // 1..32
+		h := p.NewTable()
+		got, _, err := p.RunCnC(h, base, 2, core.NativeCnC)
+		if err != nil {
+			return false
+		}
+		return got == p.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The wavefront structure: base tasks count must be exactly (n/bs)².
+func TestBaseTaskCensus(t *testing.T) {
+	p := problem(64, 4)
+	h := p.NewTable()
+	_, stats, err := p.RunCnC(h, 8, 2, core.ManualCnC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BaseTasks != 64 {
+		t.Fatalf("BaseTasks = %d, want 64", stats.BaseTasks)
+	}
+	if stats.Aborts != 0 {
+		t.Fatalf("manual variant aborted %d times", stats.Aborts)
+	}
+}
+
+func TestIdenticalSequencesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := seq.RandomDNA(64, rng)
+	p := &Problem{A: a, B: append([]byte(nil), a...), Scoring: kernels.DefaultScoring}
+	h := p.NewTable()
+	score, _, err := p.RunCnC(h, 16, 2, core.TunerCnC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(64) * kernels.DefaultScoring.Match; score != want {
+		t.Fatalf("self-alignment score %v, want %v", score, want)
+	}
+}
+
+func TestForkJoinWavefrontMatchesSerial(t *testing.T) {
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: 3})
+	defer pool.Close()
+	for _, base := range []int{4, 8, 32} {
+		p := problem(64, int64(base))
+		ref := p.NewTable()
+		want := p.Serial(ref)
+		h := p.NewTable()
+		got, err := p.ForkJoinWavefront(h, base, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("base=%d: score %v, want %v", base, got, want)
+		}
+		if !matrix.Equal(h, ref) {
+			t.Fatalf("base=%d: table differs", base)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package trace records per-task execution spans of real (goroutine-based)
+// runs and reports worker utilisation — the instrument used to demonstrate
+// the paper's "threads becoming idle" effect on actual executions of the
+// fork-join and data-flow runtimes.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one recorded task execution.
+type Span struct {
+	Worker int
+	Label  string
+	Start  time.Duration // since the recorder's epoch
+	End    time.Duration
+}
+
+// Recorder collects spans from concurrent tasks. The zero value is not
+// usable; create one with NewRecorder.
+type Recorder struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []Span
+}
+
+// NewRecorder returns a recorder whose epoch is now.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Task marks the start of a task on the given worker and returns a function
+// that records its completion.
+func (r *Recorder) Task(worker int, label string) func() {
+	start := time.Since(r.epoch)
+	return func() {
+		end := time.Since(r.epoch)
+		r.mu.Lock()
+		r.spans = append(r.spans, Span{Worker: worker, Label: label, Start: start, End: end})
+		r.mu.Unlock()
+	}
+}
+
+// Spans returns a copy of the recorded spans, ordered by start time.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	out := append([]Span(nil), r.spans...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Report summarises a recording over a fixed worker count.
+type Report struct {
+	Tasks       int
+	Workers     int
+	Makespan    time.Duration
+	Busy        time.Duration   // summed task durations
+	PerWorker   []time.Duration // busy time per worker
+	Utilization float64         // Busy / (Workers × Makespan)
+}
+
+// Report computes the utilisation report for the given worker count.
+func (r *Recorder) Report(workers int) Report {
+	spans := r.Spans()
+	rep := Report{Tasks: len(spans), Workers: workers, PerWorker: make([]time.Duration, workers)}
+	var first, last time.Duration
+	for i, s := range spans {
+		d := s.End - s.Start
+		rep.Busy += d
+		if s.Worker >= 0 && s.Worker < workers {
+			rep.PerWorker[s.Worker] += d
+		}
+		if i == 0 || s.Start < first {
+			first = s.Start
+		}
+		if s.End > last {
+			last = s.End
+		}
+	}
+	rep.Makespan = last - first
+	if workers > 0 && rep.Makespan > 0 {
+		rep.Utilization = float64(rep.Busy) / (float64(workers) * float64(rep.Makespan))
+	}
+	return rep
+}
+
+// String renders the report for humans.
+func (rep Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tasks=%d workers=%d makespan=%v busy=%v utilization=%.1f%%\n",
+		rep.Tasks, rep.Workers, rep.Makespan.Round(time.Microsecond),
+		rep.Busy.Round(time.Microsecond), 100*rep.Utilization)
+	for w, b := range rep.PerWorker {
+		fmt.Fprintf(&sb, "  worker %2d: busy %v\n", w, b.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// Gantt renders a coarse ASCII Gantt chart of the recording: one row per
+// worker, width columns spanning the makespan, '#' where the worker was
+// busy.
+func (r *Recorder) Gantt(workers, width int) string {
+	spans := r.Spans()
+	if len(spans) == 0 || width < 1 {
+		return "(no spans)\n"
+	}
+	var first, last time.Duration
+	first = spans[0].Start
+	for _, s := range spans {
+		if s.End > last {
+			last = s.End
+		}
+	}
+	total := last - first
+	if total <= 0 {
+		total = 1
+	}
+	rows := make([][]byte, workers)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range spans {
+		if s.Worker < 0 || s.Worker >= workers {
+			continue
+		}
+		a := int(float64(s.Start-first) / float64(total) * float64(width))
+		b := int(float64(s.End-first)/float64(total)*float64(width)) + 1
+		if b > width {
+			b = width
+		}
+		for x := a; x < b; x++ {
+			rows[s.Worker][x] = '#'
+		}
+	}
+	var sb strings.Builder
+	for w, row := range rows {
+		fmt.Fprintf(&sb, "w%02d |%s|\n", w, row)
+	}
+	return sb.String()
+}

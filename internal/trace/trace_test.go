@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	done := r.Task(0, "a")
+	time.Sleep(2 * time.Millisecond)
+	done()
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	if spans[0].End-spans[0].Start < time.Millisecond {
+		t.Fatalf("span too short: %v", spans[0])
+	}
+	if spans[0].Label != "a" || spans[0].Worker != 0 {
+		t.Fatalf("span metadata wrong: %+v", spans[0])
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Task(w, "t")()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(r.Spans()); got != 200 {
+		t.Fatalf("%d spans, want 200", got)
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := NewRecorder()
+	d0 := r.Task(0, "x")
+	time.Sleep(time.Millisecond)
+	d0()
+	d1 := r.Task(1, "y")
+	time.Sleep(time.Millisecond)
+	d1()
+	rep := r.Report(2)
+	if rep.Tasks != 2 || rep.Workers != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1 {
+		t.Fatalf("utilization %v", rep.Utilization)
+	}
+	if rep.PerWorker[0] == 0 || rep.PerWorker[1] == 0 {
+		t.Fatalf("per-worker busy missing: %v", rep.PerWorker)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "tasks=2") || !strings.Contains(s, "worker  1") {
+		t.Fatalf("report text: %s", s)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r := NewRecorder()
+	done := r.Task(0, "x")
+	time.Sleep(time.Millisecond)
+	done()
+	g := r.Gantt(2, 20)
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("gantt rows: %q", g)
+	}
+	if !strings.Contains(lines[0], "#") {
+		t.Fatalf("worker 0 shows no busy cells: %q", lines[0])
+	}
+	if strings.Contains(lines[1], "#") {
+		t.Fatalf("idle worker shows busy cells: %q", lines[1])
+	}
+	if empty := NewRecorder().Gantt(1, 10); !strings.Contains(empty, "no spans") {
+		t.Fatalf("empty gantt: %q", empty)
+	}
+}
