@@ -8,28 +8,32 @@
 //	dpbench -exp fig8 -csv       # CSV instead of aligned tables
 //	dpbench -exp fig5 -scale 2   # quarter-size panels (fast preview)
 //	dpbench -exp table1 -tscale 8
-//	dpbench -exp all             # everything the paper reports
+//	dpbench -exp all -timeout 5m # everything, bounded
 //	dpbench -list
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"dpflow/internal/harness"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id ("+harness.ValidIDList()+", or 'all')")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonF  = flag.Bool("json", false, "emit JSON instead of aligned tables")
-		scale  = flag.Int("scale", 0, "divide figure problem sizes by 2^scale (0 = paper sizes)")
-		tscale = flag.Int("tscale", 8, "table1 linear scaling factor (1 = the paper's full 8K trace)")
-		tiles  = flag.Int("maxtiles", 256, "skip sweep points with more tiles per side than this (0 = no limit)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		quiet  = flag.Bool("quiet", false, "suppress progress lines")
+		exp     = flag.String("exp", "", "experiment id ("+harness.ValidIDList()+", or 'all')")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonF   = flag.Bool("json", false, "emit JSON instead of aligned tables")
+		scale   = flag.Int("scale", 0, "divide figure problem sizes by 2^scale (0 = paper sizes)")
+		tscale  = flag.Int("tscale", 8, "table1 linear scaling factor (1 = the paper's full 8K trace)")
+		tiles   = flag.Int("maxtiles", 256, "skip sweep points with more tiles per side than this (0 = no limit)")
+		timeout = flag.Duration("timeout", 0, "abandon the run after this long (0 = no limit)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quiet   = flag.Bool("quiet", false, "suppress progress lines")
 	)
 	flag.Parse()
 
@@ -42,43 +46,57 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The context bounds every sweep: -timeout expiry and Ctrl-C both cancel
+	// the in-flight experiment at its next point check.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = harness.IDs()
 	}
 	for _, id := range ids {
-		if err := run(id, *csv, *jsonF, *scale, *tscale, *tiles, *quiet); err != nil {
-			fmt.Fprintln(os.Stderr, "dpbench:", err)
+		if err := run(ctx, id, *csv, *jsonF, *scale, *tscale, *tiles, *quiet); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintln(os.Stderr, "dpbench: timeout exceeded during", id)
+			} else {
+				fmt.Fprintln(os.Stderr, "dpbench:", err)
+			}
 			os.Exit(1)
 		}
 	}
 }
 
-func run(id string, csv, jsonOut bool, scale, tscale, maxTiles int, quiet bool) error {
+func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTiles int, quiet bool) error {
 	switch id {
 	case "table1":
-		res, err := harness.RunTable1(tscale)
+		res, err := harness.RunTable1Context(ctx, tscale)
 		if err != nil {
 			return err
 		}
 		res.WriteTable(os.Stdout)
 		return nil
 	case "crossover":
-		return harness.WriteCrossover(os.Stdout)
+		return harness.WriteCrossover(ctx, os.Stdout)
 	case "swspan":
-		return harness.WriteSWSpan(os.Stdout)
+		return harness.WriteSWSpan(ctx, os.Stdout)
 	case "bestblock":
-		return harness.WriteBestBlock(os.Stdout)
+		return harness.WriteBestBlock(ctx, os.Stdout)
 	case "rway":
-		return harness.WriteRWay(os.Stdout)
+		return harness.WriteRWay(ctx, os.Stdout)
 	case "computeon":
-		return harness.WriteComputeOn(os.Stdout)
+		return harness.WriteComputeOn(ctx, os.Stdout)
 	case "scaling":
-		return harness.WriteScaling(os.Stdout)
+		return harness.WriteScaling(ctx, os.Stdout)
 	case "cluster":
-		return harness.WriteCluster(os.Stdout)
+		return harness.WriteCluster(ctx, os.Stdout)
 	case "swwave":
-		return harness.WriteSWWave(os.Stdout)
+		return harness.WriteSWWave(ctx, os.Stdout)
 	}
 	e, ok := harness.FigureByID(id)
 	if !ok {
@@ -88,7 +106,7 @@ func run(id string, csv, jsonOut bool, scale, tscale, maxTiles int, quiet bool) 
 	if !quiet {
 		opts.Progress = os.Stderr
 	}
-	res, err := e.Run(opts)
+	res, err := e.RunContext(ctx, opts)
 	if err != nil {
 		return err
 	}

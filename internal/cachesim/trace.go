@@ -1,9 +1,24 @@
 package cachesim
 
 import (
+	"context"
+
 	"dpflow/internal/gep"
 	"dpflow/internal/matrix"
 )
+
+// cancellable wraps a tracing kernel with a per-call context check. One
+// check per kernel call is negligible against the b³ simulated accesses the
+// call performs, and once the context is cancelled the remaining recursion
+// fast-forwards through no-op calls in milliseconds.
+func cancellable(ctx context.Context, kern gep.Kernel) gep.Kernel {
+	return func(m *matrix.Dense, i0, j0, k0, b int) {
+		if ctx.Err() != nil {
+			return
+		}
+		kern(m, i0, j0, k0, b)
+	}
+}
 
 // TraceKernelGE returns a gep.Kernel that, instead of computing, replays
 // the exact address stream of the GE base-case kernel through the
@@ -42,14 +57,25 @@ func TraceKernelGE(h *Hierarchy, baseAddr int64, stride int) gep.Kernel {
 // statistics. This is the "actual cache misses" measurement of Table I,
 // with the simulated hierarchy standing in for PAPI.
 func TraceRDPGE(h *Hierarchy, n, base int) ([]LevelStats, error) {
+	return TraceRDPGEContext(context.Background(), h, n, base)
+}
+
+// TraceRDPGEContext is TraceRDPGE with cooperative cancellation: a full
+// trace is the slow unit of Table I (~10¹¹ accesses at the paper's scale),
+// so the kernel checks ctx between base blocks and the trace returns
+// ctx.Err() instead of partial statistics.
+func TraceRDPGEContext(ctx context.Context, h *Hierarchy, n, base int) ([]LevelStats, error) {
 	// The recursion never touches matrix data (the tracing kernel only
 	// generates addresses), so a 1-row stand-in with the right geometry
 	// would be unsafe; instead allocate the real table shape but share one
 	// backing row via a stride trick — simplest is the honest allocation,
 	// which for the scaled trace sizes is only a few MB.
 	x := matrix.NewSquare(n)
-	alg := gep.Algorithm{Kernel: TraceKernelGE(h, 0, n), Shape: gep.Triangular}
+	alg := gep.Algorithm{Kernel: cancellable(ctx, TraceKernelGE(h, 0, n)), Shape: gep.Triangular}
 	if err := alg.RDPSerial(x, base); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return h.Stats(), nil
@@ -84,9 +110,18 @@ func TraceKernelFW(h *Hierarchy, baseAddr int64, stride int) gep.Kernel {
 // TraceRDPFW replays the full 2-way R-DP FW execution through the
 // hierarchy and returns per-level statistics.
 func TraceRDPFW(h *Hierarchy, n, base int) ([]LevelStats, error) {
+	return TraceRDPFWContext(context.Background(), h, n, base)
+}
+
+// TraceRDPFWContext is TraceRDPFW with cooperative cancellation (see
+// TraceRDPGEContext).
+func TraceRDPFWContext(ctx context.Context, h *Hierarchy, n, base int) ([]LevelStats, error) {
 	x := matrix.NewSquare(n)
-	alg := gep.Algorithm{Kernel: TraceKernelFW(h, 0, n), Shape: gep.Cube}
+	alg := gep.Algorithm{Kernel: cancellable(ctx, TraceKernelFW(h, 0, n)), Shape: gep.Cube}
 	if err := alg.RDPSerial(x, base); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return h.Stats(), nil

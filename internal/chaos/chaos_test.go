@@ -1,0 +1,175 @@
+package chaos_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dpflow/internal/chaos"
+	"dpflow/internal/cnc"
+	"dpflow/internal/matrix"
+)
+
+// pipelineGraph builds a tiny two-stage graph: producer steps put items
+// that consumer steps Get and fold into out. Both tag sets come from the
+// environment, so dropping a producer tag starves its consumer (the
+// consumer instance still exists and deadlocks) rather than silently
+// erasing the whole pipeline stage. Returns the graph, the run closure,
+// and the output matrix for verification.
+func pipelineGraph(n int) (*cnc.Graph, func() error, *matrix.Dense) {
+	g := cnc.NewGraph("chaos-unit", 4)
+	out := matrix.New(1, n)
+	items := cnc.NewItemCollection[int, float64](g, "it")
+	ptags := cnc.NewTagCollection[int](g, "pt", false)
+	ctags := cnc.NewTagCollection[int](g, "ct", false)
+	prod := cnc.NewStepCollection(g, "p", func(i int) error {
+		items.Put(i, float64(2*i))
+		return nil
+	})
+	cons := cnc.NewStepCollection(g, "c", func(i int) error {
+		out.Set(0, i, items.Get(i)+1)
+		return nil
+	})
+	ptags.Prescribe(prod)
+	ctags.Prescribe(cons)
+	run := func() error {
+		return g.Run(func() {
+			for i := 0; i < n; i++ {
+				ptags.Put(i)
+				ctags.Put(i)
+			}
+		})
+	}
+	return g, run, out
+}
+
+func testRand() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func verifyPipeline(t *testing.T, out *matrix.Dense, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if out.At(0, i) != float64(2*i+1) {
+			t.Fatalf("out[%d] = %v, want %v", i, out.At(0, i), 2*i+1)
+		}
+	}
+}
+
+func TestStepErrorFailsRunWithoutRetry(t *testing.T) {
+	g, run, _ := pipelineGraph(8)
+	rng := testRand()
+	f := &chaos.StepError{Prob: 1, Times: 1}
+	p := f.Arm(g, rng)
+	err := run()
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if p.Count() != 1 {
+		t.Fatalf("injections = %d, want 1", p.Count())
+	}
+}
+
+func TestStepErrorAbsorbedByRetry(t *testing.T) {
+	const n = 8
+	g, run, out := pipelineGraph(n)
+	f := &chaos.StepError{Prob: 0.5, Times: 3}
+	p := f.Arm(g, testRand())
+	g.SetRetry(3)
+	if err := run(); err != nil {
+		t.Fatalf("run with retry budget: %v", err)
+	}
+	verifyPipeline(t, out, n)
+	if p.Count() == 0 {
+		t.Fatal("fault never fired")
+	}
+	if got := g.Stats().Retries; got != uint64(p.Count()) {
+		t.Fatalf("Retries = %d, injections = %d", got, p.Count())
+	}
+}
+
+func TestStepPanicContainedAndAbsorbed(t *testing.T) {
+	// Without retry: the panic surfaces as a step failure naming the fault,
+	// never as a crashed worker.
+	g, run, _ := pipelineGraph(8)
+	f := &chaos.StepPanic{Prob: 1, Times: 1}
+	f.Arm(g, testRand())
+	err := run()
+	if err == nil || !strings.Contains(err.Error(), "chaos: injected fault") {
+		t.Fatalf("err = %v, want contained panic naming the fault", err)
+	}
+
+	// With retry: fully absorbed.
+	const n = 8
+	g2, run2, out := pipelineGraph(n)
+	p := (&chaos.StepPanic{Prob: 0.5, Times: 2}).Arm(g2, testRand())
+	g2.SetRetry(2)
+	if err := run2(); err != nil {
+		t.Fatalf("run with retry budget: %v", err)
+	}
+	verifyPipeline(t, out, n)
+	if p.Count() == 0 {
+		t.Fatal("fault never fired")
+	}
+}
+
+func TestDelayedPutIsHarmless(t *testing.T) {
+	const n = 8
+	g, run, out := pipelineGraph(n)
+	p := (&chaos.DelayedPut{Prob: 1, Times: n}).Arm(g, testRand())
+	if err := run(); err != nil {
+		t.Fatalf("delayed puts must not fail the run: %v", err)
+	}
+	verifyPipeline(t, out, n)
+	if p.Count() != n {
+		t.Fatalf("injections = %d, want %d (every put delayed)", p.Count(), n)
+	}
+	if g.Stats().Retries != 0 {
+		t.Fatal("delays must not consume retries")
+	}
+}
+
+func TestDropTagStarvesConsumer(t *testing.T) {
+	g, run, _ := pipelineGraph(4)
+	// Drop exactly one tag put. The first put the hook sees is a producer
+	// tag (consumer tags only exist once a producer ran), so its item is
+	// never made and the consumer deadlocks on it.
+	p := (&chaos.DropTag{Prob: 1, Times: 1}).Arm(g, testRand())
+	err := run()
+	var dl *cnc.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError from the starved consumer", err)
+	}
+	if p.Count() != 1 {
+		t.Fatalf("injections = %d, want 1", p.Count())
+	}
+	dropped := p.Fired()[0] // "pt[i]"
+	key := strings.TrimSuffix(strings.TrimPrefix(dropped, "pt["), "]")
+	found := false
+	for _, b := range dl.Blocked {
+		if strings.Contains(b, "it["+key+"]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dropped %s but Blocked %v does not name it[%s]", dropped, dl.Blocked, key)
+	}
+}
+
+func TestFaultsBattery(t *testing.T) {
+	fs := chaos.Faults(0.1, 2)
+	if len(fs) != 4 {
+		t.Fatalf("battery size = %d, want 4", len(fs))
+	}
+	names := map[string]bool{}
+	for _, f := range fs {
+		names[f.Name()] = true
+	}
+	for _, want := range []string{"step-error", "step-panic", "delayed-put", "drop-tag"} {
+		if !names[want] {
+			t.Fatalf("battery missing %q (have %v)", want, names)
+		}
+	}
+	if !fs[0].Recoverable() || fs[3].Recoverable() {
+		t.Fatal("recoverability flags wrong: step-error must be recoverable, drop-tag must not")
+	}
+}

@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dpflow/internal/cnc"
+)
+
+// Target is one workload the chaos runner can drive: a benchmark run plus
+// the oracle that checks its result.
+type Target struct {
+	// Name identifies the target in results.
+	Name string
+	// Run executes the workload once under ctx. It must call tune with
+	// every cnc.Graph it builds, before running it — the benchmark
+	// packages expose this as the tune parameter of their RunCnCContext
+	// entry points — and leave its output where Verify can inspect it.
+	Run func(ctx context.Context, tune func(*cnc.Graph)) error
+	// Verify checks the result of a nominally successful run against an
+	// independent reference (typically matrix.Equal versus the serial
+	// implementation). It runs only when Run returned nil.
+	Verify func() error
+}
+
+// Runner drives targets under injected faults with a liveness harness
+// around every run: a hard deadline (the run can never hang) and a
+// progress watchdog that cancels a stalled run long before the deadline.
+type Runner struct {
+	// Timeout is the hard per-run deadline (default 30s). In a passing
+	// run it must never fire; the watchdog is the intended stall exit.
+	Timeout time.Duration
+	// StallWindow is the watchdog's no-progress window (default 2s).
+	StallWindow time.Duration
+	// Retry is the step retry budget installed on every graph of a run
+	// under a Recoverable fault; set it at least as high as the fault's
+	// injection budget to make recovery certain.
+	Retry int
+}
+
+// Result reports one driven run.
+type Result struct {
+	Target string
+	Fault  string
+	Seed   int64
+	// Injections is how many times the fault actually fired.
+	Injections int
+	// Fired lists where ("step@tag" / "coll[key]") it fired.
+	Fired []string
+	// Err is nil exactly when the run completed and verified. Any injected
+	// failure that surfaced — directly, via a deadlock it caused, or via a
+	// corrupted result — is wrapped so errors.Is(Err, ErrInjected) or the
+	// fault name identifies it.
+	Err error
+	// Stalled reports that the watchdog cancelled the run.
+	Stalled bool
+	// Blocked is the wait-state dump taken at stall time.
+	Blocked []string
+	// DeadlineFired reports that the hard deadline expired — a harness
+	// failure in any expected scenario, fatal in tests.
+	DeadlineFired bool
+}
+
+// Drive runs target once under fault with the given seed and classifies
+// the outcome. Every run ends in bounded time: normal completion, a
+// precise error, watchdog cancellation, or (never, if the harness is
+// healthy) the hard deadline.
+func (r *Runner) Drive(target Target, fault Fault, seed int64) Result {
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{Target: target.Name, Fault: fault.Name(), Seed: seed}
+
+	var probe *Probe
+	var wd *Watchdog
+	tune := func(g *cnc.Graph) {
+		probe = fault.Arm(g, rng)
+		if r.Retry > 0 && fault.Recoverable() {
+			g.SetRetry(r.Retry)
+		}
+		if wd != nil {
+			wd.Stop()
+		}
+		wd = NewWatchdog(WatchdogConfig{
+			// ItemsPut rather than StepsDone: a re-put livelock keeps
+			// retiring steps without producing data, and data is the
+			// progress that matters.
+			Progress: func() uint64 { return g.Stats().ItemsPut },
+			Blocked:  g.Blocked,
+			Window:   r.StallWindow,
+			OnStall:  func([]string) { cancel() },
+		})
+		wd.Start()
+	}
+
+	err := target.Run(ctx, tune)
+	if wd != nil {
+		wd.Stop()
+		res.Stalled, res.Blocked = wd.Stalled()
+	}
+	if probe != nil {
+		res.Injections = probe.Count()
+		res.Fired = probe.Fired()
+	}
+	res.DeadlineFired = errors.Is(err, context.DeadlineExceeded) || ctx.Err() == context.DeadlineExceeded
+
+	switch {
+	case err != nil:
+		res.Err = fmt.Errorf("chaos: %s under fault %s (seed %d, %d injections): %w",
+			target.Name, fault.Name(), seed, res.Injections, err)
+	case target.Verify != nil:
+		if verr := target.Verify(); verr != nil {
+			res.Err = fmt.Errorf("%w: fault %s corrupted %s (seed %d, fired %v): %v",
+				ErrInjected, fault.Name(), target.Name, seed, res.Fired, verr)
+		}
+	}
+	return res
+}

@@ -1,0 +1,241 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"dpflow/internal/chaos"
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/fw"
+	"dpflow/internal/ge"
+	"dpflow/internal/graphgen"
+	"dpflow/internal/kernels"
+	"dpflow/internal/matrix"
+	"dpflow/internal/seq"
+	"dpflow/internal/sw"
+)
+
+// Sweep geometry: 4x4 tiles per shape, small enough that 20 seeds x 4
+// faults x 3 shapes stays fast under -race, large enough that every
+// variant exercises real cross-tile dependencies.
+const (
+	chaosN       = 32
+	chaosBase    = 8
+	chaosWorkers = 4
+	chaosSeeds   = 20
+)
+
+// cncVariants are the three CnC schedules the chaos sweep rotates through
+// by seed, so every (shape, fault) pair sees all of them.
+var cncVariants = []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC}
+
+// newGETarget builds a fresh GE instance: the work matrix is private to
+// the run, and Verify compares it against the serial R-DP reference.
+func newGETarget(t *testing.T, seed int64, v core.Variant) chaos.Target {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a, _ := ge.NewSystem(chaosN, rng)
+	ref := a.Clone()
+	if err := ge.RDPSerial(ref, chaosBase); err != nil {
+		t.Fatalf("GE reference: %v", err)
+	}
+	work := a.Clone()
+	return chaos.Target{
+		Name: "GE/" + v.String(),
+		Run: func(ctx context.Context, tune func(*cnc.Graph)) error {
+			_, err := ge.RunCnCContext(ctx, work, chaosBase, chaosWorkers, v, tune)
+			return err
+		},
+		Verify: func() error {
+			if !matrix.Equal(work, ref) {
+				return errors.New("GE table differs from serial reference")
+			}
+			return nil
+		},
+	}
+}
+
+func newFWTarget(t *testing.T, seed int64, v core.Variant) chaos.Target {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := graphgen.Random(graphgen.Config{N: chaosN, Density: 0.35, MaxWeight: 9, Infinity: fw.Infinity}, rng)
+	ref := d.Clone()
+	if err := fw.RDPSerial(ref, chaosBase); err != nil {
+		t.Fatalf("FW reference: %v", err)
+	}
+	work := d.Clone()
+	return chaos.Target{
+		Name: "FW/" + v.String(),
+		Run: func(ctx context.Context, tune func(*cnc.Graph)) error {
+			_, err := fw.RunCnCContext(ctx, work, chaosBase, chaosWorkers, v, tune)
+			return err
+		},
+		Verify: func() error {
+			if !matrix.Equal(work, ref) {
+				return errors.New("FW table differs from serial reference")
+			}
+			return nil
+		},
+	}
+}
+
+func newSWTarget(t *testing.T, seed int64, v core.Variant) chaos.Target {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := seq.RandomDNA(chaosN, rng)
+	p := &sw.Problem{A: a, B: seq.Mutate(a, 0.2, seq.DNAAlphabet, rng), Scoring: kernels.DefaultScoring}
+	ref := p.NewTable()
+	refScore, err := p.RDPSerial(ref, chaosBase)
+	if err != nil {
+		t.Fatalf("SW reference: %v", err)
+	}
+	work := p.NewTable()
+	var gotScore float64
+	return chaos.Target{
+		Name: "SW/" + v.String(),
+		Run: func(ctx context.Context, tune func(*cnc.Graph)) error {
+			var err error
+			gotScore, _, err = p.RunCnCContext(ctx, work, chaosBase, chaosWorkers, v, tune)
+			return err
+		},
+		Verify: func() error {
+			if !matrix.Equal(work, ref) {
+				return errors.New("SW table differs from serial reference")
+			}
+			if gotScore != refScore {
+				return fmt.Errorf("SW score %v, reference %v", gotScore, refScore)
+			}
+			return nil
+		},
+	}
+}
+
+// TestChaosSweep is the acceptance matrix: every benchmark shape under
+// every fault for chaosSeeds seeds, rotating through the CnC variants.
+// Each run must either complete with a table equal to the serial reference
+// (possibly after retries) or return an error naming the injected fault,
+// and the hard deadline must never fire.
+func TestChaosSweep(t *testing.T) {
+	const times = 5
+	r := &chaos.Runner{
+		Timeout:     60 * time.Second,
+		StallWindow: 2 * time.Second,
+		Retry:       times, // >= the fault budget: recoverable faults must be absorbed
+	}
+	shapes := []struct {
+		name string
+		mk   func(t *testing.T, seed int64, v core.Variant) chaos.Target
+	}{
+		{"GE", newGETarget},
+		{"FW", newFWTarget},
+		{"SW", newSWTarget},
+	}
+	for _, shape := range shapes {
+		for _, mkFault := range []func() chaos.Fault{
+			func() chaos.Fault { return &chaos.StepError{Prob: 0.05, Times: times} },
+			func() chaos.Fault { return &chaos.StepPanic{Prob: 0.05, Times: times} },
+			func() chaos.Fault { return &chaos.DelayedPut{Prob: 0.05, Times: times, Delay: 500 * time.Microsecond} },
+			func() chaos.Fault { return &chaos.DropTag{Prob: 0.02, Times: 1} },
+		} {
+			fault := mkFault()
+			t.Run(shape.name+"/"+fault.Name(), func(t *testing.T) {
+				t.Parallel()
+				injected := 0
+				for seed := int64(0); seed < chaosSeeds; seed++ {
+					v := cncVariants[seed%int64(len(cncVariants))]
+					target := shape.mk(t, seed, v)
+					fault := mkFault() // fresh budget per run
+					res := r.Drive(target, fault, seed)
+					injected += res.Injections
+					if res.DeadlineFired {
+						t.Fatalf("seed %d %s: hard deadline fired (stalled=%v blocked=%v)",
+							seed, target.Name, res.Stalled, res.Blocked)
+					}
+					if res.Err == nil {
+						continue // completed and verified against the serial reference
+					}
+					// A failed run must name the fault precisely and must
+					// stem from an actual injection, not a runtime bug.
+					if res.Injections == 0 {
+						t.Fatalf("seed %d %s: error with zero injections: %v", seed, target.Name, res.Err)
+					}
+					if !errors.Is(res.Err, chaos.ErrInjected) && !strings.Contains(res.Err.Error(), fault.Name()) {
+						t.Fatalf("seed %d %s: error does not name the fault: %v", seed, target.Name, res.Err)
+					}
+					if fault.Recoverable() {
+						// Retry >= Times guarantees recovery for pre-body faults.
+						t.Fatalf("seed %d %s: recoverable fault %s not absorbed by retry budget: %v",
+							seed, target.Name, fault.Name(), res.Err)
+					}
+				}
+				if injected == 0 {
+					t.Fatalf("%s/%s: fault never fired across %d seeds — sweep is vacuous",
+						shape.name, fault.Name(), chaosSeeds)
+				}
+			})
+		}
+	}
+}
+
+// TestRunnerStallPath drives a target that livelocks on its own (a
+// NonBlockingCnC-style re-put loop) under a fault that never fires, and
+// checks the Runner's watchdog exit: cancelled run, Stalled set, deadline
+// untouched, error wrapped with the run's identity.
+func TestRunnerStallPath(t *testing.T) {
+	r := &chaos.Runner{Timeout: 30 * time.Second, StallWindow: 250 * time.Millisecond}
+	target := chaos.Target{
+		Name: "livelock",
+		Run: func(ctx context.Context, tune func(*cnc.Graph)) error {
+			g := cnc.NewGraph("livelock", chaosWorkers)
+			items := cnc.NewItemCollection[int, int](g, "it")
+			tags := cnc.NewTagCollection[int](g, "tg", false)
+			step := cnc.NewStepCollection(g, "s", func(i int) error {
+				if _, ok := items.TryGet(99); !ok {
+					tags.Put(i)
+				}
+				return nil
+			})
+			tags.Prescribe(step)
+			tune(g)
+			return g.RunContext(ctx, func() { tags.Put(1) })
+		},
+	}
+	res := r.Drive(target, &chaos.StepError{Prob: 1e-12, Times: 1}, 1)
+	if res.Err == nil || !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want wrapped context.Canceled from the watchdog", res.Err)
+	}
+	if !res.Stalled {
+		t.Fatal("Result.Stalled not set")
+	}
+	if res.DeadlineFired {
+		t.Fatal("hard deadline fired; the watchdog should have cancelled long before")
+	}
+	if !strings.Contains(res.Err.Error(), "livelock") {
+		t.Fatalf("Err does not identify the run: %v", res.Err)
+	}
+}
+
+// TestRunnerVerifyFailureNamesFault checks the corrupted-result path: a
+// run that completes but fails verification must produce an ErrInjected-
+// wrapped error naming the fault.
+func TestRunnerVerifyFailureNamesFault(t *testing.T) {
+	r := &chaos.Runner{Timeout: 10 * time.Second}
+	target := chaos.Target{
+		Name:   "always-wrong",
+		Run:    func(ctx context.Context, tune func(*cnc.Graph)) error { return nil },
+		Verify: func() error { return errors.New("result mismatch") },
+	}
+	res := r.Drive(target, &chaos.DropTag{Prob: 1, Times: 1}, 3)
+	if !errors.Is(res.Err, chaos.ErrInjected) {
+		t.Fatalf("Err = %v, want ErrInjected wrap", res.Err)
+	}
+	if !strings.Contains(res.Err.Error(), "drop-tag") || !strings.Contains(res.Err.Error(), "always-wrong") {
+		t.Fatalf("Err does not name fault and target: %v", res.Err)
+	}
+}

@@ -1,0 +1,159 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpflow/internal/chaos"
+	"dpflow/internal/cnc"
+)
+
+// A frozen progress counter must trip the watchdog within the window (plus
+// scheduling slack) and hand OnStall the blocked dump.
+func TestWatchdogDetectsStall(t *testing.T) {
+	fired := make(chan []string, 1)
+	wd := chaos.NewWatchdog(chaos.WatchdogConfig{
+		Progress: func() uint64 { return 7 },
+		Blocked:  func() []string { return []string{"s@1 <- it[1]"} },
+		Window:   50 * time.Millisecond,
+		OnStall:  func(blocked []string) { fired <- blocked },
+	})
+	wd.Start()
+	defer wd.Stop()
+	select {
+	case blocked := <-fired:
+		if len(blocked) != 1 || blocked[0] != "s@1 <- it[1]" {
+			t.Fatalf("blocked dump = %v", blocked)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog did not fire on a frozen counter")
+	}
+	if stalled, blocked := wd.Stalled(); !stalled || len(blocked) != 1 {
+		t.Fatalf("Stalled() = %v, %v", stalled, blocked)
+	}
+}
+
+// A counter that keeps moving must never trip the watchdog.
+func TestWatchdogIgnoresProgress(t *testing.T) {
+	var n atomic.Uint64
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				n.Add(1)
+			}
+		}
+	}()
+	defer close(stop)
+	wd := chaos.NewWatchdog(chaos.WatchdogConfig{
+		Progress: n.Load,
+		Window:   60 * time.Millisecond,
+		OnStall:  func([]string) { t.Error("stall declared despite progress") },
+	})
+	wd.Start()
+	time.Sleep(300 * time.Millisecond)
+	wd.Stop()
+	if stalled, _ := wd.Stalled(); stalled {
+		t.Fatal("watchdog stalled on a moving counter")
+	}
+}
+
+// Stop must be safe before Start, after Start, and twice.
+func TestWatchdogStopIdempotent(t *testing.T) {
+	wd := chaos.NewWatchdog(chaos.WatchdogConfig{Progress: func() uint64 { return 0 }})
+	wd.Stop()
+	wd.Stop()
+	wd.Start() // no-op after Stop
+	wd2 := chaos.NewWatchdog(chaos.WatchdogConfig{Progress: func() uint64 { return 0 }, Window: time.Hour})
+	wd2.Start()
+	wd2.Stop()
+	wd2.Stop()
+}
+
+// The livelock the runtime cannot see: a non-blocking-get style step polls
+// for an item that never arrives and re-puts its own tag, so workers stay
+// busy and StepsDone keeps growing while no data is ever produced. The
+// runtime never quiesces (no deadlock report); the ItemsPut watchdog must
+// catch the stall and cancel the run, which then drains and returns
+// ctx.Err() — distinguishing livelock from the quiesced-deadlock case the
+// runtime reports itself.
+func TestWatchdogCatchesRePutLivelock(t *testing.T) {
+	g := cnc.NewGraph("livelock", 4)
+	items := cnc.NewItemCollection[int, int](g, "it")
+	tags := cnc.NewTagCollection[int](g, "tg", false)
+	step := cnc.NewStepCollection(g, "s", func(i int) error {
+		if i == 0 {
+			items.Put(0, 0) // some real progress early on
+			return nil
+		}
+		if _, ok := items.TryGet(99); !ok { // never produced
+			tags.Put(i) // non-blocking re-put: livelock, not deadlock
+			return nil
+		}
+		return nil
+	})
+	tags.Prescribe(step)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	wd := chaos.NewWatchdog(chaos.WatchdogConfig{
+		Progress: func() uint64 { return g.Stats().ItemsPut },
+		Blocked:  g.Blocked,
+		Window:   150 * time.Millisecond,
+		OnStall:  func([]string) { cancel() },
+	})
+	wd.Start()
+	defer wd.Stop()
+
+	start := time.Now()
+	err := g.RunContext(ctx, func() {
+		tags.Put(0)
+		tags.Put(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled from the watchdog", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("livelock ran %v before the watchdog caught it", d)
+	}
+	if stalled, _ := wd.Stalled(); !stalled {
+		t.Fatal("watchdog did not record the stall")
+	}
+	if s := g.Stats(); s.StepsDone == 0 {
+		t.Fatal("livelock should have kept retiring steps (that is what makes it a livelock)")
+	}
+}
+
+// A true deadlock, by contrast, quiesces and is reported by the runtime
+// itself — the watchdog must not be needed and must not have fired first.
+func TestDeadlockStillReportedByRuntime(t *testing.T) {
+	g := cnc.NewGraph("deadlock", 2)
+	items := cnc.NewItemCollection[int, int](g, "it")
+	tags := cnc.NewTagCollection[int](g, "tg", false)
+	step := cnc.NewStepCollection(g, "s", func(i int) error {
+		items.Get(99) // parks forever: quiesced deadlock
+		return nil
+	})
+	tags.Prescribe(step)
+	wd := chaos.NewWatchdog(chaos.WatchdogConfig{
+		Progress: func() uint64 { return g.Stats().ItemsPut },
+		Window:   10 * time.Second,
+	})
+	wd.Start()
+	defer wd.Stop()
+	err := g.Run(func() { tags.Put(1) })
+	var dl *cnc.DeadlockError
+	if !errors.As(err, &dl) || !strings.Contains(dl.Blocked[0], "it[99]") {
+		t.Fatalf("err = %v, want runtime DeadlockError naming it[99]", err)
+	}
+	if stalled, _ := wd.Stalled(); stalled {
+		t.Fatal("watchdog fired for a deadlock the runtime detects itself")
+	}
+}

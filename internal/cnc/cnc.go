@@ -32,9 +32,28 @@
 // CnC programs are deterministic, reports deadlock precisely: when the graph
 // quiesces with parked instances, Run returns a DeadlockError listing every
 // blocked step and the item it is waiting for.
+//
+// # Fault tolerance and cancellation
+//
+// Step bodies run under panic containment: a panicking step fails its own
+// instance (and, absent a retry budget, the run) with an error naming the
+// step and tag — it never kills a worker. RunContext adds cooperative
+// cancellation: when the context is cancelled the graph stops starting new
+// work, drains in-flight instances, and returns ctx.Err() with no leaked
+// goroutines. Because steps are written gets-first/puts-last, a failed
+// attempt has no side effects before its first Put, so re-execution is
+// sound: WithRetry (per step collection) or Graph.SetRetry (graph default)
+// re-dispatches failed attempts — errors, panics, or injected hook
+// failures — up to a budget. Hooks (SetHooks) expose generic interception
+// points (before-step, drop-tag, before-item-put) used by the
+// internal/chaos harness to inject faults, and Graph.Blocked exposes the
+// live wait state for external watchdogs that distinguish livelock (workers
+// busy, no data produced) from the quiesced deadlock the runtime already
+// reports itself.
 package cnc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -55,6 +74,7 @@ type Stats struct {
 	InlineRuns    uint64 // instances run inline by the prescheduling tuner
 	TriggeredRuns uint64 // instances released by a dependency countdown
 	PinnedRuns    uint64 // instances placed by a ComputeOn tuner
+	Retries       uint64 // failed attempts re-executed under a retry budget
 }
 
 // DeadlockError reports a graph that quiesced with parked step instances.
@@ -80,9 +100,15 @@ type Graph struct {
 	name    string
 	workers int
 
-	queue    workQueue
-	running  atomic.Bool
-	finished atomic.Bool
+	queue     workQueue
+	running   atomic.Bool
+	finished  atomic.Bool
+	cancelled atomic.Bool
+
+	// hooks and retry are write-before-Run configuration; the runtime reads
+	// them without synchronisation once running.
+	hooks *Hooks
+	retry int
 
 	outstanding atomic.Int64
 	quiesceMu   sync.Mutex
@@ -95,7 +121,7 @@ type Graph struct {
 	stats struct {
 		tagsPut, itemsPut, started, done    atomic.Uint64
 		aborts, requeues, inline, triggered atomic.Uint64
-		pinned                              atomic.Uint64
+		pinned, retries                     atomic.Uint64
 	}
 
 	// Static graph structure, for Describe/Dot and deadlock reports.
@@ -142,6 +168,7 @@ func (g *Graph) Stats() Stats {
 		InlineRuns:    g.stats.inline.Load(),
 		TriggeredRuns: g.stats.triggered.Load(),
 		PinnedRuns:    g.stats.pinned.Load(),
+		Retries:       g.stats.retries.Load(),
 	}
 }
 
@@ -151,8 +178,37 @@ func (g *Graph) Stats() Stats {
 // (single-assignment violation, step error, or deadlock). Run may be called
 // only once per graph.
 func (g *Graph) Run(env func()) error {
+	return g.RunContext(context.Background(), env)
+}
+
+// RunContext is Run with cooperative cancellation and deadlines. Workers
+// observe the context between step dispatches: when ctx is cancelled the
+// graph switches to drain mode — every already-queued and newly-scheduled
+// step instance is retired without executing its body, so tags and items
+// put by in-flight steps stop producing work and the graph quiesces
+// promptly. The run then returns ctx.Err() (recorded as the first error,
+// so it wins over the secondary deadlock report of the instances the
+// cancellation starved) with no goroutine leaked. A step body already
+// executing when the cancellation fires is never interrupted; env likewise
+// runs on the calling goroutine and should observe ctx itself if it can
+// block.
+func (g *Graph) RunContext(ctx context.Context, env func()) error {
 	if g.finished.Load() || !g.running.CompareAndSwap(false, true) {
 		return errors.New("cnc: Run called twice")
+	}
+
+	stopMonitor := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				// Record the cancellation as the run's error (first error
+				// wins) and switch the workers to drain mode.
+				g.fail(ctx.Err())
+				g.cancelled.Store(true)
+			case <-stopMonitor:
+			}
+		}()
 	}
 
 	var wg sync.WaitGroup
@@ -165,6 +221,9 @@ func (g *Graph) Run(env func()) error {
 				if !ok {
 					return
 				}
+				// Cancellation is checked per dispatched unit inside
+				// StepCollection.execute, which also covers inline and
+				// pinned dispatch paths that never pass through here.
 				w()
 			}
 		}(i)
@@ -188,6 +247,7 @@ func (g *Graph) Run(env func()) error {
 	g.finished.Store(true)
 	g.queue.close()
 	wg.Wait()
+	close(stopMonitor)
 
 	if g.parked.Load() > 0 {
 		g.fail(&DeadlockError{Blocked: g.collectBlocked()})
@@ -251,6 +311,12 @@ func (g *Graph) registerReporter(r blockedReporter) {
 	g.reporters = append(g.reporters, r)
 	g.structMu.Unlock()
 }
+
+// Blocked returns a snapshot of the currently parked step instances, one
+// "step@tag <- coll[key]" entry each — the same form DeadlockError uses.
+// It is safe to call while the graph runs, which is how the chaos
+// watchdog dumps the wait state of a stalled run.
+func (g *Graph) Blocked() []string { return g.collectBlocked() }
 
 func (g *Graph) collectBlocked() []string {
 	g.structMu.Lock()

@@ -60,6 +60,10 @@ type StepCollection[T comparable] struct {
 	deps      func(T) []Dep
 	mode      TuningMode
 	computeOn func(T) int
+
+	retry    int
+	retryMu  sync.Mutex
+	attempts map[T]int
 }
 
 // NewStepCollection registers a step collection on g.
@@ -79,6 +83,23 @@ func NewStepCollection[T comparable](g *Graph, name string, fn StepFunc[T]) *Ste
 func (sc *StepCollection[T]) WithDeps(mode TuningMode, deps func(T) []Dep) *StepCollection[T] {
 	sc.deps = deps
 	sc.mode = mode
+	return sc
+}
+
+// WithRetry allows every instance of the step to be re-executed up to n
+// times after a failed attempt (an error returned by the body, an error
+// from a BeforeStep hook, or a contained panic) before the failure is
+// recorded and fails the graph. Re-execution is sound only because CnC
+// steps are written gets-first/puts-last: an attempt that fails before its
+// first Put has no observable side effects, so running it again is
+// indistinguishable from running it once — the same invariant the
+// speculative abort path relies on. Steps that can fail *after* putting
+// items or tags must not use WithRetry: the re-executed Put would trip the
+// single-assignment check (items) or duplicate instances (unmemoized
+// tags). A graph-wide default for collections without their own budget can
+// be set with Graph.SetRetry.
+func (sc *StepCollection[T]) WithRetry(n int) *StepCollection[T] {
+	sc.retry = n
 	return sc
 }
 
@@ -173,12 +194,17 @@ func (sc *StepCollection[T]) instance(tag T) {
 // execute runs one (possibly speculative) execution attempt of the instance.
 func (sc *StepCollection[T]) execute(tag T) {
 	g := sc.g
-	g.stats.started.Add(1)
 	defer g.taskDone()
+	// Cooperative cancellation: a cancelled graph drains dispatched work
+	// without running it, so RunContext returns as soon as the queue and
+	// the in-flight step bodies retire.
+	if g.cancelled.Load() {
+		return
+	}
+	g.stats.started.Add(1)
 	defer func() {
 		r := recover()
 		if r == nil {
-			g.stats.done.Add(1)
 			return
 		}
 		if rs, ok := r.(*retrySignal); ok {
@@ -192,11 +218,55 @@ func (sc *StepCollection[T]) execute(tag T) {
 			})
 			return
 		}
-		g.fail(fmt.Errorf("cnc: step %s panicked on tag %v: %v", sc.meta.name, tag, r))
+		sc.failed(tag, fmt.Errorf("cnc: step %s panicked on tag %v: %v", sc.meta.name, tag, r))
 	}()
-	if err := sc.fn(tag); err != nil {
-		g.fail(fmt.Errorf("cnc: step %s failed on tag %v: %w", sc.meta.name, tag, err))
+	if h := g.hooks; h != nil && h.BeforeStep != nil {
+		if err := h.BeforeStep(sc.meta.name, tag); err != nil {
+			sc.failed(tag, fmt.Errorf("cnc: step %s failed on tag %v: %w", sc.meta.name, tag, err))
+			return
+		}
 	}
+	if err := sc.fn(tag); err != nil {
+		sc.failed(tag, fmt.Errorf("cnc: step %s failed on tag %v: %w", sc.meta.name, tag, err))
+		return
+	}
+	g.stats.done.Add(1)
+}
+
+// failed handles one failed execution attempt: re-dispatch while the
+// instance has retry budget left (see WithRetry for why re-execution is
+// sound), otherwise record the error on the graph. The re-dispatch adds
+// outstanding work before the current attempt retires its own unit, so the
+// graph cannot quiesce in between.
+func (sc *StepCollection[T]) failed(tag T, err error) {
+	if sc.takeRetry(tag) {
+		sc.g.stats.retries.Add(1)
+		sc.dispatch(tag)
+		return
+	}
+	sc.g.fail(err)
+}
+
+// takeRetry consumes one unit of tag's retry budget, reporting false when
+// the budget (the collection's, or the graph default) is exhausted.
+func (sc *StepCollection[T]) takeRetry(tag T) bool {
+	limit := sc.retry
+	if limit == 0 {
+		limit = sc.g.retry
+	}
+	if limit <= 0 {
+		return false
+	}
+	sc.retryMu.Lock()
+	defer sc.retryMu.Unlock()
+	if sc.attempts == nil {
+		sc.attempts = make(map[T]int)
+	}
+	if sc.attempts[tag] >= limit {
+		return false
+	}
+	sc.attempts[tag]++
+	return true
 }
 
 // TagCollection is a control collection: putting a tag creates an instance
@@ -243,6 +313,9 @@ func (tc *TagCollection[T]) Prescribe(sc *StepCollection[T]) {
 // It may be called from the environment function or from inside steps.
 func (tc *TagCollection[T]) Put(tag T) {
 	tc.g.checkRunning()
+	if h := tc.g.hooks; h != nil && h.DropTag != nil && h.DropTag(tc.name, tag) {
+		return // injected fault: the tag is lost before memoization sees it
+	}
 	if tc.memoize {
 		tc.mu.Lock()
 		if _, dup := tc.seen[tag]; dup {
@@ -313,6 +386,9 @@ func (ic *ItemCollection[K, V]) Key(k K) Dep { return Dep{store: ic, key: k} }
 // fails the graph.
 func (ic *ItemCollection[K, V]) Put(k K, v V) {
 	ic.g.checkRunning()
+	if h := ic.g.hooks; h != nil && h.BeforeItemPut != nil {
+		h.BeforeItemPut(ic.name, k)
+	}
 	ic.mu.Lock()
 	if _, dup := ic.items[k]; dup {
 		ic.mu.Unlock()

@@ -149,3 +149,188 @@ func TestLargeGraphStress(t *testing.T) {
 		t.Fatalf("StepsDone = %d", s.StepsDone)
 	}
 }
+
+// tunedModes enumerates the tuned scheduling modes for the table-driven
+// failure tests below; the speculative path is covered by the tests above.
+var tunedModes = []struct {
+	name string
+	mode TuningMode
+}{
+	{"Prescheduled", TunedPrescheduled},
+	{"Triggered", TunedTriggered},
+}
+
+// Injected step failures under both tuned modes: a failing body must
+// surface its error and the graph must quiesce, whether the instance ran
+// inline (prescheduled, deps present), was triggered by the last
+// dependency, or waited on a countdown.
+func TestTunedStepFailures(t *testing.T) {
+	for _, tm := range tunedModes {
+		t.Run(tm.name, func(t *testing.T) {
+			g := NewGraph("tuned-fail-"+tm.name, 4)
+			in := NewItemCollection[int, int](g, "in")
+			out := NewItemCollection[int, int](g, "out")
+			tags := NewTagCollection[int](g, "tg", false)
+			var executed atomic.Int64
+			step := NewStepCollection(g, "s", func(i int) error {
+				executed.Add(1)
+				v, _ := in.TryGet(i)
+				if i == 13 {
+					return fmt.Errorf("injected tuned failure at %d", i)
+				}
+				out.Put(i, v*2)
+				return nil
+			}).WithDeps(tm.mode, func(i int) []Dep { return []Dep{in.Key(i)} })
+			tags.Prescribe(step)
+			err := g.Run(func() {
+				// Half the deps exist before the tags, half arrive after, so
+				// both the already-present and the subscribe path execute.
+				for i := 0; i < 10; i++ {
+					in.Put(i, i)
+				}
+				for i := 0; i < 20; i++ {
+					tags.Put(i)
+				}
+				for i := 10; i < 20; i++ {
+					in.Put(i, i)
+				}
+			})
+			if err == nil || !strings.Contains(err.Error(), "injected tuned failure") {
+				t.Fatalf("err = %v", err)
+			}
+			if executed.Load() == 0 {
+				t.Fatal("nothing executed")
+			}
+		})
+	}
+}
+
+// Injected panics under both tuned modes must be contained like errors.
+func TestTunedStepPanics(t *testing.T) {
+	for _, tm := range tunedModes {
+		t.Run(tm.name, func(t *testing.T) {
+			g := NewGraph("tuned-panic-"+tm.name, 4)
+			in := NewItemCollection[int, int](g, "in")
+			tags := NewTagCollection[int](g, "tg", false)
+			step := NewStepCollection(g, "s", func(i int) error {
+				if i%4 == 0 {
+					panic(fmt.Sprintf("tuned boom %d", i))
+				}
+				return nil
+			}).WithDeps(tm.mode, func(i int) []Dep { return []Dep{in.Key(i)} })
+			tags.Prescribe(step)
+			err := g.Run(func() {
+				for i := 0; i < 40; i++ {
+					tags.Put(i)
+				}
+				for i := 0; i < 40; i++ {
+					in.Put(i, i)
+				}
+			})
+			if err == nil || !strings.Contains(err.Error(), "tuned boom") {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+}
+
+// A retry budget absorbs transient failures in tuned instances too: the
+// re-dispatch must not wait on (or re-subscribe to) the already-satisfied
+// dependencies.
+func TestTunedRetryAbsorbsTransientFailure(t *testing.T) {
+	for _, tm := range tunedModes {
+		t.Run(tm.name, func(t *testing.T) {
+			g := NewGraph("tuned-retry-"+tm.name, 4)
+			in := NewItemCollection[int, int](g, "in")
+			tags := NewTagCollection[int](g, "tg", false)
+			var attempts atomic.Int64
+			step := NewStepCollection(g, "s", func(i int) error {
+				if attempts.Add(1) == 1 {
+					return errors.New("transient tuned failure")
+				}
+				return nil
+			}).WithDeps(tm.mode, func(i int) []Dep { return []Dep{in.Key(i)} }).WithRetry(1)
+			tags.Prescribe(step)
+			if err := g.Run(func() {
+				tags.Put(5)
+				in.Put(5, 50)
+			}); err != nil {
+				t.Fatalf("retry did not absorb the tuned failure: %v", err)
+			}
+			if g.Stats().Retries != 1 {
+				t.Fatalf("Retries = %d, want 1", g.Stats().Retries)
+			}
+		})
+	}
+}
+
+// Deadlock reporting under both tuned modes: an instance whose declared
+// dependency never arrives must quiesce into a DeadlockError whose Blocked
+// entry names exactly the starved instance and the missing coll[key].
+func TestTunedDeadlockBlockedNaming(t *testing.T) {
+	for _, tm := range tunedModes {
+		t.Run(tm.name, func(t *testing.T) {
+			g := NewGraph("tuned-deadlock-"+tm.name, 2)
+			in := NewItemCollection[int, int](g, "in")
+			tags := NewTagCollection[int](g, "tg", false)
+			step := NewStepCollection(g, "s", func(i int) error {
+				return nil
+			}).WithDeps(tm.mode, func(i int) []Dep { return []Dep{in.Key(i)} })
+			tags.Prescribe(step)
+			err := g.Run(func() {
+				tags.Put(3)
+				tags.Put(9)
+				in.Put(3, 30) // tag 9's dependency is never produced
+			})
+			var dl *DeadlockError
+			if !errors.As(err, &dl) {
+				t.Fatalf("err = %v, want DeadlockError", err)
+			}
+			if len(dl.Blocked) != 1 {
+				t.Fatalf("Blocked = %v, want exactly the one starved instance", dl.Blocked)
+			}
+			if want := "s@9 <- in[9]"; dl.Blocked[0] != want {
+				t.Fatalf("Blocked[0] = %q, want %q", dl.Blocked[0], want)
+			}
+		})
+	}
+}
+
+// The same precise naming must hold when the starvation is caused by a
+// chaos DropTag hook discarding the producer's tag in each tuned mode.
+func TestTunedDroppedTagDeadlock(t *testing.T) {
+	for _, tm := range tunedModes {
+		t.Run(tm.name, func(t *testing.T) {
+			g := NewGraph("tuned-drop-"+tm.name, 2)
+			g.SetHooks(&Hooks{DropTag: func(coll string, tag any) bool {
+				return coll == "pt" && tag == 2
+			}})
+			items := NewItemCollection[int, int](g, "it")
+			prodTags := NewTagCollection[int](g, "pt", false)
+			consTags := NewTagCollection[int](g, "ct", false)
+			producer := NewStepCollection(g, "p", func(i int) error {
+				items.Put(i, i*10)
+				return nil
+			})
+			consumer := NewStepCollection(g, "c", func(i int) error {
+				items.TryGet(i)
+				return nil
+			}).WithDeps(tm.mode, func(i int) []Dep { return []Dep{items.Key(i)} })
+			prodTags.Prescribe(producer)
+			consTags.Prescribe(consumer)
+			err := g.Run(func() {
+				consTags.Put(1)
+				consTags.Put(2)
+				prodTags.Put(1)
+				prodTags.Put(2) // dropped by the hook: c@2 starves
+			})
+			var dl *DeadlockError
+			if !errors.As(err, &dl) {
+				t.Fatalf("err = %v, want DeadlockError", err)
+			}
+			if len(dl.Blocked) != 1 || dl.Blocked[0] != "c@2 <- it[2]" {
+				t.Fatalf("Blocked = %v, want [c@2 <- it[2]]", dl.Blocked)
+			}
+		})
+	}
+}

@@ -1,0 +1,209 @@
+package forkjoin
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A cancelled RunContext must return ctx.Err() promptly even while the
+// computation keeps spawning work, and must not leak goroutines.
+func TestRunContextCancellation(t *testing.T) {
+	p := NewPool(Config{Workers: 4})
+	defer p.Close()
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- p.RunContext(ctx, func(c *Ctx) {
+			var g Group
+			for {
+				once.Do(func() { close(started) })
+				c.Spawn(&g, func(*Ctx) {})
+				c.Wait(&g)
+			}
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled RunContext did not return")
+	}
+	// No per-run goroutines may outlive the run (workers are pool-owned and
+	// accounted in `before`).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before run, %d after", before, now)
+	}
+}
+
+// RunContext without cancellation behaves exactly like Run.
+func TestRunContextCompletes(t *testing.T) {
+	p := NewPool(Config{Workers: 2})
+	defer p.Close()
+	var got int
+	if err := p.RunContext(context.Background(), func(ctx *Ctx) { got = fib(ctx, 12) }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 144 {
+		t.Fatalf("fib(12) = %d, want 144", got)
+	}
+}
+
+// A context cancelled before the run starts must not execute the root.
+func TestRunContextPreCancelled(t *testing.T) {
+	p := NewPool(Config{Workers: 2})
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	// The root observes the cancellation either before or after it is
+	// scheduled; in both cases the error must surface.
+	err := p.RunContext(ctx, func(*Ctx) { ran = true })
+	if err == nil && !ran {
+		t.Fatal("run neither executed nor reported cancellation")
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The pool stays fully usable for plain Run calls after a cancelled
+// RunContext left skipped children in the deques.
+func TestPoolUsableAfterCancelledRun(t *testing.T) {
+	p := NewPool(Config{Workers: 2})
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- p.RunContext(ctx, func(c *Ctx) {
+			var g Group
+			for {
+				once.Do(func() { close(started) })
+				c.Spawn(&g, func(*Ctx) {})
+				c.Wait(&g)
+			}
+		})
+	}()
+	<-started
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	var n atomic.Int64
+	p.Run(func(c *Ctx) {
+		var g Group
+		for i := 0; i < 50; i++ {
+			c.Spawn(&g, func(*Ctx) { n.Add(1) })
+		}
+		c.Wait(&g)
+	})
+	if n.Load() != 50 {
+		t.Fatalf("post-cancel run executed %d/50 tasks", n.Load())
+	}
+}
+
+// A typed panic payload — here an error value — must survive Wait's
+// re-panic so callers can errors.Is/As through the group boundary.
+func TestChildPanicPreservesTypedValue(t *testing.T) {
+	sentinel := errors.New("typed sentinel")
+	p := NewPool(Config{Workers: 2})
+	defer p.Close()
+	defer func() {
+		r := recover()
+		cpe, ok := r.(*ChildPanicError)
+		if !ok {
+			t.Fatalf("panic value %T, want *ChildPanicError", r)
+		}
+		if cpe.Value != sentinel {
+			t.Fatalf("Value = %v, want the sentinel error", cpe.Value)
+		}
+		if !errors.Is(cpe, sentinel) {
+			t.Fatal("errors.Is does not see through ChildPanicError")
+		}
+	}()
+	p.Run(func(ctx *Ctx) {
+		var g Group
+		ctx.Spawn(&g, func(*Ctx) { panic(sentinel) })
+		ctx.Wait(&g)
+	})
+}
+
+// A panic crossing two nested Waits must keep the innermost original value
+// rather than wrapping a wrapper.
+func TestNestedChildPanicNotDoubleWrapped(t *testing.T) {
+	p := NewPool(Config{Workers: 2})
+	defer p.Close()
+	defer func() {
+		cpe, ok := recover().(*ChildPanicError)
+		if !ok {
+			t.Fatal("expected *ChildPanicError")
+		}
+		if cpe.Value != "inner boom" {
+			t.Fatalf("Value = %v, want the innermost payload", cpe.Value)
+		}
+	}()
+	p.Run(func(ctx *Ctx) {
+		var outer Group
+		ctx.Spawn(&outer, func(c *Ctx) {
+			var inner Group
+			c.Spawn(&inner, func(*Ctx) { panic("inner boom") })
+			c.Wait(&inner)
+		})
+		ctx.Wait(&outer)
+	})
+}
+
+// Two children panicking simultaneously: the reported value is always the
+// first by spawn order, and no panic is ever lost to lock-acquisition
+// order. The barrier forces both children to panic on every round.
+func TestSimultaneousChildPanicsDeterministic(t *testing.T) {
+	p := NewPool(Config{Workers: 4})
+	defer p.Close()
+	for round := 0; round < 50; round++ {
+		var barrier sync.WaitGroup
+		barrier.Add(2)
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			p.Run(func(ctx *Ctx) {
+				var g Group
+				ctx.Spawn(&g, func(*Ctx) {
+					barrier.Done()
+					barrier.Wait() // both children are committed to panicking
+					panic("first by spawn order")
+				})
+				ctx.Spawn(&g, func(*Ctx) {
+					barrier.Done()
+					barrier.Wait()
+					panic("second by spawn order")
+				})
+				ctx.Wait(&g)
+			})
+			return nil
+		}()
+		cpe, ok := got.(*ChildPanicError)
+		if !ok {
+			t.Fatalf("round %d: panic value %T, want *ChildPanicError", round, got)
+		}
+		if cpe.Value != "first by spawn order" {
+			t.Fatalf("round %d: reported %q, want the first spawned child's value", round, cpe.Value)
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package forkjoin
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -28,6 +29,39 @@ import (
 // Task is a unit of work. The Ctx identifies the worker executing the task
 // and must be used for any nested Spawn or Wait.
 type Task func(*Ctx)
+
+// ChildPanicError is the panic payload Ctx.Wait re-panics with when a child
+// task panicked. Value preserves the child's original panic value, so typed
+// payloads — error sentinels, structured diagnostics — survive the group
+// boundary instead of being flattened to a string.
+type ChildPanicError struct{ Value any }
+
+func (e *ChildPanicError) Error() string {
+	return fmt.Sprintf("forkjoin: child task panicked: %v", e.Value)
+}
+
+// Unwrap exposes the child's panic value when it was an error, so
+// errors.Is and errors.As see through the group boundary.
+func (e *ChildPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// runState is the cancellation state shared by every task of one
+// Run/RunContext invocation. Cancellation is cooperative: queued tasks of a
+// cancelled run are skipped (their group bookkeeping still retires), and
+// Wait unwinds the task tree with a runCancelled panic that RunContext
+// recovers at the root.
+type runState struct {
+	cancelled atomic.Bool
+}
+
+// runCancelled is the internal panic payload that unwinds a cancelled run.
+// It is deliberately not recorded as a child panic: every stack level
+// re-raises its own from Wait, and RunContext translates it to ctx.Err().
+type runCancelled struct{}
 
 // StealPolicy selects how an idle worker picks victims.
 type StealPolicy int
@@ -89,10 +123,12 @@ type worker struct {
 	rng  *rand.Rand
 }
 
-// Ctx is the execution context of a task: the worker it runs on. A Ctx is
-// only valid inside the task invocation that received it.
+// Ctx is the execution context of a task: the worker it runs on and the
+// run it belongs to. A Ctx is only valid inside the task invocation that
+// received it.
 type Ctx struct {
-	w *worker
+	w  *worker
+	rs *runState
 }
 
 // WorkerID returns the index of the worker executing the current task, in
@@ -152,49 +188,104 @@ func (p *Pool) Close() {
 
 // Run injects f as a root task and blocks until f — including every task it
 // transitively spawns and waits for — has returned. It panics with the
-// task's panic value if the computation panicked.
+// task's panic value if the computation panicked (a *ChildPanicError when
+// the panic came from a spawned child, whose Value field holds the
+// original payload).
 func (p *Pool) Run(f Task) {
+	// context.Background is never cancelled, so the error is always nil and
+	// panics propagate unchanged.
+	_ = p.RunContext(context.Background(), f)
+}
+
+// RunContext is Run with cooperative cancellation. Cancellation is observed
+// between task dispatches — queued children of a cancelled run are drained
+// as no-ops and every Wait unwinds promptly — so a cancelled run stops
+// scheduling work, retires its bookkeeping cleanly and returns ctx.Err()
+// without leaking goroutines. A task already executing when the
+// cancellation fires runs to completion: tasks are never interrupted
+// mid-kernel. On success RunContext returns nil; if the computation
+// panicked it re-panics exactly like Run.
+func (p *Pool) RunContext(ctx context.Context, f Task) error {
 	if p.done.Load() {
 		panic("forkjoin: Run on closed pool")
 	}
+	rs := &runState{}
+	finished := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				rs.cancelled.Store(true)
+			case <-finished:
+			}
+		}()
+	}
 	done := make(chan any, 1)
-	root := func(ctx *Ctx) {
+	root := func(c *Ctx) {
 		defer func() { done <- recover() }()
-		f(ctx)
+		if rs.cancelled.Load() {
+			panic(runCancelled{})
+		}
+		f(&Ctx{w: c.w, rs: rs})
 	}
 	p.spawned.Add(1)
 	w := p.workers[0]
 	w.push(root)
 	p.wakeOne()
-	if r := <-done; r != nil {
+	r := <-done
+	close(finished)
+	if _, unwound := r.(runCancelled); unwound || rs.cancelled.Load() {
+		// Either the tree unwound through a Wait, or the root finished after
+		// children were already being skipped; both mean the computation is
+		// incomplete and the run's result must not be trusted.
+		return ctx.Err()
+	}
+	if r != nil {
 		panic(r)
 	}
+	return nil
 }
 
 // Group tracks a set of spawned tasks for a taskwait-style join. The zero
 // value is ready to use. Groups may be reused after Wait returns.
 type Group struct {
 	pending atomic.Int64
+	seq     atomic.Uint64
 	panicMu sync.Mutex
-	panics  []any
+	panics  []childPanic
+}
+
+// childPanic records one child's panic together with its spawn sequence
+// number, so Wait can report deterministically regardless of which child
+// reached its recover first.
+type childPanic struct {
+	seq uint64
+	val any
 }
 
 // Spawn pushes f onto the current worker's deque as a child task of g.
 // It is the analogue of "#pragma omp task".
 func (c *Ctx) Spawn(g *Group, f Task) {
+	seq := g.seq.Add(1)
 	g.pending.Add(1)
 	w := c.w
+	rs := c.rs
 	w.pool.spawned.Add(1)
 	w.push(func(ctx *Ctx) {
 		defer func() {
 			if r := recover(); r != nil {
-				g.panicMu.Lock()
-				g.panics = append(g.panics, r)
-				g.panicMu.Unlock()
+				if _, unwound := r.(runCancelled); !unwound {
+					g.panicMu.Lock()
+					g.panics = append(g.panics, childPanic{seq: seq, val: r})
+					g.panicMu.Unlock()
+				}
 			}
 			g.pending.Add(-1)
 		}()
-		f(ctx)
+		if rs != nil && rs.cancelled.Load() {
+			return // cancelled run: drain without executing
+		}
+		f(&Ctx{w: ctx.w, rs: rs})
 	})
 	if w.pool.sleepers.Load() > 0 {
 		w.pool.wakeOne()
@@ -204,10 +295,14 @@ func (c *Ctx) Spawn(g *Group, f Task) {
 // Wait blocks until every task spawned on g has completed — the analogue of
 // "#pragma omp taskwait". While waiting, the current worker executes pending
 // tasks (its own first, then stolen ones), so Wait never wastes the worker.
-// If any child panicked, Wait re-panics with the first recorded value.
+// If any child panicked, Wait re-panics with a *ChildPanicError carrying
+// the panic value of the first panicking child in spawn order.
 func (c *Ctx) Wait(g *Group) {
 	w := c.w
 	for g.pending.Load() > 0 {
+		if rs := c.rs; rs != nil && rs.cancelled.Load() {
+			panic(runCancelled{})
+		}
 		if t := w.pop(); t != nil {
 			w.execute(t)
 			continue
@@ -219,12 +314,26 @@ func (c *Ctx) Wait(g *Group) {
 		w.pool.yields.Add(1)
 		runtime.Gosched()
 	}
+	if rs := c.rs; rs != nil && rs.cancelled.Load() {
+		panic(runCancelled{})
+	}
 	g.panicMu.Lock()
 	defer g.panicMu.Unlock()
 	if len(g.panics) > 0 {
-		r := g.panics[0]
+		// Deterministic report: the first panic by spawn order, however the
+		// children interleaved. All panicking children have recorded their
+		// value by the time pending reaches zero, so the choice cannot race.
+		first := g.panics[0]
+		for _, p := range g.panics[1:] {
+			if p.seq < first.seq {
+				first = p
+			}
+		}
 		g.panics = nil
-		panic(fmt.Sprintf("forkjoin: child task panicked: %v", r))
+		if cpe, ok := first.val.(*ChildPanicError); ok {
+			panic(cpe) // nested Wait already wrapped it: keep the innermost value
+		}
+		panic(&ChildPanicError{Value: first.val})
 	}
 }
 
@@ -293,7 +402,7 @@ func (w *worker) steal() Task {
 }
 
 func (w *worker) execute(t Task) {
-	t(&Ctx{w})
+	t(&Ctx{w: w})
 	w.pool.executed.Add(1)
 }
 

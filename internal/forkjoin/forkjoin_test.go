@@ -107,8 +107,15 @@ func TestChildPanicPropagatesAtWait(t *testing.T) {
 		if r == nil {
 			t.Fatal("expected panic to propagate out of Run")
 		}
-		if !strings.Contains(r.(string), "boom") {
-			t.Fatalf("panic value %v does not mention cause", r)
+		cpe, ok := r.(*ChildPanicError)
+		if !ok {
+			t.Fatalf("panic value %T, want *ChildPanicError", r)
+		}
+		if cpe.Value != "boom" {
+			t.Fatalf("ChildPanicError.Value = %v, want the original payload", cpe.Value)
+		}
+		if !strings.Contains(cpe.Error(), "boom") {
+			t.Fatalf("error text %q does not mention cause", cpe.Error())
 		}
 	}()
 	p.Run(func(ctx *Ctx) {

@@ -7,6 +7,9 @@
 package fw
 
 import (
+	"context"
+
+	"dpflow/internal/cnc"
 	"dpflow/internal/core"
 	"dpflow/internal/forkjoin"
 	"dpflow/internal/gep"
@@ -40,11 +43,23 @@ func RunCnC(x *matrix.Dense, base, workers int, v core.Variant) (gep.CnCStats, e
 	return Algorithm.RunCnC(x, base, workers, v)
 }
 
+// RunCnCContext is RunCnC with cooperative cancellation and an optional
+// graph-tuning hook (see gep.Algorithm.RunCnCContext).
+func RunCnCContext(ctx context.Context, x *matrix.Dense, base, workers int, v core.Variant, tune func(*cnc.Graph)) (gep.CnCStats, error) {
+	return Algorithm.RunCnCContext(ctx, x, base, workers, v, tune)
+}
+
 // Run dispatches any variant. SerialLoop ignores base, workers and pool.
 func Run(v core.Variant, x *matrix.Dense, base, workers int, pool *forkjoin.Pool) (gep.CnCStats, error) {
+	return RunContext(context.Background(), v, x, base, workers, pool)
+}
+
+// RunContext is Run with cooperative cancellation for the parallel
+// variants.
+func RunContext(ctx context.Context, v core.Variant, x *matrix.Dense, base, workers int, pool *forkjoin.Pool) (gep.CnCStats, error) {
 	if v == core.SerialLoop {
 		Serial(x)
 		return gep.CnCStats{}, nil
 	}
-	return Algorithm.Run(v, x, base, workers, pool)
+	return Algorithm.RunContext(ctx, v, x, base, workers, pool)
 }

@@ -1,6 +1,7 @@
 package gep
 
 import (
+	"context"
 	"fmt"
 
 	"dpflow/internal/cnc"
@@ -72,6 +73,15 @@ type CnCStats struct {
 // (pre-scheduling tuner), Manual (eager full expansion with pre-declared
 // dependencies) or NonBlocking (poll and re-put own tag).
 func (alg Algorithm) RunCnC(x *matrix.Dense, base, workers int, variant core.Variant) (CnCStats, error) {
+	return alg.RunCnCContext(context.Background(), x, base, workers, variant, nil)
+}
+
+// RunCnCContext is RunCnC with cooperative cancellation: a cancelled ctx
+// drains the graph and returns ctx.Err() (see cnc.Graph.RunContext). tune,
+// when non-nil, is called with the built graph before the run starts — the
+// hook the chaos harness uses to install fault-injection hooks and retry
+// budgets without this package knowing about either.
+func (alg Algorithm) RunCnCContext(ctx context.Context, x *matrix.Dense, base, workers int, variant core.Variant, tune func(*cnc.Graph)) (CnCStats, error) {
 	if err := validate(x, base); err != nil {
 		return CnCStats{}, err
 	}
@@ -89,8 +99,11 @@ func (alg Algorithm) RunCnC(x *matrix.Dense, base, workers int, variant core.Var
 		alg:     alg,
 	}
 	d.build()
+	if tune != nil {
+		tune(g)
+	}
 
-	err := g.Run(func() {
+	err := g.RunContext(ctx, func() {
 		if variant == core.ManualCnC {
 			d.expandAll()
 			return

@@ -26,6 +26,7 @@
 package gep
 
 import (
+	"context"
 	"fmt"
 
 	"dpflow/internal/core"
@@ -179,12 +180,18 @@ func (r *serialRec) funcD(i0, j0, k0, s int) {
 // D) are spawned tasks joined by a taskwait, which is exactly where the
 // artificial dependencies come from.
 func (alg Algorithm) ForkJoin(x *matrix.Dense, base int, p *forkjoin.Pool) error {
+	return alg.ForkJoinContext(context.Background(), x, base, p)
+}
+
+// ForkJoinContext is ForkJoin with cooperative cancellation: when ctx is
+// cancelled the pool unwinds the recursion at the next spawn or taskwait
+// and the call returns ctx.Err() (see forkjoin.Pool.RunContext).
+func (alg Algorithm) ForkJoinContext(ctx context.Context, x *matrix.Dense, base int, p *forkjoin.Pool) error {
 	if err := validate(x, base); err != nil {
 		return err
 	}
 	r := fjRec{x: x, base: base, alg: alg}
-	p.Run(func(ctx *forkjoin.Ctx) { r.funcA(ctx, 0, x.Rows()) })
-	return nil
+	return p.RunContext(ctx, func(c *forkjoin.Ctx) { r.funcA(c, 0, x.Rows()) })
 }
 
 type fjRec struct {
@@ -284,6 +291,13 @@ func (r *fjRec) funcD(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 // for variants that create their own runtime; fork-join runs on pool (which
 // must be non-nil for core.OMPTasking).
 func (alg Algorithm) Run(v core.Variant, x *matrix.Dense, base, workers int, pool *forkjoin.Pool) (CnCStats, error) {
+	return alg.RunContext(context.Background(), v, x, base, workers, pool)
+}
+
+// RunContext is Run with cooperative cancellation for the parallel
+// variants; the serial variants run to completion on the calling goroutine
+// and ignore ctx.
+func (alg Algorithm) RunContext(ctx context.Context, v core.Variant, x *matrix.Dense, base, workers int, pool *forkjoin.Pool) (CnCStats, error) {
 	switch v {
 	case core.SerialLoop:
 		return CnCStats{}, fmt.Errorf("gep: SerialLoop is benchmark-specific; call the benchmark's Serial")
@@ -293,9 +307,9 @@ func (alg Algorithm) Run(v core.Variant, x *matrix.Dense, base, workers int, poo
 		if pool == nil {
 			return CnCStats{}, fmt.Errorf("gep: OMPTasking requires a fork-join pool")
 		}
-		return CnCStats{}, alg.ForkJoin(x, base, pool)
+		return CnCStats{}, alg.ForkJoinContext(ctx, x, base, pool)
 	case core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC:
-		return alg.RunCnC(x, base, workers, v)
+		return alg.RunCnCContext(ctx, x, base, workers, v, nil)
 	default:
 		return CnCStats{}, fmt.Errorf("gep: unsupported variant %v", v)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -20,11 +21,15 @@ import (
 const maxSweepTiles = 256
 
 // BestOverBases returns the minimum simulated time of a variant over a
-// base-size sweep, and the base achieving it.
-func BestOverBases(mach *machine.Machine, bench core.BenchID, n int, v core.Variant, bases []int) (float64, int, error) {
+// base-size sweep, and the base achieving it. The sweep checks ctx between
+// points.
+func BestOverBases(ctx context.Context, mach *machine.Machine, bench core.BenchID, n int, v core.Variant, bases []int) (float64, int, error) {
 	cache := map[string]dag.Graph{}
 	best, bestBase := math.Inf(1), 0
 	for _, base := range bases {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
 		if base > n/2 {
 			continue
 		}
@@ -46,7 +51,7 @@ func BestOverBases(mach *machine.Machine, bench core.BenchID, n int, v core.Vari
 // with fixed cores, fork-join overtakes data-flow as the input grows; with
 // a fixed problem, moving to the machine with more cores hands the win back
 // to data-flow.
-func WriteCrossover(w io.Writer) error {
+func WriteCrossover(ctx context.Context, w io.Writer) error {
 	bases := []int{32, 64, 128, 256, 512}
 	fmt.Fprintln(w, "# crossover: best time over base sweep, GE (data-flow = best CnC variant)")
 	fmt.Fprintf(w, "%12s %8s %14s %14s %10s\n", "machine", "n", "data-flow", "fork-join", "winner")
@@ -55,7 +60,7 @@ func WriteCrossover(w io.Writer) error {
 		for _, n := range []int{2048, 4096, 8192, 16384} {
 			df := math.Inf(1)
 			for _, v := range []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC} {
-				t, _, err := BestOverBases(mach, core.GE, n, v, bases)
+				t, _, err := BestOverBases(ctx, mach, core.GE, n, v, bases)
 				if err != nil {
 					return err
 				}
@@ -63,7 +68,7 @@ func WriteCrossover(w io.Writer) error {
 					df = t
 				}
 			}
-			fj, _, err := BestOverBases(mach, core.GE, n, core.OMPTasking, bases)
+			fj, _, err := BestOverBases(ctx, mach, core.GE, n, core.OMPTasking, bases)
 			if err != nil {
 				return err
 			}
@@ -81,7 +86,7 @@ func WriteCrossover(w io.Writer) error {
 // fork-join span of R-DP Smith-Waterman grows like T^lg3 while the
 // data-flow span grows like 2T-1, so the artificial-dependency penalty is
 // unbounded.
-func WriteSWSpan(w io.Writer) error {
+func WriteSWSpan(ctx context.Context, w io.Writer) error {
 	var unit simsched.Costs
 	for k := 0; k < dag.NumKinds; k++ {
 		if dag.Kind(k) != dag.KindJoin {
@@ -91,6 +96,9 @@ func WriteSWSpan(w io.Writer) error {
 	fmt.Fprintln(w, "# swspan: critical path length (in unit tasks) of R-DP Smith-Waterman")
 	fmt.Fprintf(w, "%8s %12s %12s %8s %22s\n", "tiles", "data-flow", "fork-join", "ratio", "theory fj = T^lg3")
 	for _, tiles := range []int{4, 8, 16, 32, 64, 128} {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		df, err := simsched.Simulate(dag.NewSWDataflow(tiles), 0, unit)
 		if err != nil {
 			return err
@@ -106,6 +114,9 @@ func WriteSWSpan(w io.Writer) error {
 	fmt.Fprintln(w, "\n# GE spans for comparison (A->B/C->D chain: data-flow = 3T-2)")
 	fmt.Fprintf(w, "%8s %12s %12s %8s\n", "tiles", "data-flow", "fork-join", "ratio")
 	for _, tiles := range []int{4, 8, 16, 32, 64} {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		df, err := simsched.Simulate(dag.NewGEPDataflow(tiles, gep.Triangular), 0, unit)
 		if err != nil {
 			return err
@@ -122,7 +133,7 @@ func WriteSWSpan(w io.Writer) error {
 // WriteBestBlock reproduces the paper's closing observation that the best
 // running times land at interior block sizes (the paper reports 128–256 on
 // its testbeds) for every variant of every benchmark.
-func WriteBestBlock(w io.Writer) error {
+func WriteBestBlock(ctx context.Context, w io.Writer) error {
 	bases := []int{16, 32, 64, 128, 256, 512, 1024}
 	fmt.Fprintln(w, "# bestblock: argmin base size per benchmark/machine/variant, n=8192")
 	fmt.Fprintf(w, "%12s %10s %14s %10s %14s\n", "machine", "bench", "variant", "best base", "time")
@@ -130,7 +141,7 @@ func WriteBestBlock(w io.Writer) error {
 		mach := mk()
 		for _, bench := range []core.BenchID{core.GE, core.SW, core.FW} {
 			for _, v := range core.ParallelVariants {
-				t, base, err := BestOverBases(mach, bench, 8192, v, bases)
+				t, base, err := BestOverBases(ctx, mach, bench, 8192, v, bases)
 				if err != nil {
 					return err
 				}
@@ -146,7 +157,7 @@ func WriteBestBlock(w io.Writer) error {
 // recover: as the split arity r grows toward the tile count, the fork-join
 // span approaches the data-flow span — at the cost of giving up cache
 // obliviousness.
-func WriteRWay(w io.Writer) error {
+func WriteRWay(ctx context.Context, w io.Writer) error {
 	mach := machine.EPYC64()
 	const (
 		n     = 8192
@@ -175,6 +186,9 @@ func WriteRWay(w io.Writer) error {
 	fmt.Fprintf(w, "%10s %14s %14s %14s\n", "r", "span (tasks)", "sim time (s)", "vs data-flow")
 	fmt.Fprintf(w, "%10s %14.0f %14.4f %14s\n", "data-flow", dfSpan.Makespan, dfTime.Makespan, "1.00")
 	for _, r := range []int{2, 4, 8, tiles} {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		g := dag.NewGEPForkJoinR(tiles, r, gep.Triangular)
 		span, err := simsched.Simulate(g, 0, unit)
 		if err != nil {
@@ -195,7 +209,7 @@ func WriteRWay(w io.Writer) error {
 // modelled cost of a tile's three-block working set crossing the socket
 // interconnect; the policy column shows FIFO dispatch (no placement) versus
 // home-socket-preferring dispatch.
-func WriteComputeOn(w io.Writer) error {
+func WriteComputeOn(ctx context.Context, w io.Writer) error {
 	mach := machine.SKYLAKE192()
 	const (
 		n    = 8192
@@ -218,6 +232,9 @@ func WriteComputeOn(w io.Writer) error {
 		name   string
 		prefer bool
 	}{{"fifo (no hint)", false}, {"compute_on", true}} {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r, err := simsched.SimulateAffinity(df, mach.Cores, costs, simsched.Affinity{
 			Sockets:        mach.Sockets,
 			Home:           home,
@@ -237,7 +254,7 @@ func WriteComputeOn(w io.Writer) error {
 // continuous form of the paper's "more cores favour data-flow" claim (and
 // the strong-scaling presentation its related-work section cites for CnC).
 // The speedup columns are T_serial / T_P per execution model.
-func WriteScaling(w io.Writer) error {
+func WriteScaling(ctx context.Context, w io.Writer) error {
 	const (
 		n    = 4096
 		base = 128
@@ -266,6 +283,9 @@ func WriteScaling(w io.Writer) error {
 		fmt.Fprintf(w, "%8s %14s %12s %14s %12s %10s\n",
 			"P", "data-flow (s)", "speedup", "fork-join (s)", "speedup", "winner")
 		for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			rdf, err := simsched.Simulate(df, p, dfCosts)
 			if err != nil {
 				return err
@@ -292,7 +312,7 @@ func WriteScaling(w io.Writer) error {
 // small-base rows show communication swamping the extra parallelism; the
 // large-base rows scale until starvation — the surface-to-volume tradeoff
 // distributed R-DP work revolves around.
-func WriteCluster(w io.Writer) error {
+func WriteCluster(ctx context.Context, w io.Writer) error {
 	mach := machine.EPYC64()
 	const n = 8192
 	fmt.Fprintf(w, "# cluster: distributed data-flow GE, n=%d, owner-computes block-cyclic tiles\n", n)
@@ -306,6 +326,9 @@ func WriteCluster(w io.Writer) error {
 		transfer := float64(m*m*8) / (10 << 30) // tile over 10 GiB/s links
 		var t1 float64
 		for _, nodes := range []int{1, 2, 4, 8, 16} {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			pr := 1
 			for pr*pr < nodes {
 				pr *= 2
@@ -340,12 +363,15 @@ func WriteCluster(w io.Writer) error {
 // barrier-per-wavefront fork-join of footnote 6 (span-optimal but rigid),
 // and the pure data-flow wavefront. Simulated on EPYC-64 with per-variant
 // overheads.
-func WriteSWWave(w io.Writer) error {
+func WriteSWWave(ctx context.Context, w io.Writer) error {
 	mach := machine.EPYC64()
 	const n = 8192
 	fmt.Fprintf(w, "# swwave: three SW schedules, n=%d on %s\n", n, mach.Name)
 	fmt.Fprintf(w, "%8s %18s %18s %18s\n", "base", "fj-recursion (s)", "fj-wavefront (s)", "data-flow (s)")
 	for _, base := range []int{64, 128, 256, 512} {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tiles := n / gep.BaseSize(n, base)
 		df := dag.NewSWDataflow(tiles)
 		costsFJ := model.CostsFor(mach, core.SW, n, base, core.OMPTasking, df.Len())

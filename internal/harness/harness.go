@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -158,6 +159,13 @@ func simulatePoint(cache map[string]dag.Graph, mach *machine.Machine, bench core
 
 // Run executes the experiment.
 func (e Experiment) Run(opts Options) (*FigureResult, error) {
+	return e.RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cooperative cancellation: the sweep checks ctx
+// between points, so a deadline or interrupt abandons the remaining points
+// and returns ctx.Err() instead of a partial result.
+func (e Experiment) RunContext(ctx context.Context, opts Options) (*FigureResult, error) {
 	mach := e.Machine()
 	res := &FigureResult{Exp: e}
 	for _, fullN := range e.Ns {
@@ -179,6 +187,9 @@ func (e Experiment) Run(opts Options) (*FigureResult, error) {
 		}
 		cache := map[string]dag.Graph{}
 		for _, base := range e.BasesFor(fullN) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			b := base >> opts.Scale
 			if b < 1 || b > n/2 {
 				continue

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -105,7 +107,7 @@ func TestSimulatePointAllBenches(t *testing.T) {
 
 func TestBestOverBases(t *testing.T) {
 	mach := machine.EPYC64()
-	best, base, err := BestOverBases(mach, core.GE, 2048, core.TunerCnC, []int{32, 64, 128})
+	best, base, err := BestOverBases(context.Background(), mach, core.GE, 2048, core.TunerCnC, []int{32, 64, 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,14 +121,14 @@ func TestClaimsReports(t *testing.T) {
 		t.Skip("claims sweep is slow")
 	}
 	var sb strings.Builder
-	if err := WriteSWSpan(&sb); err != nil {
+	if err := WriteSWSpan(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "swspan") {
 		t.Fatal("swspan header missing")
 	}
 	sb.Reset()
-	if err := WriteBestBlock(&sb); err != nil {
+	if err := WriteBestBlock(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -172,24 +174,44 @@ func TestExtensionReports(t *testing.T) {
 		t.Skip("extension sweeps are slow")
 	}
 	var sb strings.Builder
-	if err := WriteRWay(&sb); err != nil {
+	if err := WriteRWay(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "data-flow") {
 		t.Fatal("rway output incomplete")
 	}
 	sb.Reset()
-	if err := WriteComputeOn(&sb); err != nil {
+	if err := WriteComputeOn(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "compute_on") {
 		t.Fatal("computeon output incomplete")
 	}
 	sb.Reset()
-	if err := WriteScaling(&sb); err != nil {
+	if err := WriteScaling(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "speedup") {
 		t.Fatal("scaling output incomplete")
+	}
+}
+
+// A pre-cancelled context must abort a sweep before it simulates anything.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exp, _ := FigureByID("fig4")
+	if _, err := exp.RunContext(ctx, Options{Scale: 3, MaxTiles: 64}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if _, err := RunTable1Context(ctx, 16); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunTable1Context = %v, want context.Canceled", err)
+	}
+	var sb strings.Builder
+	if err := WriteCrossover(ctx, &sb); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WriteCrossover = %v, want context.Canceled", err)
+	}
+	if _, _, err := BestOverBases(ctx, machine.EPYC64(), core.GE, 2048, core.TunerCnC, []int{64}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BestOverBases = %v, want context.Canceled", err)
 	}
 }

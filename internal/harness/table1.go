@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -48,6 +49,13 @@ var paperTable1 = map[int][2]float64{
 // demonstrates; scale=1 runs the paper's exact geometry. L2 and L3 use
 // hashed set indexing like the physical caches PAPI measured.
 func RunTable1(scale int) (*Table1Result, error) {
+	return RunTable1Context(context.Background(), scale)
+}
+
+// RunTable1Context is RunTable1 with cooperative cancellation: checked
+// between rows and, because a single full-scale trace can run for minutes,
+// inside each trace between base blocks.
+func RunTable1Context(ctx context.Context, scale int) (*Table1Result, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -63,6 +71,9 @@ func RunTable1(scale int) (*Table1Result, error) {
 	}
 	res := &Table1Result{N: n, Scale: scale}
 	for _, paperBase := range []int{64, 128, 256, 512, 1024, 2048} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		base := paperBase / scale
 		if base < 2 {
 			continue
@@ -72,7 +83,7 @@ func RunTable1(scale int) (*Table1Result, error) {
 			cachesim.LevelConfig{Name: "L2", SizeBytes: paperL2 / (scale * scale), LineBytes: 64, Ways: 16, Hashed: true},
 			cachesim.LevelConfig{Name: "L3", SizeBytes: paperL3 / (scale * scale), LineBytes: 64, Ways: 16, Hashed: true},
 		)
-		stats, err := cachesim.TraceRDPGE(h, n, base)
+		stats, err := cachesim.TraceRDPGEContext(ctx, h, n, base)
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -140,21 +141,29 @@ func (p *Problem) RDPSerial(m *matrix.Dense, base int) (float64, error) {
 // parallel, a taskwait barrier between diagonals — the natural join
 // placement for this DP (any coarser nesting serialises more).
 func (p *Problem) ForkJoin(m *matrix.Dense, base int, pool *forkjoin.Pool) (float64, error) {
+	return p.ForkJoinContext(context.Background(), m, base, pool)
+}
+
+// ForkJoinContext is ForkJoin with cooperative cancellation: a cancelled
+// ctx abandons the remaining anti-diagonals and returns ctx.Err().
+func (p *Problem) ForkJoinContext(ctx context.Context, m *matrix.Dense, base int, pool *forkjoin.Pool) (float64, error) {
 	if err := p.validate(base); err != nil {
 		return 0, err
 	}
 	bs := gep.BaseSize(p.N(), base)
 	tiles := p.N() / bs
-	pool.Run(func(ctx *forkjoin.Ctx) {
+	if err := pool.RunContext(ctx, func(c *forkjoin.Ctx) {
 		var g forkjoin.Group
 		for gap := 0; gap < tiles; gap++ {
 			for i := 0; i+gap < tiles; i++ {
 				ti, tj := i, i+gap
-				ctx.Spawn(&g, func(*forkjoin.Ctx) { p.TileKernel(m, ti, tj, bs) })
+				c.Spawn(&g, func(*forkjoin.Ctx) { p.TileKernel(m, ti, tj, bs) })
 			}
-			ctx.Wait(&g)
+			c.Wait(&g)
 		}
-	})
+	}); err != nil {
+		return 0, err
+	}
 	return m.At(1, p.N()), nil
 }
 
@@ -167,6 +176,13 @@ type Tile struct{ I, J int }
 // grows with the tile's distance from the diagonal, which exercises the
 // tuners' countdown machinery at high fan-in.
 func (p *Problem) RunCnC(m *matrix.Dense, base, workers int, variant core.Variant) (float64, gep.CnCStats, error) {
+	return p.RunCnCContext(context.Background(), m, base, workers, variant, nil)
+}
+
+// RunCnCContext is RunCnC with cooperative cancellation; tune, when
+// non-nil, receives the built graph before the run starts (the chaos
+// harness's injection hook).
+func (p *Problem) RunCnCContext(ctx context.Context, m *matrix.Dense, base, workers int, variant core.Variant, tune func(*cnc.Graph)) (float64, gep.CnCStats, error) {
 	if err := p.validate(base); err != nil {
 		return 0, gep.CnCStats{}, err
 	}
@@ -217,8 +233,11 @@ func (p *Problem) RunCnC(m *matrix.Dense, base, workers int, variant core.Varian
 		step.WithDeps(cnc.TunedTriggered, deps)
 	}
 	tags.Prescribe(step)
+	if tune != nil {
+		tune(g)
+	}
 
-	err := g.Run(func() {
+	err := g.RunContext(ctx, func() {
 		for gap := 0; gap < tiles; gap++ {
 			for i := 0; i+gap < tiles; i++ {
 				tags.Put(Tile{i, i + gap})
@@ -234,6 +253,12 @@ func (p *Problem) RunCnC(m *matrix.Dense, base, workers int, variant core.Varian
 
 // Run dispatches any variant, allocating the table internally.
 func (p *Problem) Run(v core.Variant, base, workers int, pool *forkjoin.Pool) (float64, error) {
+	return p.RunContext(context.Background(), v, base, workers, pool)
+}
+
+// RunContext is Run with cooperative cancellation for the parallel
+// variants; the serial variants ignore ctx.
+func (p *Problem) RunContext(ctx context.Context, v core.Variant, base, workers int, pool *forkjoin.Pool) (float64, error) {
 	m := p.NewTable()
 	switch v {
 	case core.SerialLoop:
@@ -244,9 +269,9 @@ func (p *Problem) Run(v core.Variant, base, workers int, pool *forkjoin.Pool) (f
 		if pool == nil {
 			return 0, fmt.Errorf("par: OMPTasking requires a fork-join pool")
 		}
-		return p.ForkJoin(m, base, pool)
+		return p.ForkJoinContext(ctx, m, base, pool)
 	case core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC:
-		cost, _, err := p.RunCnC(m, base, workers, v)
+		cost, _, err := p.RunCnCContext(ctx, m, base, workers, v, nil)
 		return cost, err
 	default:
 		return 0, fmt.Errorf("par: unsupported variant %v", v)

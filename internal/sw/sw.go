@@ -14,6 +14,7 @@
 package sw
 
 import (
+	"context"
 	"fmt"
 
 	"dpflow/internal/cnc"
@@ -88,10 +89,18 @@ func (p *Problem) recurse(h *matrix.Dense, i0, j0, s, base int) {
 // ForkJoin runs the fork-join R-DP SW on pool: R(X00); R(X01) ∥ R(X10);
 // join; R(X11), with the same structure recursively.
 func (p *Problem) ForkJoin(h *matrix.Dense, base int, pool *forkjoin.Pool) (float64, error) {
+	return p.ForkJoinContext(context.Background(), h, base, pool)
+}
+
+// ForkJoinContext is ForkJoin with cooperative cancellation: a cancelled
+// ctx unwinds the recursion and returns ctx.Err() with a partial table.
+func (p *Problem) ForkJoinContext(ctx context.Context, h *matrix.Dense, base int, pool *forkjoin.Pool) (float64, error) {
 	if err := p.validate(h, base); err != nil {
 		return 0, err
 	}
-	pool.Run(func(ctx *forkjoin.Ctx) { p.fjRecurse(ctx, h, 0, 0, p.N(), base) })
+	if err := pool.RunContext(ctx, func(c *forkjoin.Ctx) { p.fjRecurse(c, h, 0, 0, p.N(), base) }); err != nil {
+		return 0, err
+	}
 	return kernels.MaxScore(h), nil
 }
 
@@ -139,6 +148,13 @@ func NewCnCGraph(name string) *cnc.Graph {
 // soon as their west, north and north-west neighbours are done — the
 // wavefront the fork-join version cannot express.
 func (p *Problem) RunCnC(h *matrix.Dense, base, workers int, variant core.Variant) (float64, gep.CnCStats, error) {
+	return p.RunCnCContext(context.Background(), h, base, workers, variant, nil)
+}
+
+// RunCnCContext is RunCnC with cooperative cancellation; tune, when
+// non-nil, receives the built graph before the run starts (the chaos
+// harness's injection hook).
+func (p *Problem) RunCnCContext(ctx context.Context, h *matrix.Dense, base, workers int, variant core.Variant, tune func(*cnc.Graph)) (float64, gep.CnCStats, error) {
 	if err := p.validate(h, base); err != nil {
 		return 0, gep.CnCStats{}, err
 	}
@@ -202,8 +218,11 @@ func (p *Problem) RunCnC(h *matrix.Dense, base, workers int, variant core.Varian
 		step.WithDeps(cnc.TunedTriggered, deps)
 	}
 	tags.Prescribe(step)
+	if tune != nil {
+		tune(g)
+	}
 
-	err := g.Run(func() {
+	err := g.RunContext(ctx, func() {
 		if variant == core.ManualCnC {
 			for i := 0; i < tiles; i++ {
 				for j := 0; j < tiles; j++ {
@@ -224,6 +243,12 @@ func (p *Problem) RunCnC(h *matrix.Dense, base, workers int, variant core.Varian
 // Run dispatches any variant; it allocates the table internally and returns
 // the alignment score.
 func (p *Problem) Run(v core.Variant, base, workers int, pool *forkjoin.Pool) (float64, error) {
+	return p.RunContext(context.Background(), v, base, workers, pool)
+}
+
+// RunContext is Run with cooperative cancellation for the parallel
+// variants; the serial variants ignore ctx.
+func (p *Problem) RunContext(ctx context.Context, v core.Variant, base, workers int, pool *forkjoin.Pool) (float64, error) {
 	h := p.NewTable()
 	switch v {
 	case core.SerialLoop:
@@ -234,9 +259,9 @@ func (p *Problem) Run(v core.Variant, base, workers int, pool *forkjoin.Pool) (f
 		if pool == nil {
 			return 0, fmt.Errorf("sw: OMPTasking requires a fork-join pool")
 		}
-		return p.ForkJoin(h, base, pool)
+		return p.ForkJoinContext(ctx, h, base, pool)
 	case core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC:
-		score, _, err := p.RunCnC(h, base, workers, v)
+		score, _, err := p.RunCnCContext(ctx, h, base, workers, v, nil)
 		return score, err
 	default:
 		return 0, fmt.Errorf("sw: unsupported variant %v", v)
