@@ -1,6 +1,8 @@
 // Command dpbench regenerates the paper's evaluation artifacts: every
-// figure (fig4..fig9), Table I (table1), and the §IV-B claims reports
-// (crossover, swspan, bestblock).
+// figure (fig4..fig9), Table I (table1), the §IV-B claims reports
+// (crossover, swspan, bestblock), and the bounded-memory contract report
+// (memory: get-count GC leak freedom plus backpressure under a live-set
+// budget on real GE/FW/SW runs).
 //
 // Usage:
 //
@@ -97,6 +99,8 @@ func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTi
 		return harness.WriteCluster(ctx, os.Stdout)
 	case "swwave":
 		return harness.WriteSWWave(ctx, os.Stdout)
+	case "memory":
+		return harness.WriteMemory(ctx, os.Stdout)
 	}
 	e, ok := harness.FigureByID(id)
 	if !ok {

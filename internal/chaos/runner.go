@@ -62,6 +62,14 @@ type Result struct {
 	// DeadlineFired reports that the hard deadline expired — a harness
 	// failure in any expected scenario, fatal in tests.
 	DeadlineFired bool
+	// LiveItems, PeakLiveItems, ItemsFreed, and BackpressureStalls are the
+	// memory accounting of the last graph the run built. After a verified
+	// run of a graph with declared get-counts, LiveItems must be 0 — the
+	// leak-freedom claim the runner enforces itself.
+	LiveItems          int64
+	PeakLiveItems      int64
+	ItemsFreed         int64
+	BackpressureStalls int64
 }
 
 // Drive runs target once under fault with the given seed and classifies
@@ -81,7 +89,9 @@ func (r *Runner) Drive(target Target, fault Fault, seed int64) Result {
 
 	var probe *Probe
 	var wd *Watchdog
+	var graph *cnc.Graph
 	tune := func(g *cnc.Graph) {
+		graph = g
 		probe = fault.Arm(g, rng)
 		if r.Retry > 0 && fault.Recoverable() {
 			g.SetRetry(r.Retry)
@@ -112,6 +122,15 @@ func (r *Runner) Drive(target Target, fault Fault, seed int64) Result {
 	}
 	res.DeadlineFired = errors.Is(err, context.DeadlineExceeded) || ctx.Err() == context.DeadlineExceeded
 
+	var stats cnc.Stats
+	if graph != nil {
+		stats = graph.Stats()
+		res.LiveItems = stats.LiveItems
+		res.PeakLiveItems = stats.PeakLiveItems
+		res.ItemsFreed = stats.ItemsFreed
+		res.BackpressureStalls = stats.BackpressureStalls
+	}
+
 	switch {
 	case err != nil:
 		res.Err = fmt.Errorf("chaos: %s under fault %s (seed %d, %d injections): %w",
@@ -120,6 +139,16 @@ func (r *Runner) Drive(target Target, fault Fault, seed int64) Result {
 		if verr := target.Verify(); verr != nil {
 			res.Err = fmt.Errorf("%w: fault %s corrupted %s (seed %d, fired %v): %v",
 				ErrInjected, fault.Name(), target.Name, seed, res.Fired, verr)
+		}
+	}
+	// Leak freedom rides along with every verified run: a graph with
+	// declared get-counts that survived the fault must also have freed
+	// every item it put. A leak here means a fault path (retry, abort
+	// re-read, dropped tag, delayed put) broke the release accounting.
+	if res.Err == nil && graph != nil && graph.HasGetCounts() {
+		if stats.LiveItems != 0 {
+			res.Err = fmt.Errorf("chaos: %s under fault %s (seed %d): run verified but leaked %d of %d items (freed %d)",
+				target.Name, fault.Name(), seed, stats.LiveItems, stats.ItemsPut, stats.ItemsFreed)
 		}
 	}
 	return res

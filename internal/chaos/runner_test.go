@@ -158,7 +158,19 @@ func TestChaosSweep(t *testing.T) {
 							seed, target.Name, res.Stalled, res.Blocked)
 					}
 					if res.Err == nil {
-						continue // completed and verified against the serial reference
+						// Completed and verified against the serial
+						// reference — the leak-freedom claim must hold
+						// too: these graphs declare get-counts, so every
+						// item put must have been freed despite the
+						// injected retries, re-reads, and delays.
+						if res.LiveItems != 0 {
+							t.Fatalf("seed %d %s: verified run leaked %d items (freed %d)",
+								seed, target.Name, res.LiveItems, res.ItemsFreed)
+						}
+						if res.ItemsFreed == 0 {
+							t.Fatalf("seed %d %s: verified run freed no items; get-counts not wired", seed, target.Name)
+						}
+						continue
 					}
 					// A failed run must name the fault precisely and must
 					// stem from an actual injection, not a runtime bug.
@@ -237,5 +249,40 @@ func TestRunnerVerifyFailureNamesFault(t *testing.T) {
 	}
 	if !strings.Contains(res.Err.Error(), "drop-tag") || !strings.Contains(res.Err.Error(), "always-wrong") {
 		t.Fatalf("Err does not name fault and target: %v", res.Err)
+	}
+}
+
+// TestRunnerDetectsLeak drives a target whose graph declares a get-count
+// higher than the actual read count: the run completes and verifies, but
+// items stay live, and the runner must flag the leak as an error.
+func TestRunnerDetectsLeak(t *testing.T) {
+	r := &chaos.Runner{Timeout: 10 * time.Second}
+	target := chaos.Target{
+		Name: "leaky",
+		Run: func(ctx context.Context, tune func(*cnc.Graph)) error {
+			g := cnc.NewGraph("leaky", 1)
+			tune(g)
+			items := cnc.NewItemCollection[int, int](g, "items")
+			items.WithGetCount(func(int) int { return 2 }) // actual reads: 1
+			tags := cnc.NewTagCollection[int](g, "tags", false)
+			step := cnc.NewStepCollection(g, "read", func(i int) error {
+				items.Get(i)
+				return nil
+			})
+			step.WithGets(func(i int) []cnc.Dep { return []cnc.Dep{items.Key(i)} })
+			tags.Prescribe(step)
+			return g.RunContext(ctx, func() {
+				items.Put(1, 10)
+				tags.Put(1)
+			})
+		},
+		Verify: func() error { return nil },
+	}
+	res := r.Drive(target, &chaos.DropTag{Prob: 0, Times: 0}, 1)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "leaked") {
+		t.Fatalf("Err = %v, want leak report", res.Err)
+	}
+	if res.LiveItems != 1 || res.ItemsFreed != 0 {
+		t.Fatalf("LiveItems = %d, ItemsFreed = %d, want 1 live / 0 freed", res.LiveItems, res.ItemsFreed)
 	}
 }

@@ -1,0 +1,360 @@
+package cnc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BackpressureReport is the diagnostic snapshot delivered to
+// Hooks.OnBackpressureStall the first time backpressure cannot clear: the
+// graph went idle — no step running, queued, or able to run — while
+// deferred puts were still waiting for budget, and the runtime had to admit
+// one over budget to preserve liveness. It is the backpressure analogue of
+// the chaos watchdog's stall dump: enough state to explain why the budget
+// could not clear.
+type BackpressureReport struct {
+	// LiveItems and LiveBytes are the accountant's state at stall time.
+	LiveItems int64
+	LiveBytes int64
+	// Reserved is the budget committed to admitted-but-unmaterialised work.
+	Reserved int64
+	// Limit is the configured memory budget.
+	Limit int64
+	// Pending is the number of deferred tag puts still waiting for budget.
+	Pending int
+	// Blocked is the parked-instance dump (Graph.Blocked) at stall time.
+	Blocked []string
+}
+
+// pendingPut is one deferred throttled tag put: its declared byte cost, a
+// readiness probe (are the prescribed steps' declared gets all present?),
+// a freeable probe (how many bytes would its steps free on completion?),
+// and the put itself.
+type pendingPut struct {
+	cost     int64
+	ready    func() bool
+	freeable func() int64
+	put      func()
+}
+
+// accountant tracks live items and bytes for one graph and implements the
+// admission control behind Graph.WithMemoryLimit.
+//
+// Two kinds of budget consumption exist:
+//
+//   - live bytes: items put on collections with a SizeOf hint and not yet
+//     freed by get-count garbage collection;
+//   - reserved bytes: tags admitted through TagCollection.PutThrottled whose
+//     declared cost (WithTagBytes) has been committed but whose item has not
+//     materialised yet. Reservations convert to live bytes as items are put,
+//     so admission sees the memory a tag *will* occupy, not only the memory
+//     already occupied.
+//
+// Throttling is asynchronous: a PutThrottled that does not fit (or whose
+// step's declared gets are not all present yet) is deferred, not blocked —
+// the putter continues immediately, and the deferred tag is admitted later
+// by the pump. Deferring instead of blocking is what makes throttling safe
+// from inside step bodies: a blocked worker goroutine cannot execute the
+// very consumers whose completions would free the budget it waits for.
+//
+// The pump admits pending puts in FIFO order, skipping entries that do not
+// fit under the limit or whose dependencies are still missing. The
+// readiness gate matters as much as the byte check: admitting a tag whose
+// step immediately parks converts budget into a reservation nothing can
+// free, and enough of those wedge the graph. Gating on readiness keeps the
+// budget working on steps that can actually run, complete, and release
+// their inputs — the degraded-parallelism mode the memory limit promises.
+//
+// Admission also weighs each put's net memory effect. A put is *freeing*
+// when its steps' declared gets include enough last-read items (remaining
+// get-count 1) to cover the put's own cost: running it does not grow the
+// live set. Freeing puts may fill the budget completely. *Growing* puts
+// must leave maxCost of headroom, so that a freeing consumer of the bytes
+// they produce always remains admissible. Without that asymmetry the
+// budget fills to exactly the limit with items whose consumers each cost
+// one more tag than is left — a self-inflicted wedge in which only forced
+// admissions make progress.
+//
+// Liveness: if the graph goes fully idle (no step queued or executing, no
+// environment running) while puts are still pending, no free can ever land
+// and the budget will never clear — the bound is infeasible for this graph
+// and schedule. The pump then force-admits the oldest runnable entry,
+// records a BackpressureStall, and reports the first such event through
+// Hooks.OnBackpressureStall. The run degrades gracefully — the footprint
+// exceeds the limit by the minimum needed to restore progress — instead of
+// deadlocking or aborting.
+type accountant struct {
+	g *Graph
+
+	// limit is write-before-Run configuration.
+	limit int64
+
+	mu        sync.Mutex
+	liveItems int64
+	liveBytes int64
+	reserved  int64
+	maxCost   int64 // largest throttled-put cost seen (growing-put headroom)
+	peakItems int64
+	peakBytes int64
+	freed     int64
+	waits     int64
+	stalls    int64
+	reported  bool // the stall hook fired (at most once per run)
+	pending   []pendingPut
+
+	// pendingN mirrors len(pending) for lock-free fast-path checks on the
+	// hot put/free/taskDone paths.
+	pendingN atomic.Int64
+
+	// pumpMu serialises pump passes; repump coalesces triggers that arrive
+	// while a pass is running (including reentrant ones from inline step
+	// execution inside an admitted put).
+	pumpMu sync.Mutex
+	repump atomic.Bool
+}
+
+func (a *accountant) init(g *Graph) { a.g = g }
+
+// limited reports whether a memory budget is configured.
+func (a *accountant) limited() bool { return a.limit > 0 }
+
+// admitItem charges one put item of the given size. Reserved bytes are
+// converted first: the item materialises work whose cost admission already
+// committed, so a put of a fully reserved item never raises the total.
+func (a *accountant) admitItem(size int64) {
+	a.mu.Lock()
+	if conv := a.reserved; conv > 0 {
+		if conv > size {
+			conv = size
+		}
+		a.reserved -= conv
+	}
+	a.liveItems++
+	a.liveBytes += size
+	if a.liveItems > a.peakItems {
+		a.peakItems = a.liveItems
+	}
+	if a.liveBytes > a.peakBytes {
+		a.peakBytes = a.liveBytes
+	}
+	a.mu.Unlock()
+}
+
+// admissible reports whether a put of the given cost and freeable bytes
+// fits the budget now. Freeing puts (freeable covers cost) may fill it
+// completely; growing puts leave maxCost of headroom so a freeing consumer
+// is always admissible. Callers hold a.mu.
+func (a *accountant) admissible(cost, freeable int64) bool {
+	total := a.liveBytes + a.reserved + cost
+	if total > a.limit {
+		return false
+	}
+	if freeable >= cost {
+		return true
+	}
+	// Growing puts leave headroom for a freeing consumer — unless the
+	// budget is empty, in which case there is nothing a consumer could
+	// free and the headroom would only strand limits smaller than two
+	// tags.
+	return a.liveBytes+a.reserved == 0 || total+a.maxCost <= a.limit
+}
+
+// enqueue admits one throttled tag put immediately when it fits and is
+// runnable, and defers it to the pending queue otherwise. Callers must have
+// checked limited().
+func (a *accountant) enqueue(cost int64, ready func() bool, freeable func() int64, put func()) {
+	if a.g.cancelled.Load() {
+		put() // drain mode retires the instance without executing it
+		return
+	}
+	a.mu.Lock()
+	if cost > a.maxCost {
+		a.maxCost = cost
+	}
+	if len(a.pending) == 0 && a.liveBytes+a.reserved+cost <= a.limit &&
+		ready() && a.admissible(cost, freeable()) {
+		a.reserved += cost
+		a.mu.Unlock()
+		put()
+		return
+	}
+	a.waits++
+	a.pending = append(a.pending, pendingPut{cost: cost, ready: ready, freeable: freeable, put: put})
+	a.pendingN.Add(1)
+	// A pending put holds the graph open: quiescence must wait for every
+	// deferred tag to be admitted (or flushed by cancellation).
+	a.g.outstanding.Add(1)
+	a.mu.Unlock()
+	a.pump()
+}
+
+// pump runs admission passes until no trigger is outstanding. TryLock plus
+// the repump flag coalesces concurrent and reentrant triggers (an admitted
+// put can run a step inline, which can free items and re-trigger the pump)
+// into the single running pass.
+func (a *accountant) pump() {
+	for a.pendingN.Load() > 0 {
+		if !a.pumpMu.TryLock() {
+			a.repump.Store(true)
+			return
+		}
+		a.repump.Store(false)
+		a.drain()
+		a.pumpMu.Unlock()
+		if !a.repump.Load() {
+			return
+		}
+	}
+}
+
+// drain admits pending puts until none is admissible. Each admission
+// releases a.mu before calling the put, so admitted tags can prescribe,
+// inline-run, and re-defer without holding the accountant lock.
+func (a *accountant) drain() {
+	for {
+		a.mu.Lock()
+		if len(a.pending) == 0 {
+			a.mu.Unlock()
+			return
+		}
+		idx, forced := -1, false
+		if a.g.cancelled.Load() {
+			idx = 0 // flush: drain mode retires instances without executing
+		} else {
+			for i := range a.pending {
+				p := &a.pending[i]
+				if a.liveBytes+a.reserved+p.cost > a.limit {
+					continue // cheap prune before the dependency probes
+				}
+				if p.ready() && a.admissible(p.cost, p.freeable()) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				// Nothing fits (or is runnable). If the rest of the graph is
+				// idle — every outstanding unit is one of our own pending
+				// holds — no free can ever land: force-admit an entry to
+				// preserve liveness. Prefer a runnable memory-releasing one
+				// so the degraded run tracks the live-set floor instead of
+				// replaying the unbounded schedule.
+				if a.g.outstanding.Load() <= int64(len(a.pending)) {
+					forced = true
+					for i := range a.pending {
+						p := &a.pending[i]
+						if p.ready() && p.freeable() >= p.cost {
+							idx = i
+							break
+						}
+					}
+					if idx < 0 {
+						for i := range a.pending {
+							if a.pending[i].ready() {
+								idx = i
+								break
+							}
+						}
+					}
+					if idx < 0 {
+						idx = 0 // nothing runnable either: flush in order
+					}
+				}
+			}
+		}
+		if idx < 0 {
+			a.mu.Unlock()
+			return
+		}
+		p := a.pending[idx]
+		a.pending = append(a.pending[:idx], a.pending[idx+1:]...)
+		a.pendingN.Add(-1)
+		a.reserved += p.cost
+		var report *BackpressureReport
+		if forced {
+			a.stalls++
+			if !a.reported {
+				a.reported = true
+				report = &BackpressureReport{
+					LiveItems: a.liveItems,
+					LiveBytes: a.liveBytes,
+					Reserved:  a.reserved,
+					Limit:     a.limit,
+					Pending:   len(a.pending) + 1,
+				}
+			}
+		}
+		a.mu.Unlock()
+		if report != nil {
+			report.Blocked = a.g.collectBlocked()
+			if h := a.g.hooks; h != nil && h.OnBackpressureStall != nil {
+				h.OnBackpressureStall(*report)
+			}
+		}
+		p.put()
+		a.g.taskDone() // release the pending hold after the put lands
+	}
+}
+
+// free retires one item of the given size and re-triggers admission.
+func (a *accountant) free(size int64) {
+	a.mu.Lock()
+	a.liveItems--
+	a.liveBytes -= size
+	a.freed++
+	a.mu.Unlock()
+	if a.pendingN.Load() > 0 {
+		a.pump()
+	}
+}
+
+// refund undoes an admitItem whose put failed (single-assignment violation
+// or use-after-free re-put): the item never became live.
+func (a *accountant) refund(size int64) {
+	a.mu.Lock()
+	a.liveItems--
+	a.liveBytes -= size
+	a.mu.Unlock()
+	if a.pendingN.Load() > 0 {
+		a.pump()
+	}
+}
+
+// memStats is the accountant's contribution to Stats.
+type memStats struct {
+	liveItems, peakItems, freed int64
+	liveBytes, peakBytes        int64
+	waits, stalls               int64
+}
+
+func (a *accountant) snapshot() memStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return memStats{
+		liveItems: a.liveItems, peakItems: a.peakItems, freed: a.freed,
+		liveBytes: a.liveBytes, peakBytes: a.peakBytes,
+		waits: a.waits, stalls: a.stalls,
+	}
+}
+
+// WithMemoryLimit sets a live-bytes budget for the run. Tag puts through
+// PutThrottled/PutRange that would push live bytes plus outstanding
+// reservations past the budget are deferred and admitted as get-count
+// garbage collection frees items; deferred tags are also held back until
+// the declared gets of their prescribed steps are present, so the budget is
+// spent on steps that can run rather than park. Sizes come from each
+// collection's WithSizeOf hint (collections without a hint occupy zero
+// accounted bytes) plus the WithTagBytes reservations of throttled puts.
+// The bound is strict while it is feasible: PeakLiveBytes never exceeds the
+// limit as long as the graph can make progress within it. If the graph goes
+// idle with puts still deferred — the budget can never clear — the runtime
+// force-admits the oldest runnable put, records a BackpressureStall in
+// Stats, and reports the first such event through
+// Hooks.OnBackpressureStall: the run degrades past the bound instead of
+// deadlocking. Call before Run.
+func (g *Graph) WithMemoryLimit(bytes int64) *Graph {
+	g.acct.limit = bytes
+	return g
+}
+
+// MemoryLimit returns the configured live-bytes budget (0 = unbounded).
+func (g *Graph) MemoryLimit() int64 { return g.acct.limit }

@@ -50,6 +50,27 @@
 // live wait state for external watchdogs that distinguish livelock (workers
 // busy, no data produced) from the quiesced deadlock the runtime already
 // reports itself.
+//
+// # Bounded memory
+//
+// Item collections are single-assignment, so without reclamation a run
+// holds every item it ever produced. ItemCollection.WithGetCount declares
+// each item's consumer count (Intel CnC's get-count tuner): the runtime
+// frees the value when the count reaches zero and turns any later read into
+// a deterministic UseAfterFreeError instead of silent corruption.
+// Decrements are driven by StepCollection.WithGets — the declared read set
+// of a step instance, released once when the instance completes
+// successfully — which is what makes get-counts compose with speculative
+// abort re-reads and WithRetry re-execution: an aborted or failed attempt
+// releases nothing, so re-reading is always safe and nothing is
+// double-decremented. A per-graph accountant surfaces
+// LiveItems/PeakLiveItems/ItemsFreed/PeakLiveBytes in Stats, and
+// Graph.WithMemoryLimit adds backpressure: throttled tag puts
+// (TagCollection.PutThrottled, PutRange) that do not fit the budget are
+// deferred — the putter never blocks — and admitted as get-count GC frees
+// items. If the graph idles with puts still deferred, the runtime
+// force-admits the oldest runnable one and reports through
+// Hooks.OnBackpressureStall rather than deadlocking.
 package cnc
 
 import (
@@ -75,6 +96,20 @@ type Stats struct {
 	TriggeredRuns uint64 // instances released by a dependency countdown
 	PinnedRuns    uint64 // instances placed by a ComputeOn tuner
 	Retries       uint64 // failed attempts re-executed under a retry budget
+
+	// Memory accounting (see ItemCollection.WithGetCount and
+	// Graph.WithMemoryLimit). Bytes are counted only for collections with a
+	// WithSizeOf hint; items are counted for every collection.
+	LiveItems     int64 // items put and not yet freed by get-count GC
+	PeakLiveItems int64 // high-water mark of LiveItems
+	ItemsFreed    int64 // items freed when their get-count reached zero
+	LiveBytes     int64 // bytes of live items (per the SizeOf hints)
+	PeakLiveBytes int64 // high-water mark of LiveBytes
+	// BackpressureWaits counts throttled puts that were deferred for budget;
+	// BackpressureStalls counts forced admissions: deferred puts admitted
+	// over budget because the graph went idle and no free could ever land.
+	BackpressureWaits  int64
+	BackpressureStalls int64
 }
 
 // DeadlockError reports a graph that quiesced with parked step instances.
@@ -110,6 +145,10 @@ type Graph struct {
 	hooks *Hooks
 	retry int
 
+	// acct tracks live items/bytes and implements the WithMemoryLimit
+	// backpressure (see accountant.go).
+	acct accountant
+
 	outstanding atomic.Int64
 	quiesceMu   sync.Mutex
 	quiesceCond *sync.Cond
@@ -125,17 +164,30 @@ type Graph struct {
 	}
 
 	// Static graph structure, for Describe/Dot and deadlock reports.
-	structMu  sync.Mutex
-	steps     []*stepMeta
-	tags      []string
-	items     []string
-	reporters []blockedReporter
+	structMu     sync.Mutex
+	steps        []*stepMeta
+	tags         []*tagMeta
+	items        []*itemMeta
+	reporters    []blockedReporter
+	hasGetCounts bool
 }
 
 type stepMeta struct {
 	name               string
 	prescribedBy       []string
 	consumes, produces []string
+	releases           bool // WithGets declared: frees its reads on completion
+}
+
+type tagMeta struct {
+	name     string
+	tagBytes bool // WithTagBytes declared: throttled puts reserve budget
+}
+
+type itemMeta struct {
+	name     string
+	getCount bool // WithGetCount declared: items freed after their last read
+	sizeOf   bool // WithSizeOf declared: items charge bytes to the accountant
 }
 
 // NewGraph creates a graph with the given number of workers (minimum 1).
@@ -144,6 +196,7 @@ func NewGraph(name string, workers int) *Graph {
 		workers = 1
 	}
 	g := &Graph{name: name, workers: workers}
+	g.acct.init(g)
 	g.quiesceCond = sync.NewCond(&g.quiesceMu)
 	g.queue.cond = sync.NewCond(&g.queue.mu)
 	g.queue.init(workers)
@@ -158,7 +211,16 @@ func (g *Graph) Workers() int { return g.workers }
 
 // Stats returns a snapshot of the activity counters.
 func (g *Graph) Stats() Stats {
+	mem := g.acct.snapshot()
 	return Stats{
+		LiveItems:          mem.liveItems,
+		PeakLiveItems:      mem.peakItems,
+		ItemsFreed:         mem.freed,
+		LiveBytes:          mem.liveBytes,
+		PeakLiveBytes:      mem.peakBytes,
+		BackpressureWaits:  mem.waits,
+		BackpressureStalls: mem.stalls,
+
 		TagsPut:       g.stats.tagsPut.Load(),
 		ItemsPut:      g.stats.itemsPut.Load(),
 		StepsStarted:  g.stats.started.Load(),
@@ -206,6 +268,10 @@ func (g *Graph) RunContext(ctx context.Context, env func()) error {
 				// wins) and switch the workers to drain mode.
 				g.fail(ctx.Err())
 				g.cancelled.Store(true)
+				// Flush deferred throttled puts so drain mode can retire
+				// their instances; otherwise their pending holds would
+				// keep the graph from quiescing.
+				g.acct.pump()
 			case <-stopMonitor:
 			}
 		}()
@@ -291,6 +357,13 @@ func (g *Graph) taskDone() {
 		g.quiesceMu.Lock()
 		g.quiesceCond.Broadcast()
 		g.quiesceMu.Unlock()
+		return
+	}
+	// With deferred throttled puts pending, every retirement is a potential
+	// admission opportunity — and the retirement that leaves only pending
+	// holds outstanding is what triggers the idle-graph liveness check.
+	if g.acct.pendingN.Load() > 0 {
+		g.acct.pump()
 	}
 }
 
@@ -310,6 +383,16 @@ func (g *Graph) registerReporter(r blockedReporter) {
 	g.structMu.Lock()
 	g.reporters = append(g.reporters, r)
 	g.structMu.Unlock()
+}
+
+// HasGetCounts reports whether any item collection of the graph declared a
+// get-count. A fully declared graph must quiesce with Stats.LiveItems == 0;
+// harnesses (internal/chaos) use this to decide whether a nonzero count
+// after a successful run is a leak.
+func (g *Graph) HasGetCounts() bool {
+	g.structMu.Lock()
+	defer g.structMu.Unlock()
+	return g.hasGetCounts
 }
 
 // Blocked returns a snapshot of the currently parked step instances, one

@@ -42,12 +42,40 @@ type Dep struct {
 func (d Dep) String() string { return fmt.Sprintf("%s[%v]", d.store.collName(), d.key) }
 
 // itemStore is the type-erased view of an item collection used by tuned
-// scheduling.
+// scheduling and get-count release.
 type itemStore interface {
 	collName() string
 	// subscribe registers notify to fire once when key becomes present.
 	// It returns false — without registering — when key is already present.
 	subscribe(key any, label string, notify func()) bool
+	// release decrements key's get-count (no-op on collections without
+	// one), freeing the item at zero.
+	release(key any)
+	// has reports whether key is readable now or was already freed — the
+	// memory-throttling readiness probe. A freed key counts as "ready" so
+	// the admitted step surfaces the deterministic use-after-free error
+	// instead of deferring forever.
+	has(key any) bool
+	// freeableBytes reports key's accounted size when one more release
+	// would free it (present, remaining get-count exactly 1), else 0 —
+	// the admission probe that classifies throttled puts as freeing or
+	// growing.
+	freeableBytes(key any) int64
+}
+
+// UseAfterFreeError reports a read (or re-put) of an item that get-count
+// garbage collection already freed: the declared consumer count was
+// exhausted before this access. It is a deterministic graph error — the
+// memory contract was violated — never silent corruption, and it is not
+// subject to retry (re-reading a freed item fails identically every time).
+type UseAfterFreeError struct {
+	Collection string
+	Key        any
+}
+
+func (e *UseAfterFreeError) Error() string {
+	return fmt.Sprintf("cnc: use-after-free: item %s[%v] accessed after its get-count reached zero",
+		e.Collection, e.Key)
 }
 
 // StepCollection is a named computation prescribed by one or more tag
@@ -58,6 +86,7 @@ type StepCollection[T comparable] struct {
 	fn   StepFunc[T]
 
 	deps      func(T) []Dep
+	gets      func(T) []Dep
 	mode      TuningMode
 	computeOn func(T) int
 
@@ -66,13 +95,18 @@ type StepCollection[T comparable] struct {
 	attempts map[T]int
 }
 
+// retryUnset marks a step collection that has not called WithRetry, so the
+// graph-wide SetRetry default applies. An explicit WithRetry(0) stores 0
+// and means "no retries for this collection".
+const retryUnset = -1
+
 // NewStepCollection registers a step collection on g.
 func NewStepCollection[T comparable](g *Graph, name string, fn StepFunc[T]) *StepCollection[T] {
 	meta := &stepMeta{name: name}
 	g.structMu.Lock()
 	g.steps = append(g.steps, meta)
 	g.structMu.Unlock()
-	return &StepCollection[T]{g: g, meta: meta, fn: fn}
+	return &StepCollection[T]{g: g, meta: meta, fn: fn, retry: retryUnset}
 }
 
 // WithDeps declares the per-tag item dependencies of the step and the tuning
@@ -86,10 +120,67 @@ func (sc *StepCollection[T]) WithDeps(mode TuningMode, deps func(T) []Dep) *Step
 	return sc
 }
 
+// WithGets declares the exact per-tag read set of the step for get-count
+// garbage collection: when an instance completes successfully, the runtime
+// releases (decrements the get-count of) every item the declaration names,
+// freeing items whose count reaches zero. The declaration must cover every
+// item the step reads and nothing else — a missing entry leaks the item
+// (Stats.LiveItems stays nonzero), an extra entry trips a deterministic
+// over-release error.
+//
+// Releases fire only on successful completion, never per Get. This is what
+// makes get-counts compose with the rest of the runtime: a speculative
+// abort re-reads its items on re-execution without double-counting, a
+// WithRetry re-execution decrements exactly once however many attempts
+// failed, and a drained (cancelled) or failed instance releases nothing. It
+// also means the declaration is incompatible with steps that complete
+// successfully *without* consuming their reads — the non-blocking variant's
+// TryGet-miss-and-re-put-own-tag pattern retires a successful instance per
+// poll, so non-blocking step collections must not declare gets.
+func (sc *StepCollection[T]) WithGets(fn func(T) []Dep) *StepCollection[T] {
+	sc.gets = fn
+	sc.g.structMu.Lock()
+	sc.meta.releases = true
+	sc.g.structMu.Unlock()
+	return sc
+}
+
+// readyFor reports whether every declared get of the instance for tag is
+// already readable — the admission probe for memory-throttled tag puts.
+// Steps without a WithGets declaration are always ready.
+func (sc *StepCollection[T]) readyFor(tag T) bool {
+	if sc.gets == nil {
+		return true
+	}
+	for _, d := range sc.gets(tag) {
+		if !d.store.has(d.key) {
+			return false
+		}
+	}
+	return true
+}
+
+// freeableFor reports how many accounted bytes the instance for tag would
+// free on completion: the total size of its declared gets for which this
+// read is the last (remaining get-count 1). Admission uses it to tell
+// memory-releasing steps apart from memory-growing ones.
+func (sc *StepCollection[T]) freeableFor(tag T) int64 {
+	if sc.gets == nil {
+		return 0
+	}
+	var n int64
+	for _, d := range sc.gets(tag) {
+		n += d.store.freeableBytes(d.key)
+	}
+	return n
+}
+
 // WithRetry allows every instance of the step to be re-executed up to n
 // times after a failed attempt (an error returned by the body, an error
 // from a BeforeStep hook, or a contained panic) before the failure is
-// recorded and fails the graph. Re-execution is sound only because CnC
+// recorded and fails the graph. An explicit WithRetry(0) opts the
+// collection out of retries even when Graph.SetRetry sets a graph-wide
+// default; collections that never call WithRetry inherit the default. Re-execution is sound only because CnC
 // steps are written gets-first/puts-last: an attempt that fails before its
 // first Put has no observable side effects, so running it again is
 // indistinguishable from running it once — the same invariant the
@@ -99,6 +190,9 @@ func (sc *StepCollection[T]) WithDeps(mode TuningMode, deps func(T) []Dep) *Step
 // tags). A graph-wide default for collections without their own budget can
 // be set with Graph.SetRetry.
 func (sc *StepCollection[T]) WithRetry(n int) *StepCollection[T] {
+	if n < 0 {
+		n = 0 // negative budgets mean "no retries", same as an explicit 0
+	}
 	sc.retry = n
 	return sc
 }
@@ -218,6 +312,13 @@ func (sc *StepCollection[T]) execute(tag T) {
 			})
 			return
 		}
+		if uaf, ok := r.(*UseAfterFreeError); ok {
+			// A Get hit a freed item: a deterministic memory-contract
+			// violation, already recorded on the graph. Never retried —
+			// every re-execution would read the same freed key.
+			g.fail(fmt.Errorf("cnc: step %s on tag %v read a freed item: %w", sc.meta.name, tag, uaf))
+			return
+		}
 		sc.failed(tag, fmt.Errorf("cnc: step %s panicked on tag %v: %v", sc.meta.name, tag, r))
 	}()
 	if h := g.hooks; h != nil && h.BeforeStep != nil {
@@ -229,6 +330,13 @@ func (sc *StepCollection[T]) execute(tag T) {
 	if err := sc.fn(tag); err != nil {
 		sc.failed(tag, fmt.Errorf("cnc: step %s failed on tag %v: %w", sc.meta.name, tag, err))
 		return
+	}
+	// Successful completion: release the declared read set exactly once,
+	// however many aborted or retried attempts preceded this one.
+	if sc.gets != nil {
+		for _, d := range sc.gets(tag) {
+			d.store.release(d.key)
+		}
 	}
 	g.stats.done.Add(1)
 }
@@ -248,10 +356,11 @@ func (sc *StepCollection[T]) failed(tag T, err error) {
 }
 
 // takeRetry consumes one unit of tag's retry budget, reporting false when
-// the budget (the collection's, or the graph default) is exhausted.
+// the budget (the collection's, or — only when the collection never called
+// WithRetry — the graph default) is exhausted.
 func (sc *StepCollection[T]) takeRetry(tag T) bool {
 	limit := sc.retry
-	if limit == 0 {
+	if limit == retryUnset {
 		limit = sc.g.retry
 	}
 	if limit <= 0 {
@@ -274,21 +383,34 @@ func (sc *StepCollection[T]) takeRetry(tag T) bool {
 type TagCollection[T comparable] struct {
 	g    *Graph
 	name string
+	meta *tagMeta
+
+	tagBytes func(T) int
 
 	mu         sync.Mutex
-	prescribed []interface{ instance(T) }
+	prescribed []prescribable[T]
 	memoize    bool
 	seen       map[T]struct{}
+}
+
+// prescribable is the tag collection's view of a prescribed step
+// collection: instance creation plus the memory-throttling admission
+// probes.
+type prescribable[T comparable] interface {
+	instance(T)
+	readyFor(T) bool
+	freeableFor(T) int64
 }
 
 // NewTagCollection registers a tag collection on g. When memoize is true the
 // collection deduplicates tags, as Intel CnC's default tag memoization does:
 // re-putting a tag that was already put is a no-op.
 func NewTagCollection[T comparable](g *Graph, name string, memoize bool) *TagCollection[T] {
+	meta := &tagMeta{name: name}
 	g.structMu.Lock()
-	g.tags = append(g.tags, name)
+	g.tags = append(g.tags, meta)
 	g.structMu.Unlock()
-	tc := &TagCollection[T]{g: g, name: name, memoize: memoize}
+	tc := &TagCollection[T]{g: g, name: name, meta: meta, memoize: memoize}
 	if memoize {
 		tc.seen = make(map[T]struct{})
 	}
@@ -334,11 +456,87 @@ func (tc *TagCollection[T]) Put(tag T) {
 	}
 }
 
+// WithTagBytes declares how many bytes of live memory a tag admitted
+// through PutThrottled will eventually occupy (typically the size of the
+// item its base-case step puts; 0 for tags that only expand control flow).
+// Under a memory limit, PutThrottled reserves that budget at admission and
+// item puts convert reservations to live bytes as the data materialises —
+// so backpressure paces the environment on the memory its puts *commit to*,
+// not only on items already produced. Declare before Run.
+func (tc *TagCollection[T]) WithTagBytes(fn func(T) int) *TagCollection[T] {
+	tc.tagBytes = fn
+	tc.g.structMu.Lock()
+	tc.meta.tagBytes = true
+	tc.g.structMu.Unlock()
+	return tc
+}
+
+// PutThrottled is Put with memory backpressure: under Graph.WithMemoryLimit
+// a tag whose WithTagBytes cost does not fit under the budget — or whose
+// prescribed steps' declared gets are not all readable yet — is deferred
+// rather than put, and admitted later as get-count garbage collection frees
+// items and dependencies arrive. The call itself never blocks, so steps and
+// environments can put through it freely; the graph stays open until every
+// deferred tag is admitted. Without a limit (or for tags with zero declared
+// cost) it is exactly Put. See WithMemoryLimit for the degrade-and-report
+// behaviour when the budget can never clear. Best used with unmemoized
+// collections: a deduplicated tag's reservation is never converted and
+// would over-throttle later puts.
+func (tc *TagCollection[T]) PutThrottled(tag T) {
+	if !tc.g.acct.limited() {
+		tc.Put(tag)
+		return
+	}
+	tc.g.checkRunning()
+	var cost int64
+	if tc.tagBytes != nil {
+		cost = int64(tc.tagBytes(tag))
+	}
+	if cost == 0 {
+		// Control-only tags occupy no budget and are never deferred.
+		tc.Put(tag)
+		return
+	}
+	tc.g.acct.enqueue(cost,
+		func() bool { return tc.readyFor(tag) },
+		func() int64 { return tc.freeableFor(tag) },
+		func() { tc.Put(tag) })
+}
+
+// readyFor reports whether every prescribed step's declared gets for tag
+// are already readable.
+func (tc *TagCollection[T]) readyFor(tag T) bool {
+	tc.mu.Lock()
+	pres := tc.prescribed
+	tc.mu.Unlock()
+	for _, sc := range pres {
+		if !sc.readyFor(tag) {
+			return false
+		}
+	}
+	return true
+}
+
+// freeableFor reports the accounted bytes the prescribed steps for tag
+// would free on completion.
+func (tc *TagCollection[T]) freeableFor(tag T) int64 {
+	tc.mu.Lock()
+	pres := tc.prescribed
+	tc.mu.Unlock()
+	var n int64
+	for _, sc := range pres {
+		n += sc.freeableFor(tag)
+	}
+	return n
+}
+
 // PutRange puts the tags mk(lo), mk(lo+1), …, mk(hi-1) — the Intel CnC
-// tag-range pattern for prescribing dense index spaces in one call.
+// tag-range pattern for prescribing dense index spaces in one call. Each
+// put is throttled (PutThrottled), so a tag-range environment honours the
+// graph's memory limit.
 func (tc *TagCollection[T]) PutRange(lo, hi int, mk func(int) T) {
 	for i := lo; i < hi; i++ {
-		tc.Put(mk(i))
+		tc.PutThrottled(mk(i))
 	}
 }
 
@@ -346,10 +544,19 @@ func (tc *TagCollection[T]) PutRange(lo, hi int, mk func(int) T) {
 type ItemCollection[K comparable, V any] struct {
 	g    *Graph
 	name string
+	meta *itemMeta
 
-	mu      sync.Mutex
-	items   map[K]V
-	waiters map[K][]waiter
+	// getCount and sizeOf are write-before-Run declarations.
+	getCount func(K) int
+	sizeOf   func(K) int
+
+	puts atomic.Uint64
+
+	mu        sync.Mutex
+	items     map[K]V
+	remaining map[K]int      // live get-counts (only when getCount != nil)
+	freed     map[K]struct{} // keys whose value was reclaimed
+	waiters   map[K][]waiter
 }
 
 type waiter struct {
@@ -359,17 +566,70 @@ type waiter struct {
 
 // NewItemCollection registers an item collection on g.
 func NewItemCollection[K comparable, V any](g *Graph, name string) *ItemCollection[K, V] {
+	meta := &itemMeta{name: name}
 	ic := &ItemCollection[K, V]{
 		g:       g,
 		name:    name,
+		meta:    meta,
 		items:   make(map[K]V),
 		waiters: make(map[K][]waiter),
 	}
 	g.structMu.Lock()
-	g.items = append(g.items, name)
+	g.items = append(g.items, meta)
 	g.structMu.Unlock()
 	g.registerReporter(ic)
 	return ic
+}
+
+// WithGetCount declares each item's consumer count — Intel CnC's get-count
+// tuner. The runtime reference-counts every item: fn(k) is the number of
+// release operations (StepCollection.WithGets entries of successfully
+// completing instances) the item will receive, and when the count reaches
+// zero the value is freed. A count of 0 frees the item as soon as it is
+// put. Any access after the free — Get, TryGet, a tuned dependency
+// subscription, or a re-put — fails the graph with a deterministic
+// UseAfterFreeError; releasing a freed item reports an over-release
+// (declared count too low), while a too-high count surfaces as
+// Stats.LiveItems > 0 after quiesce. Declare before Run.
+func (ic *ItemCollection[K, V]) WithGetCount(fn func(K) int) *ItemCollection[K, V] {
+	ic.getCount = fn
+	ic.mu.Lock()
+	if ic.remaining == nil {
+		ic.remaining = make(map[K]int)
+		ic.freed = make(map[K]struct{})
+	}
+	ic.mu.Unlock()
+	ic.g.structMu.Lock()
+	ic.meta.getCount = true
+	ic.g.hasGetCounts = true
+	ic.g.structMu.Unlock()
+	return ic
+}
+
+// WithSizeOf declares the accountant's byte-size hint for items of this
+// collection (e.g. base² × 8 for a tile of float64s synchronised through a
+// bool item). Collections without a hint occupy zero accounted bytes —
+// their items still count toward LiveItems, but not toward the
+// WithMemoryLimit budget. fn must be pure: it is re-evaluated at free time.
+// Declare before Run.
+func (ic *ItemCollection[K, V]) WithSizeOf(fn func(K) int) *ItemCollection[K, V] {
+	ic.sizeOf = fn
+	ic.g.structMu.Lock()
+	ic.meta.sizeOf = true
+	ic.g.structMu.Unlock()
+	return ic
+}
+
+// Puts returns the number of successful puts into the collection. Unlike
+// Len it is unaffected by get-count garbage collection, so it keeps
+// reporting the task census after items are freed.
+func (ic *ItemCollection[K, V]) Puts() uint64 { return ic.puts.Load() }
+
+func (ic *ItemCollection[K, V]) sizeBytes(k K) int64 {
+	if ic.sizeOf == nil {
+		return 0
+	}
+	return int64(ic.sizeOf(k))
 }
 
 // CollectionName returns the item collection's name.
@@ -382,36 +642,170 @@ func (ic *ItemCollection[K, V]) collName() string { return ic.name }
 func (ic *ItemCollection[K, V]) Key(k K) Dep { return Dep{store: ic, key: k} }
 
 // Put stores the item under key k and wakes every step instance parked on
-// it. Re-putting a key violates CnC's dynamic single assignment rule and
-// fails the graph.
+// it. Re-putting a key — freed or not — violates CnC's dynamic single
+// assignment rule and fails the graph. Under a memory limit the put waits
+// for byte budget (see Graph.WithMemoryLimit) before storing.
 func (ic *ItemCollection[K, V]) Put(k K, v V) {
 	ic.g.checkRunning()
 	if h := ic.g.hooks; h != nil && h.BeforeItemPut != nil {
 		h.BeforeItemPut(ic.name, k)
 	}
+	size := ic.sizeBytes(k)
+	// Admission before the collection lock: the budget wait must not block
+	// other gets/puts/frees on this collection (frees are what clear it).
+	ic.g.acct.admitItem(size)
 	ic.mu.Lock()
+	if _, wasFreed := ic.freed[k]; wasFreed {
+		ic.mu.Unlock()
+		ic.g.acct.refund(size)
+		ic.g.fail(fmt.Errorf("cnc: single-assignment violation: item %s[%v] re-put after its get-count freed it: %w",
+			ic.name, k, &UseAfterFreeError{Collection: ic.name, Key: k}))
+		return
+	}
 	if _, dup := ic.items[k]; dup {
 		ic.mu.Unlock()
+		ic.g.acct.refund(size)
 		ic.g.fail(fmt.Errorf("cnc: single-assignment violation: item %s[%v] put twice", ic.name, k))
 		return
 	}
 	ic.items[k] = v
+	freeNow := false
+	if ic.getCount != nil {
+		switch n := ic.getCount(k); {
+		case n < 0:
+			// Leave the item live (un-counted) and fail: a negative count
+			// is a declaration bug, not a freeing instruction.
+			ic.g.fail(fmt.Errorf("cnc: item %s[%v] declared negative get-count %d", ic.name, k, n))
+		case n == 0:
+			freeNow = true
+		default:
+			ic.remaining[k] = n
+		}
+	}
 	ws := ic.waiters[k]
 	delete(ic.waiters, k)
+	if freeNow {
+		// Declared consumer-free: reclaim immediately. Parked waiters are
+		// still woken — their re-read then reports use-after-free, which is
+		// the deterministic surface of a get-count declared too low.
+		delete(ic.items, k)
+		ic.freed[k] = struct{}{}
+	}
 	ic.mu.Unlock()
 	ic.g.stats.itemsPut.Add(1)
+	ic.puts.Add(1)
+	if freeNow {
+		ic.g.acct.free(size)
+	}
 	for _, w := range ws {
 		w.notify()
 	}
+	// A new item can make deferred throttled tags runnable.
+	if ic.g.acct.pendingN.Load() > 0 {
+		ic.g.acct.pump()
+	}
+}
+
+// release decrements k's get-count, freeing the value at zero. It
+// implements itemStore for StepCollection.WithGets; on collections without
+// a get-count it is a no-op, so a shared read-set declaration can span
+// counted and uncounted collections.
+func (ic *ItemCollection[K, V]) release(key any) {
+	if ic.getCount == nil {
+		return
+	}
+	k, ok := key.(K)
+	if !ok {
+		ic.g.fail(fmt.Errorf("cnc: release key %v has wrong type for collection %s", key, ic.name))
+		return
+	}
+	ic.mu.Lock()
+	if _, wasFreed := ic.freed[k]; wasFreed {
+		ic.mu.Unlock()
+		ic.g.fail(fmt.Errorf("cnc: over-release of item %s[%v]: get-count reached zero before its last declared reader (declared count too low)",
+			ic.name, k))
+		return
+	}
+	rem, counted := ic.remaining[k]
+	if !counted {
+		if _, present := ic.items[k]; present {
+			// Present but un-counted: the negative-count error path left it
+			// pinned; the graph already failed.
+			ic.mu.Unlock()
+			return
+		}
+		ic.mu.Unlock()
+		ic.g.fail(fmt.Errorf("cnc: release of item %s[%v] that was never put", ic.name, k))
+		return
+	}
+	if rem--; rem > 0 {
+		ic.remaining[k] = rem
+		ic.mu.Unlock()
+		return
+	}
+	delete(ic.items, k)
+	delete(ic.remaining, k)
+	ic.freed[k] = struct{}{}
+	ic.mu.Unlock()
+	ic.g.acct.free(ic.sizeBytes(k))
+}
+
+// has implements the itemStore readiness probe: key is "ready" when its
+// item is present — or already freed, in which case admitting the reader
+// surfaces the deterministic use-after-free error instead of deferring the
+// tag forever.
+func (ic *ItemCollection[K, V]) has(key any) bool {
+	k, ok := key.(K)
+	if !ok {
+		return true // let execution surface the type error
+	}
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if _, present := ic.items[k]; present {
+		return true
+	}
+	_, wasFreed := ic.freed[k]
+	return wasFreed
+}
+
+// freeableBytes implements the itemStore admission probe: the accounted
+// size of key when one more release would free it (present with a
+// remaining get-count of exactly 1), else 0.
+func (ic *ItemCollection[K, V]) freeableBytes(key any) int64 {
+	k, ok := key.(K)
+	if !ok {
+		return 0
+	}
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if _, present := ic.items[k]; !present {
+		return 0
+	}
+	if rem, counted := ic.remaining[k]; !counted || rem != 1 {
+		return 0
+	}
+	return ic.sizeBytes(k)
 }
 
 // Get returns the item stored under k, blocking in the CnC sense: when the
 // item is missing, the calling step instance is aborted and re-executed
 // after the item is put. Get must only be called from inside a step body.
+// Reading an item that get-count garbage collection freed fails the graph
+// with a deterministic UseAfterFreeError (the declared count was too low)
+// instead of parking forever or returning stale data.
 func (ic *ItemCollection[K, V]) Get(k K) V {
-	if v, ok := ic.TryGet(k); ok {
+	ic.mu.Lock()
+	if v, ok := ic.items[k]; ok {
+		ic.mu.Unlock()
 		return v
 	}
+	if _, wasFreed := ic.freed[k]; wasFreed {
+		ic.mu.Unlock()
+		err := &UseAfterFreeError{Collection: ic.name, Key: k}
+		ic.g.fail(err)
+		panic(err) // unwinds the step like a failed Get, but is never retried
+	}
+	ic.mu.Unlock()
 	panic(&retrySignal{
 		park: func(label string, requeue func()) {
 			ic.mu.Lock()
@@ -433,15 +827,26 @@ func (ic *ItemCollection[K, V]) Get(k K) V {
 }
 
 // TryGet is the non-blocking get (the paper's §IV-B ablation): it reports
-// whether the item is present without aborting the step.
+// whether the item is present without aborting the step. Polling a freed
+// item fails the graph (deterministic use-after-free, like Get) and reports
+// the item as absent.
 func (ic *ItemCollection[K, V]) TryGet(k K) (V, bool) {
 	ic.mu.Lock()
 	v, ok := ic.items[k]
+	if !ok {
+		if _, wasFreed := ic.freed[k]; wasFreed {
+			ic.mu.Unlock()
+			ic.g.fail(&UseAfterFreeError{Collection: ic.name, Key: k})
+			var zero V
+			return zero, false
+		}
+	}
 	ic.mu.Unlock()
 	return v, ok
 }
 
-// Len returns the number of items currently stored.
+// Len returns the number of items currently live — put and not yet freed
+// by get-count garbage collection. For the total ever put, use Puts.
 func (ic *ItemCollection[K, V]) Len() int {
 	ic.mu.Lock()
 	defer ic.mu.Unlock()
@@ -460,6 +865,14 @@ func (ic *ItemCollection[K, V]) subscribe(key any, label string, notify func()) 
 	ic.mu.Lock()
 	defer ic.mu.Unlock()
 	if _, present := ic.items[k]; present {
+		return false
+	}
+	if _, wasFreed := ic.freed[k]; wasFreed {
+		// A tuned instance declared a dependency on an already-freed item:
+		// the get-count missed this consumer. Fail deterministically and
+		// report the dependency as satisfied so the countdown completes and
+		// the graph quiesces instead of parking forever.
+		ic.g.fail(&UseAfterFreeError{Collection: ic.name, Key: k})
 		return false
 	}
 	ic.waiters[k] = append(ic.waiters[k], waiter{label: label, notify: notify})

@@ -35,6 +35,34 @@ func (g *Graph) Describe() string {
 			fmt.Fprintf(&sb, "(%s) --> %s;\n", s.name, strings.Join(parts, ", "))
 		}
 	}
+	// Memory contract: get-count / size-of / tag-bytes declarations and the
+	// graph's live-bytes budget, so a dump documents not only who produces
+	// and consumes what, but when data dies and how much may live at once.
+	for _, it := range g.items {
+		var decls []string
+		if it.getCount {
+			decls = append(decls, "get-count")
+		}
+		if it.sizeOf {
+			decls = append(decls, "size-of")
+		}
+		if len(decls) > 0 {
+			fmt.Fprintf(&sb, "[%s] : %s;\n", it.name, strings.Join(decls, ", "))
+		}
+	}
+	for _, s := range g.steps {
+		if s.releases {
+			fmt.Fprintf(&sb, "(%s) : releases gets on completion;\n", s.name)
+		}
+	}
+	for _, t := range g.tags {
+		if t.tagBytes {
+			fmt.Fprintf(&sb, "<%s> : tag-bytes;\n", t.name)
+		}
+	}
+	if g.acct.limit > 0 {
+		fmt.Fprintf(&sb, "// memory limit: %d bytes (throttled puts deferred until frees land)\n", g.acct.limit)
+	}
 	return sb.String()
 }
 
@@ -47,10 +75,15 @@ func (g *Graph) Dot() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", g.name)
 	for _, t := range g.tags {
-		fmt.Fprintf(&sb, "  %q [shape=hexagon label=\"<%s>\"];\n", "tag_"+t, t)
+		fmt.Fprintf(&sb, "  %q [shape=hexagon label=\"<%s>\"];\n", "tag_"+t.name, t.name)
 	}
 	for _, i := range g.items {
-		fmt.Fprintf(&sb, "  %q [shape=box label=\"[%s]\"];\n", "item_"+i, i)
+		// Double periphery marks get-counted (garbage-collected) items.
+		extra := ""
+		if i.getCount {
+			extra = " peripheries=2"
+		}
+		fmt.Fprintf(&sb, "  %q [shape=box%s label=\"[%s]\"];\n", "item_"+i.name, extra, i.name)
 	}
 	for _, s := range g.steps {
 		fmt.Fprintf(&sb, "  %q [shape=oval label=\"(%s)\"];\n", "step_"+s.name, s.name)

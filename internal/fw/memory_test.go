@@ -1,0 +1,66 @@
+package fw
+
+import (
+	"testing"
+
+	"dpflow/internal/core"
+	"dpflow/internal/matrix"
+)
+
+// TestCnCLeakFree checks the FW memory contract end-to-end for every
+// GC-enabled schedule: the declared get-counts must free every item by
+// quiesce (no leak) without ever freeing one early (which would fail the
+// run with a use-after-free), and the peak live set must stay below the
+// total number of items put.
+func TestCnCLeakFree(t *testing.T) {
+	for _, v := range []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC} {
+		t.Run(v.String(), func(t *testing.T) {
+			orig := randomGraph(64, 3)
+			ref := orig.Clone()
+			Serial(ref)
+
+			x := orig.Clone()
+			stats, err := RunCnC(x, 8, 3, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(x, ref) {
+				t.Fatalf("result disagrees with serial (maxdiff %g)", matrix.MaxAbsDiff(x, ref))
+			}
+			if stats.LiveItems != 0 {
+				t.Fatalf("LiveItems = %d after quiesce, want 0 (declared get-counts too high)", stats.LiveItems)
+			}
+			if stats.ItemsFreed != int64(stats.ItemsPut) {
+				t.Fatalf("ItemsFreed = %d, want %d", stats.ItemsFreed, stats.ItemsPut)
+			}
+			if stats.PeakLiveItems >= int64(stats.ItemsPut) {
+				t.Fatalf("PeakLiveItems = %d, want < %d (no item ever died)", stats.PeakLiveItems, stats.ItemsPut)
+			}
+		})
+	}
+}
+
+// TestNonBlockingExcludedFromGC: the polling schedule re-runs step
+// instances on poll misses, so per-instance release would over-decrement;
+// the memory contract is deliberately not declared there and no item may
+// ever be freed.
+func TestNonBlockingExcludedFromGC(t *testing.T) {
+	orig := randomGraph(64, 3)
+	ref := orig.Clone()
+	Serial(ref)
+
+	x := orig.Clone()
+	stats, err := RunCnC(x, 8, 3, core.NonBlockingCnC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(x, ref) {
+		t.Fatalf("result disagrees with serial (maxdiff %g)", matrix.MaxAbsDiff(x, ref))
+	}
+	if stats.ItemsFreed != 0 {
+		t.Fatalf("ItemsFreed = %d, want 0 (no get-counts declared for polling)", stats.ItemsFreed)
+	}
+	if stats.LiveItems != int64(stats.ItemsPut) {
+		t.Fatalf("LiveItems = %d, want %d", stats.LiveItems, stats.ItemsPut)
+	}
+}

@@ -1,0 +1,155 @@
+package ge
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/matrix"
+)
+
+// TestCnCLeakFree checks the GE memory contract across the three schedules
+// that declare get-counts: after a successful run every item must have been
+// garbage-collected (a too-high declared count would leave LiveItems > 0;
+// a too-low one fails the run with a use-after-free or over-release), the
+// result must still be correct, and the live high-water mark must sit
+// strictly below the total put count — items died while the run progressed.
+func TestCnCLeakFree(t *testing.T) {
+	for _, v := range []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC} {
+		t.Run(v.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			orig := matrix.NewSquare(64)
+			orig.FillDiagonallyDominant(rng)
+			ref := orig.Clone()
+			Serial(ref)
+
+			x := orig.Clone()
+			stats, err := RunCnC(x, 8, 3, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(x, ref) {
+				t.Fatalf("result disagrees with serial (maxdiff %g)", matrix.MaxAbsDiff(x, ref))
+			}
+			if stats.LiveItems != 0 {
+				t.Fatalf("LiveItems = %d after quiesce, want 0 (declared get-counts too high)", stats.LiveItems)
+			}
+			if stats.ItemsFreed != int64(stats.ItemsPut) {
+				t.Fatalf("ItemsFreed = %d, want %d", stats.ItemsFreed, stats.ItemsPut)
+			}
+			if stats.PeakLiveItems >= int64(stats.ItemsPut) {
+				t.Fatalf("PeakLiveItems = %d, want < %d (no item ever died)", stats.PeakLiveItems, stats.ItemsPut)
+			}
+		})
+	}
+}
+
+// TestNonBlockingExcludedFromGC pins the NonBlockingCnC carve-out: its
+// poll-miss re-put retires one successful step instance per poll, so
+// completion-time releases would over-release. The variant therefore runs
+// without get-counts — nothing freed, everything live at quiesce.
+func TestNonBlockingExcludedFromGC(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := matrix.NewSquare(32)
+	x.FillDiagonallyDominant(rng)
+	stats, err := RunCnC(x, 4, 3, core.NonBlockingCnC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ItemsFreed != 0 {
+		t.Fatalf("ItemsFreed = %d, want 0 (NonBlocking must not declare get-counts)", stats.ItemsFreed)
+	}
+	if stats.LiveItems != int64(stats.ItemsPut) {
+		t.Fatalf("LiveItems = %d, want %d", stats.LiveItems, stats.ItemsPut)
+	}
+}
+
+// TestBoundedMemory2KGE is the acceptance run: a 2048×2048 Native-CnC GE at
+// base 64. The unbounded pass must quiesce with zero live items and a peak
+// strictly below the total puts; the same problem under a memory limit of
+// half the unbounded byte peak must complete without deadlock or stall and
+// keep PeakLiveBytes within the budget.
+func TestBoundedMemory2KGE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2K GE acceptance run skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(42))
+	orig := matrix.NewSquare(2048)
+	orig.FillDiagonallyDominant(rng)
+	workers := runtime.GOMAXPROCS(0)
+
+	x := orig.Clone()
+	unbounded, err := RunCnC(x, 64, workers, core.NativeCnC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.LiveItems != 0 {
+		t.Fatalf("unbounded: LiveItems = %d, want 0", unbounded.LiveItems)
+	}
+	if unbounded.ItemsFreed != int64(unbounded.ItemsPut) {
+		t.Fatalf("unbounded: ItemsFreed = %d, want %d", unbounded.ItemsFreed, unbounded.ItemsPut)
+	}
+	if unbounded.PeakLiveItems >= int64(unbounded.ItemsPut) {
+		t.Fatalf("unbounded: PeakLiveItems = %d, want < ItemsPut = %d",
+			unbounded.PeakLiveItems, unbounded.ItemsPut)
+	}
+	if unbounded.PeakLiveBytes == 0 {
+		t.Fatal("unbounded: PeakLiveBytes = 0; SizeOf hints not wired")
+	}
+
+	// Feasible budget: 95% of the unbounded peak sits above the admission
+	// policy's live-set floor, so the bound must hold strictly (stalls 0).
+	limit := unbounded.PeakLiveBytes * 95 / 100
+	y := orig.Clone()
+	bounded, err := RunCnCContext(context.Background(), y, 64, workers, core.NativeCnC,
+		func(g *cnc.Graph) { g.WithMemoryLimit(limit) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.PeakLiveBytes > limit {
+		t.Fatalf("bounded: PeakLiveBytes = %d, want <= %d", bounded.PeakLiveBytes, limit)
+	}
+	if bounded.BackpressureStalls != 0 {
+		t.Fatalf("bounded: BackpressureStalls = %d, want 0 (budget was feasible)", bounded.BackpressureStalls)
+	}
+	if bounded.BackpressureWaits == 0 {
+		t.Fatal("bounded: BackpressureWaits = 0; the budget never throttled")
+	}
+	if bounded.LiveItems != 0 {
+		t.Fatalf("bounded: LiveItems = %d, want 0", bounded.LiveItems)
+	}
+	if !matrix.Equal(x, y) {
+		t.Fatalf("bounded run disagrees with unbounded (maxdiff %g)", matrix.MaxAbsDiff(x, y))
+	}
+
+	// Infeasible budget: half the unbounded peak is below the live-set
+	// floor. The run must still complete correctly — degrading past the
+	// bound with the overflow reported as stalls — instead of deadlocking.
+	tight := unbounded.PeakLiveBytes / 2
+	z := orig.Clone()
+	degraded, err := RunCnCContext(context.Background(), z, 64, workers, core.NativeCnC,
+		func(g *cnc.Graph) { g.WithMemoryLimit(tight) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.BackpressureStalls == 0 {
+		t.Fatalf("degraded: BackpressureStalls = 0, want > 0 (half-peak budget is infeasible)")
+	}
+	if degraded.PeakLiveBytes > unbounded.PeakLiveBytes {
+		t.Fatalf("degraded: PeakLiveBytes = %d exceeds the unbounded peak %d",
+			degraded.PeakLiveBytes, unbounded.PeakLiveBytes)
+	}
+	if degraded.LiveItems != 0 {
+		t.Fatalf("degraded: LiveItems = %d, want 0", degraded.LiveItems)
+	}
+	if !matrix.Equal(x, z) {
+		t.Fatalf("degraded run disagrees with unbounded (maxdiff %g)", matrix.MaxAbsDiff(x, z))
+	}
+	t.Logf("unbounded peak %d bytes (%d items) over %d puts; bounded to %d: peak %d, waits %d; tight %d: peak %d, stalls %d",
+		unbounded.PeakLiveBytes, unbounded.PeakLiveItems, unbounded.ItemsPut,
+		limit, bounded.PeakLiveBytes, bounded.BackpressureWaits,
+		tight, degraded.PeakLiveBytes, degraded.BackpressureStalls)
+}

@@ -108,11 +108,13 @@ func (alg Algorithm) RunCnCContext(ctx context.Context, x *matrix.Dense, base, w
 			d.expandAll()
 			return
 		}
-		d.tags[FuncA].Put(Tag{0, 0, 0, n})
+		d.tags[FuncA].PutThrottled(Tag{0, 0, 0, n})
 	})
 	stats := CnCStats{Stats: g.Stats()}
 	for _, ic := range d.out {
-		stats.BaseTasks += ic.Len()
+		// Puts, not Len: get-count GC frees receipts as their last reader
+		// finishes, so the live count no longer equals the task census.
+		stats.BaseTasks += int(ic.Puts())
 	}
 	return stats, err
 }
@@ -171,8 +173,83 @@ func (d *dataflow) build() {
 		}
 	}
 
+	// Memory contract: every output item's consumer count is known in closed
+	// form (getCounts), each item stands for one bs×bs tile of float64s, and
+	// each base tag admitted under a memory limit will materialise exactly
+	// one such tile. depsFor doubles as the released read set — it names
+	// exactly what the base step's blocking gets (or declared deps) fetch.
+	// The non-blocking variant is excluded: its poll-miss path retires a
+	// successful instance per re-put, which would release the read set once
+	// per poll instead of once per tile.
+	if d.variant != core.NonBlockingCnC {
+		tile := d.bs * d.bs * 8
+		for f := FuncA; f <= FuncD; f++ {
+			d.out[f].WithGetCount(d.getCounts(f)).WithSizeOf(func(ItemKey) int { return tile })
+			steps[f].WithGets(d.depsFor(f))
+			d.tags[f].WithTagBytes(func(t Tag) int {
+				if t.S > d.base {
+					return 0 // recursive tags expand control flow, no data
+				}
+				return tile
+			})
+		}
+	}
+
 	for f := FuncA; f <= FuncD; f++ {
 		d.tags[f].Prescribe(steps[f])
+	}
+}
+
+// getCounts returns the closed-form consumer count of one function's output
+// items — how many base tasks read tile receipt (I,J,K) before it can be
+// freed. Derived from depsFor over the full tag space (T = tiles per side):
+//
+// Triangular (GE — phase K touches only tiles with i,j ≥ K; pivot tiles are
+// final after their own phase, so there are no anti-dependency readers):
+//
+//   - A(K,K,K): every other phase-K task reads it → (T−K)²−1
+//   - B(K,J,K): column of D tasks D(i,J,K), i>K → T−K−1
+//   - C(I,K,K): row of D tasks D(I,j,K), j>K → T−K−1
+//   - D(I,J,K): only the same tile's next elimination step (I,J,K+1) → 1
+//
+// Cube (FW — every phase touches all T² tiles, and phase K+1 writers must
+// additionally wait for phase-K readers of the tile they overwrite, the
+// antiDeps WAR hazard; b = 1 while a next phase exists, else 0):
+//
+//   - A(K,K,K): T²−1 same-phase readers + the next writer of the tile → T²−1+b
+//   - B(K,J,K): T−1 same-phase D readers + next writer + one anti-dep
+//     reader (the phase-K+1 diagonal task scans all B receipts) → T−1+2b
+//   - C(I,K,K): symmetric to B → T−1+2b
+//   - D(I,J,K): next writer + the two anti-dep readers overwriting the old
+//     pivot row and column → 3b
+func (d *dataflow) getCounts(f Func) func(ItemKey) int {
+	t := d.tiles
+	if d.alg.Shape == Cube {
+		return func(k ItemKey) int {
+			b := 0
+			if k.K+1 < t {
+				b = 1
+			}
+			switch f {
+			case FuncA:
+				return t*t - 1 + b
+			case FuncB, FuncC:
+				return t - 1 + 2*b
+			default:
+				return 3 * b
+			}
+		}
+	}
+	return func(k ItemKey) int {
+		r := t - k.K // tiles per side still active at phase K
+		switch f {
+		case FuncA:
+			return r*r - 1
+		case FuncB, FuncC:
+			return r - 1
+		default:
+			return 1 // the consumer (I,J,K+1) always exists: I,J > K
+		}
 	}
 }
 
@@ -190,7 +267,10 @@ func (d *dataflow) expandAll() {
 		for i := lo; i < t; i++ {
 			for j := lo; j < t; j++ {
 				f := Classify(i, j, k)
-				d.tags[f].Put(Tag{i, j, k, d.bs})
+				// Throttled: under a memory limit the environment's sprint
+				// pauses whenever its admitted tiles would overrun the
+				// budget, resuming as earlier phases retire.
+				d.tags[f].PutThrottled(Tag{i, j, k, d.bs})
 			}
 		}
 	}
@@ -311,15 +391,15 @@ func (d *dataflow) executeA(t Tag) error {
 	if t.S > d.base {
 		h := t.S / 2
 		i := 2 * t.I
-		d.tags[FuncA].Put(Tag{i, i, i, h})
-		d.tags[FuncB].Put(Tag{i, i + 1, i, h})
-		d.tags[FuncC].Put(Tag{i + 1, i, i, h})
-		d.tags[FuncD].Put(Tag{i + 1, i + 1, i, h})
-		d.tags[FuncA].Put(Tag{i + 1, i + 1, i + 1, h})
+		d.tags[FuncA].PutThrottled(Tag{i, i, i, h})
+		d.tags[FuncB].PutThrottled(Tag{i, i + 1, i, h})
+		d.tags[FuncC].PutThrottled(Tag{i + 1, i, i, h})
+		d.tags[FuncD].PutThrottled(Tag{i + 1, i + 1, i, h})
+		d.tags[FuncA].PutThrottled(Tag{i + 1, i + 1, i + 1, h})
 		if d.alg.Shape == Cube {
-			d.tags[FuncB].Put(Tag{i + 1, i, i + 1, h})
-			d.tags[FuncC].Put(Tag{i, i + 1, i + 1, h})
-			d.tags[FuncD].Put(Tag{i, i, i + 1, h})
+			d.tags[FuncB].PutThrottled(Tag{i + 1, i, i + 1, h})
+			d.tags[FuncC].PutThrottled(Tag{i, i + 1, i + 1, h})
+			d.tags[FuncD].PutThrottled(Tag{i, i, i + 1, h})
 		}
 		return nil
 	}
@@ -335,15 +415,15 @@ func (d *dataflow) executeB(t Tag) error {
 	if t.S > d.base {
 		h := t.S / 2
 		i, j, k := 2*t.I, 2*t.J, 2*t.K
-		d.tags[FuncB].Put(Tag{i, j, k, h})
-		d.tags[FuncB].Put(Tag{i, j + 1, k, h})
-		d.tags[FuncD].Put(Tag{i + 1, j, k, h})
-		d.tags[FuncD].Put(Tag{i + 1, j + 1, k, h})
-		d.tags[FuncB].Put(Tag{i + 1, j, k + 1, h})
-		d.tags[FuncB].Put(Tag{i + 1, j + 1, k + 1, h})
+		d.tags[FuncB].PutThrottled(Tag{i, j, k, h})
+		d.tags[FuncB].PutThrottled(Tag{i, j + 1, k, h})
+		d.tags[FuncD].PutThrottled(Tag{i + 1, j, k, h})
+		d.tags[FuncD].PutThrottled(Tag{i + 1, j + 1, k, h})
+		d.tags[FuncB].PutThrottled(Tag{i + 1, j, k + 1, h})
+		d.tags[FuncB].PutThrottled(Tag{i + 1, j + 1, k + 1, h})
 		if d.alg.Shape == Cube {
-			d.tags[FuncD].Put(Tag{i, j, k + 1, h})
-			d.tags[FuncD].Put(Tag{i, j + 1, k + 1, h})
+			d.tags[FuncD].PutThrottled(Tag{i, j, k + 1, h})
+			d.tags[FuncD].PutThrottled(Tag{i, j + 1, k + 1, h})
 		}
 		return nil
 	}
@@ -359,15 +439,15 @@ func (d *dataflow) executeC(t Tag) error {
 	if t.S > d.base {
 		h := t.S / 2
 		i, j, k := 2*t.I, 2*t.J, 2*t.K
-		d.tags[FuncC].Put(Tag{i, j, k, h})
-		d.tags[FuncC].Put(Tag{i + 1, j, k, h})
-		d.tags[FuncD].Put(Tag{i, j + 1, k, h})
-		d.tags[FuncD].Put(Tag{i + 1, j + 1, k, h})
-		d.tags[FuncC].Put(Tag{i, j + 1, k + 1, h})
-		d.tags[FuncC].Put(Tag{i + 1, j + 1, k + 1, h})
+		d.tags[FuncC].PutThrottled(Tag{i, j, k, h})
+		d.tags[FuncC].PutThrottled(Tag{i + 1, j, k, h})
+		d.tags[FuncD].PutThrottled(Tag{i, j + 1, k, h})
+		d.tags[FuncD].PutThrottled(Tag{i + 1, j + 1, k, h})
+		d.tags[FuncC].PutThrottled(Tag{i, j + 1, k + 1, h})
+		d.tags[FuncC].PutThrottled(Tag{i + 1, j + 1, k + 1, h})
 		if d.alg.Shape == Cube {
-			d.tags[FuncD].Put(Tag{i, j, k + 1, h})
-			d.tags[FuncD].Put(Tag{i + 1, j, k + 1, h})
+			d.tags[FuncD].PutThrottled(Tag{i, j, k + 1, h})
+			d.tags[FuncD].PutThrottled(Tag{i + 1, j, k + 1, h})
 		}
 		return nil
 	}
@@ -389,7 +469,7 @@ func (d *dataflow) executeD(t Tag) error {
 		for kk := 0; kk < 2; kk++ {
 			for ii := 0; ii < 2; ii++ {
 				for jj := 0; jj < 2; jj++ {
-					d.tags[FuncD].Put(Tag{2*t.I + ii, 2*t.J + jj, 2*t.K + kk, h})
+					d.tags[FuncD].PutThrottled(Tag{2*t.I + ii, 2*t.J + jj, 2*t.K + kk, h})
 				}
 			}
 		}

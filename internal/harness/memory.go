@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/fw"
+	"dpflow/internal/ge"
+	"dpflow/internal/gep"
+	"dpflow/internal/graphgen"
+	"dpflow/internal/kernels"
+	"dpflow/internal/matrix"
+	"dpflow/internal/seq"
+	"dpflow/internal/sw"
+)
+
+// Memory-report geometry: 8x8 tiles per benchmark is large enough that the
+// live set has real structure (interior tiles with full fan-in) yet small
+// enough that three schedules x two runs x three benchmarks finishes in
+// seconds.
+const (
+	memN       = 256
+	memBase    = 32
+	memWorkers = 8
+	memSeed    = 7
+)
+
+// memRun executes one benchmark once under a schedule, building fresh
+// inputs, and returns the graph's stats after verifying the result against
+// the serial reference.
+type memRun func(ctx context.Context, v core.Variant, tune func(*cnc.Graph)) (gep.CnCStats, error)
+
+func geMemRun(ctx context.Context, v core.Variant, tune func(*cnc.Graph)) (gep.CnCStats, error) {
+	rng := rand.New(rand.NewSource(memSeed))
+	a, _ := ge.NewSystem(memN, rng)
+	ref := a.Clone()
+	if err := ge.RDPSerial(ref, memBase); err != nil {
+		return gep.CnCStats{}, err
+	}
+	work := a.Clone()
+	stats, err := ge.RunCnCContext(ctx, work, memBase, memWorkers, v, tune)
+	if err != nil {
+		return stats, err
+	}
+	if !matrix.Equal(work, ref) {
+		return stats, errors.New("GE result differs from serial reference")
+	}
+	return stats, nil
+}
+
+func fwMemRun(ctx context.Context, v core.Variant, tune func(*cnc.Graph)) (gep.CnCStats, error) {
+	rng := rand.New(rand.NewSource(memSeed))
+	d := graphgen.Random(graphgen.Config{N: memN, Density: 0.35, MaxWeight: 9, Infinity: fw.Infinity}, rng)
+	ref := d.Clone()
+	if err := fw.RDPSerial(ref, memBase); err != nil {
+		return gep.CnCStats{}, err
+	}
+	work := d.Clone()
+	stats, err := fw.RunCnCContext(ctx, work, memBase, memWorkers, v, tune)
+	if err != nil {
+		return stats, err
+	}
+	if !matrix.Equal(work, ref) {
+		return stats, errors.New("FW result differs from serial reference")
+	}
+	return stats, nil
+}
+
+func swMemRun(ctx context.Context, v core.Variant, tune func(*cnc.Graph)) (gep.CnCStats, error) {
+	rng := rand.New(rand.NewSource(memSeed))
+	a := seq.RandomDNA(memN, rng)
+	p := &sw.Problem{A: a, B: seq.Mutate(a, 0.2, seq.DNAAlphabet, rng), Scoring: kernels.DefaultScoring}
+	want := p.Linear()
+	h := p.NewTable()
+	score, stats, err := p.RunCnCContext(ctx, h, memBase, memWorkers, v, tune)
+	if err != nil {
+		return stats, err
+	}
+	if score != want {
+		return stats, fmt.Errorf("SW score %v, linear-space reference %v", score, want)
+	}
+	return stats, nil
+}
+
+// WriteMemory reports the bounded-memory contract of the CnC runtime on
+// real benchmark graphs: for every GC-enabled schedule of GE, FW, and SW it
+// runs once unbounded (measuring the natural peak live set) and once with
+// the memory limit set to 95% of that measured peak. The claims checked per
+// row:
+//
+//   - leak freedom: LiveItems == 0 at quiesce, ItemsFreed == ItemsPut;
+//   - the peak live set is a fraction of the items put (get-count GC frees
+//     tiles as their last reader completes, cf. the paper's data-movement
+//     discussion in §V);
+//   - under a feasible limit the run completes with PeakLiveBytes <= limit
+//     and BackpressureStalls == 0 — throttled puts deferred (waits) instead
+//     of admitted over budget.
+//
+// Any violated claim is reported as an error so `dpbench -exp memory` can
+// gate CI.
+func WriteMemory(ctx context.Context, w io.Writer) error {
+	benches := []struct {
+		name string
+		run  memRun
+	}{
+		{"GE", geMemRun},
+		{"FW", fwMemRun},
+		{"SW", swMemRun},
+	}
+	variants := []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC}
+
+	fmt.Fprintf(w, "# memory: get-count GC + backpressure, n=%d base=%d workers=%d (limit = 95%% of unbounded peak)\n", memN, memBase, memWorkers)
+	fmt.Fprintf(w, "%6s %10s %10s %8s %6s %6s %8s %12s %12s %8s %8s %8s\n",
+		"bench", "variant", "mode", "puts", "peak", "live", "freed", "peakbytes", "limit", "waits", "stalls", "claims")
+
+	var failures []string
+	bounded, degraded := 0, 0
+	for _, b := range benches {
+		for _, v := range variants {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			free, err := b.run(ctx, v, nil)
+			if err != nil {
+				return fmt.Errorf("memory: %s/%s unbounded: %w", b.name, v, err)
+			}
+			writeMemRow(w, b.name, v.String(), "unbounded", free.Stats, 0)
+			if msg := checkLeakFree(b.name, v.String(), free.Stats); msg != "" {
+				failures = append(failures, msg)
+			}
+
+			limit := free.PeakLiveBytes * 95 / 100
+			capped, err := b.run(ctx, v, func(g *cnc.Graph) { g.WithMemoryLimit(limit) })
+			if err != nil {
+				return fmt.Errorf("memory: %s/%s bounded to %d: %w", b.name, v, limit, err)
+			}
+			writeMemRow(w, b.name, v.String(), "bounded", capped.Stats, limit)
+			if msg := checkLeakFree(b.name, v.String(), capped.Stats); msg != "" {
+				failures = append(failures, msg)
+			}
+			switch {
+			case capped.BackpressureStalls > 0:
+				degraded++
+			case capped.PeakLiveBytes <= limit:
+				bounded++
+			default:
+				failures = append(failures, fmt.Sprintf("%s/%s: peak %d bytes exceeds limit %d without reported stalls",
+					b.name, v, capped.PeakLiveBytes, limit))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(w, "FAIL:", f)
+		}
+		return fmt.Errorf("memory: %d claim(s) violated", len(failures))
+	}
+	fmt.Fprintf(w, "\n// all rows leak-free (live=0, freed=puts); %d limited runs honored their budget, %d degraded gracefully (limit below that schedule's floor)\n", bounded, degraded)
+	return nil
+}
+
+func writeMemRow(w io.Writer, bench, variant, mode string, s cnc.Stats, limit int64) {
+	claims := "leak-free"
+	if s.LiveItems != 0 {
+		claims = "LEAK"
+	}
+	lim := "-"
+	if limit > 0 {
+		lim = fmt.Sprint(limit)
+		if s.BackpressureStalls == 0 && s.PeakLiveBytes <= limit {
+			claims += ",bounded"
+		} else if s.BackpressureStalls > 0 {
+			claims += ",degraded"
+		} else {
+			claims = "OVER-LIMIT"
+		}
+	}
+	fmt.Fprintf(w, "%6s %10s %10s %8d %6d %6d %8d %12d %12s %8d %8d %8s\n",
+		bench, variant, mode, s.ItemsPut, s.PeakLiveItems, s.LiveItems, s.ItemsFreed,
+		s.PeakLiveBytes, lim, s.BackpressureWaits, s.BackpressureStalls, claims)
+}
+
+// checkLeakFree validates the quiesce-time accounting of one run; empty
+// string means every claim held.
+func checkLeakFree(bench, variant string, s cnc.Stats) string {
+	switch {
+	case s.LiveItems != 0:
+		return fmt.Sprintf("%s/%s: %d items live at quiesce (freed %d of %d)", bench, variant, s.LiveItems, s.ItemsFreed, s.ItemsPut)
+	case s.ItemsFreed != int64(s.ItemsPut):
+		return fmt.Sprintf("%s/%s: freed %d of %d items", bench, variant, s.ItemsFreed, s.ItemsPut)
+	case s.PeakLiveItems >= int64(s.ItemsPut):
+		return fmt.Sprintf("%s/%s: peak live %d never dropped below items put %d", bench, variant, s.PeakLiveItems, s.ItemsPut)
+	}
+	return ""
+}

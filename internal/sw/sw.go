@@ -177,10 +177,10 @@ func (p *Problem) RunCnCContext(ctx context.Context, h *matrix.Dense, base, work
 	step := cnc.NewStepCollection(g, "swTile", func(t TileTag) error {
 		if t.S > base {
 			half := t.S / 2
-			tags.Put(TileTag{2 * t.I, 2 * t.J, half})
-			tags.Put(TileTag{2 * t.I, 2*t.J + 1, half})
-			tags.Put(TileTag{2*t.I + 1, 2 * t.J, half})
-			tags.Put(TileTag{2*t.I + 1, 2*t.J + 1, half})
+			tags.PutThrottled(TileTag{2 * t.I, 2 * t.J, half})
+			tags.PutThrottled(TileTag{2 * t.I, 2*t.J + 1, half})
+			tags.PutThrottled(TileTag{2*t.I + 1, 2 * t.J, half})
+			tags.PutThrottled(TileTag{2*t.I + 1, 2*t.J + 1, half})
 			return nil
 		}
 		if t.I > 0 && !await(TileKey{t.I - 1, t.J}) ||
@@ -218,6 +218,37 @@ func (p *Problem) RunCnCContext(ctx context.Context, h *matrix.Dense, base, work
 		step.WithDeps(cnc.TunedTriggered, deps)
 	}
 	tags.Prescribe(step)
+
+	// Memory contract (see internal/cnc: WithGetCount / WithMemoryLimit).
+	// Tile (i, j) is read by its east, south and south-east neighbours, so
+	// its get-count is the number of those that exist; interior tiles free
+	// after exactly three reads, the last row/column after one, and the
+	// corner (T−1, T−1) frees immediately on put. NonBlockingCnC is
+	// excluded: its poll-miss re-put retires one successful step instance
+	// per poll, which would release dependencies more than once.
+	if variant != core.NonBlockingCnC {
+		tile := bs * bs * 8
+		out.WithGetCount(func(k TileKey) int {
+			c := 0
+			if k.I+1 < tiles {
+				c++
+			}
+			if k.J+1 < tiles {
+				c++
+			}
+			if k.I+1 < tiles && k.J+1 < tiles {
+				c++
+			}
+			return c
+		}).WithSizeOf(func(TileKey) int { return tile })
+		step.WithGets(deps)
+		tags.WithTagBytes(func(t TileTag) int {
+			if t.S > base {
+				return 0 // split tags only fan out; base tiles carry the data
+			}
+			return tile
+		})
+	}
 	if tune != nil {
 		tune(g)
 	}
@@ -226,14 +257,16 @@ func (p *Problem) RunCnCContext(ctx context.Context, h *matrix.Dense, base, work
 		if variant == core.ManualCnC {
 			for i := 0; i < tiles; i++ {
 				for j := 0; j < tiles; j++ {
-					tags.Put(TileTag{i, j, bs})
+					tags.PutThrottled(TileTag{i, j, bs})
 				}
 			}
 			return
 		}
-		tags.Put(TileTag{0, 0, n})
+		tags.PutThrottled(TileTag{0, 0, n})
 	})
-	stats := gep.CnCStats{Stats: g.Stats(), BaseTasks: out.Len()}
+	// Puts, not Len: with get-counts active Len is the *live* census and
+	// drops to zero as tiles are garbage-collected.
+	stats := gep.CnCStats{Stats: g.Stats(), BaseTasks: int(out.Puts())}
 	if err != nil {
 		return 0, stats, err
 	}
