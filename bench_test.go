@@ -13,10 +13,12 @@
 package dpflow_test
 
 import (
+	"context"
 	"flag"
 	"math/rand"
 	"testing"
 
+	"dpflow/internal/cnc"
 	"dpflow/internal/core"
 	"dpflow/internal/forkjoin"
 	"dpflow/internal/fw"
@@ -183,6 +185,60 @@ func BenchmarkAblationNonBlockingGet(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkGE1KNativeCnC is the scheduler acceptance benchmark: GE at
+// n=1024 under the Native CnC schedule, reporting the dispatch-layer
+// counters alongside wall-clock. The wakeups/puts metric is the targeted
+// sleep/wake protocol's bill; the seed's Broadcast-per-push regime implied
+// workers wakes per put (8 here), so the metric sitting far below 8 is the
+// bounded-contention claim in one number.
+func BenchmarkGE1KNativeCnC(b *testing.B) {
+	n, base, workers := 1024, 64, 8
+	if testing.Short() {
+		n = 256
+	}
+	rng := rand.New(rand.NewSource(6))
+	orig := matrix.NewSquare(n)
+	orig.FillDiagonallyDominant(rng)
+	var wakeups, puts, steals uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		x := orig.Clone()
+		b.StartTimer()
+		stats, err := ge.RunCnC(x, base, workers, core.NativeCnC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wakeups += stats.Wakeups
+		puts += stats.TagsPut + stats.ItemsPut
+		steals += stats.Steals
+	}
+	b.ReportMetric(float64(wakeups)/float64(puts), "wakeups/put")
+	b.ReportMetric(float64(steals)/float64(b.N), "steals/run")
+}
+
+// BenchmarkCnCStealPolicy compares random and sequential victim selection
+// in the CnC graph runtime (the knob BenchmarkAblationStealPolicy sweeps
+// for the fork-join pool).
+func BenchmarkCnCStealPolicy(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	orig := matrix.NewSquare(256)
+	orig.FillDiagonallyDominant(rng)
+	for _, pol := range []cnc.StealPolicy{cnc.StealRandom, cnc.StealSequential} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				x := orig.Clone()
+				b.StartTimer()
+				_, err := ge.RunCnCContext(context.Background(), x, 32, 4, core.NativeCnC,
+					func(g *cnc.Graph) { g.SetStealPolicy(pol) })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -101,6 +101,8 @@ func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTi
 		return harness.WriteSWWave(ctx, os.Stdout)
 	case "memory":
 		return harness.WriteMemory(ctx, os.Stdout)
+	case "sched":
+		return harness.WriteSched(ctx, os.Stdout)
 	}
 	e, ok := harness.FigureByID(id)
 	if !ok {

@@ -97,6 +97,14 @@ type Stats struct {
 	PinnedRuns    uint64 // instances placed by a ComputeOn tuner
 	Retries       uint64 // failed attempts re-executed under a retry budget
 
+	// Dispatch-layer counters (see queue.go). The seed runtime broadcast to
+	// every worker on every push — an implied workers×puts wake bill; the
+	// work-stealing queue wakes at most one worker per push, so Wakeups is
+	// bounded by the number of dispatches.
+	Steals       uint64 // work units taken from another worker's lane
+	FailedProbes uint64 // steal probes that found an empty victim lane
+	Wakeups      uint64 // targeted wake signals sent to parked workers
+
 	// Memory accounting (see ItemCollection.WithGetCount and
 	// Graph.WithMemoryLimit). Bytes are counted only for collections with a
 	// WithSizeOf hint; items are counted for every collection.
@@ -198,10 +206,15 @@ func NewGraph(name string, workers int) *Graph {
 	g := &Graph{name: name, workers: workers}
 	g.acct.init(g)
 	g.quiesceCond = sync.NewCond(&g.quiesceMu)
-	g.queue.cond = sync.NewCond(&g.queue.mu)
-	g.queue.init(workers)
+	// Deterministic steal seed: runs are reproducible for a given graph
+	// shape, and CnC determinism holds under any victim order anyway.
+	g.queue.init(workers, StealRandom, 1)
 	return g
 }
+
+// SetStealPolicy selects the victim order idle workers use when stealing
+// (StealRandom by default). Write-before-Run configuration, like SetHooks.
+func (g *Graph) SetStealPolicy(p StealPolicy) { g.queue.policy = p }
 
 // Name returns the graph's name.
 func (g *Graph) Name() string { return g.name }
@@ -231,6 +244,10 @@ func (g *Graph) Stats() Stats {
 		TriggeredRuns: g.stats.triggered.Load(),
 		PinnedRuns:    g.stats.pinned.Load(),
 		Retries:       g.stats.retries.Load(),
+
+		Steals:       g.queue.steals.Load(),
+		FailedProbes: g.queue.failedProbes.Load(),
+		Wakeups:      g.queue.wakeups.Load(),
 	}
 }
 
@@ -411,66 +428,4 @@ func (g *Graph) collectBlocked() []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// workQueue is the runtime's work pool: an unbounded global FIFO plus one
-// FIFO per worker for steps pinned by a ComputeOn tuner (the Intel CnC
-// compute_on hint). Pinned work runs only on its designated worker.
-type workQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []func()   // global queue
-	local  [][]func() // per-worker pinned queues
-	closed bool
-}
-
-func (q *workQueue) init(workers int) {
-	q.local = make([][]func(), workers)
-}
-
-func (q *workQueue) push(w func()) {
-	q.mu.Lock()
-	q.items = append(q.items, w)
-	q.mu.Unlock()
-	// Broadcast rather than Signal: a Signal could wake a worker whose
-	// pinned queue is empty while another waits for this global item.
-	q.cond.Broadcast()
-}
-
-// pushLocal enqueues pinned work for one worker.
-func (q *workQueue) pushLocal(worker int, w func()) {
-	q.mu.Lock()
-	q.local[worker] = append(q.local[worker], w)
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-// pop returns the next unit for the given worker: pinned work first, then
-// global. It blocks until work arrives or the queue closes.
-func (q *workQueue) pop(worker int) (func(), bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.local[worker]) == 0 && len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if l := q.local[worker]; len(l) > 0 {
-		w := l[0]
-		l[0] = nil
-		q.local[worker] = l[1:]
-		return w, true
-	}
-	if len(q.items) > 0 {
-		w := q.items[0]
-		q.items[0] = nil
-		q.items = q.items[1:]
-		return w, true
-	}
-	return nil, false
-}
-
-func (q *workQueue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
 }

@@ -40,9 +40,11 @@ func TestPipeline(t *testing.T) {
 }
 
 // TestBlockingGetAbortsAndRequeues puts the consumer's tag before the item
-// it needs exists, forcing the authentic abort-and-requeue path.
+// it needs exists, forcing the authentic abort-and-requeue path. One worker
+// makes the order deterministic: a single lane drains FIFO, so the consumer
+// is guaranteed to run (and miss its Get) before the producer.
 func TestBlockingGetAbortsAndRequeues(t *testing.T) {
-	g := NewGraph("abort", 2)
+	g := NewGraph("abort", 1)
 	items := NewItemCollection[string, int](g, "items")
 	consumed := NewItemCollection[string, int](g, "out")
 	consumerTags := NewTagCollection[string](g, "ct", false)

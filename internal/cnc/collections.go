@@ -2,6 +2,7 @@ package cnc
 
 import (
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -540,6 +541,25 @@ func (tc *TagCollection[T]) PutRange(lo, hi int, mk func(int) T) {
 	}
 }
 
+// itemShards is the stripe count of an ItemCollection's key space (a power
+// of two so shard selection is a mask). 16 stripes ≈ 2× the largest worker
+// counts the real runs here use, which keeps the probability that two
+// concurrent tile operations collide on a stripe low while the per-shard
+// constant cost (4 small maps) stays negligible; see DESIGN.md §5e.
+const itemShards = 16
+
+// itemShard is one stripe of an ItemCollection: the full
+// items/remaining/freed/waiters map set for the keys that hash to it, under
+// its own lock. Every collection operation is single-key, so puts and gets
+// on different tiles proceed on different stripes without serialising.
+type itemShard[K comparable, V any] struct {
+	mu        sync.Mutex
+	items     map[K]V
+	remaining map[K]int      // live get-counts (only when getCount != nil)
+	freed     map[K]struct{} // keys whose value was reclaimed
+	waiters   map[K][]waiter
+}
+
 // ItemCollection is a single-assignment associative data collection.
 type ItemCollection[K comparable, V any] struct {
 	g    *Graph
@@ -552,11 +572,8 @@ type ItemCollection[K comparable, V any] struct {
 
 	puts atomic.Uint64
 
-	mu        sync.Mutex
-	items     map[K]V
-	remaining map[K]int      // live get-counts (only when getCount != nil)
-	freed     map[K]struct{} // keys whose value was reclaimed
-	waiters   map[K][]waiter
+	hashSeed maphash.Seed
+	shards   [itemShards]itemShard[K, V]
 }
 
 type waiter struct {
@@ -568,17 +585,28 @@ type waiter struct {
 func NewItemCollection[K comparable, V any](g *Graph, name string) *ItemCollection[K, V] {
 	meta := &itemMeta{name: name}
 	ic := &ItemCollection[K, V]{
-		g:       g,
-		name:    name,
-		meta:    meta,
-		items:   make(map[K]V),
-		waiters: make(map[K][]waiter),
+		g:        g,
+		name:     name,
+		meta:     meta,
+		hashSeed: maphash.MakeSeed(),
+	}
+	for i := range ic.shards {
+		sh := &ic.shards[i]
+		sh.items = make(map[K]V)
+		sh.remaining = make(map[K]int)
+		sh.freed = make(map[K]struct{})
+		sh.waiters = make(map[K][]waiter)
 	}
 	g.structMu.Lock()
 	g.items = append(g.items, meta)
 	g.structMu.Unlock()
 	g.registerReporter(ic)
 	return ic
+}
+
+// shardOf maps a key to its stripe.
+func (ic *ItemCollection[K, V]) shardOf(k K) *itemShard[K, V] {
+	return &ic.shards[maphash.Comparable(ic.hashSeed, k)&(itemShards-1)]
 }
 
 // WithGetCount declares each item's consumer count — Intel CnC's get-count
@@ -593,12 +621,6 @@ func NewItemCollection[K comparable, V any](g *Graph, name string) *ItemCollecti
 // Stats.LiveItems > 0 after quiesce. Declare before Run.
 func (ic *ItemCollection[K, V]) WithGetCount(fn func(K) int) *ItemCollection[K, V] {
 	ic.getCount = fn
-	ic.mu.Lock()
-	if ic.remaining == nil {
-		ic.remaining = make(map[K]int)
-		ic.freed = make(map[K]struct{})
-	}
-	ic.mu.Unlock()
 	ic.g.structMu.Lock()
 	ic.meta.getCount = true
 	ic.g.hasGetCounts = true
@@ -651,24 +673,25 @@ func (ic *ItemCollection[K, V]) Put(k K, v V) {
 		h.BeforeItemPut(ic.name, k)
 	}
 	size := ic.sizeBytes(k)
-	// Admission before the collection lock: the budget wait must not block
+	// Admission before the shard lock: the budget wait must not block
 	// other gets/puts/frees on this collection (frees are what clear it).
 	ic.g.acct.admitItem(size)
-	ic.mu.Lock()
-	if _, wasFreed := ic.freed[k]; wasFreed {
-		ic.mu.Unlock()
+	sh := ic.shardOf(k)
+	sh.mu.Lock()
+	if _, wasFreed := sh.freed[k]; wasFreed {
+		sh.mu.Unlock()
 		ic.g.acct.refund(size)
 		ic.g.fail(fmt.Errorf("cnc: single-assignment violation: item %s[%v] re-put after its get-count freed it: %w",
 			ic.name, k, &UseAfterFreeError{Collection: ic.name, Key: k}))
 		return
 	}
-	if _, dup := ic.items[k]; dup {
-		ic.mu.Unlock()
+	if _, dup := sh.items[k]; dup {
+		sh.mu.Unlock()
 		ic.g.acct.refund(size)
 		ic.g.fail(fmt.Errorf("cnc: single-assignment violation: item %s[%v] put twice", ic.name, k))
 		return
 	}
-	ic.items[k] = v
+	sh.items[k] = v
 	freeNow := false
 	if ic.getCount != nil {
 		switch n := ic.getCount(k); {
@@ -679,19 +702,19 @@ func (ic *ItemCollection[K, V]) Put(k K, v V) {
 		case n == 0:
 			freeNow = true
 		default:
-			ic.remaining[k] = n
+			sh.remaining[k] = n
 		}
 	}
-	ws := ic.waiters[k]
-	delete(ic.waiters, k)
+	ws := sh.waiters[k]
+	delete(sh.waiters, k)
 	if freeNow {
 		// Declared consumer-free: reclaim immediately. Parked waiters are
 		// still woken — their re-read then reports use-after-free, which is
 		// the deterministic surface of a get-count declared too low.
-		delete(ic.items, k)
-		ic.freed[k] = struct{}{}
+		delete(sh.items, k)
+		sh.freed[k] = struct{}{}
 	}
-	ic.mu.Unlock()
+	sh.mu.Unlock()
 	ic.g.stats.itemsPut.Add(1)
 	ic.puts.Add(1)
 	if freeNow {
@@ -719,34 +742,35 @@ func (ic *ItemCollection[K, V]) release(key any) {
 		ic.g.fail(fmt.Errorf("cnc: release key %v has wrong type for collection %s", key, ic.name))
 		return
 	}
-	ic.mu.Lock()
-	if _, wasFreed := ic.freed[k]; wasFreed {
-		ic.mu.Unlock()
+	sh := ic.shardOf(k)
+	sh.mu.Lock()
+	if _, wasFreed := sh.freed[k]; wasFreed {
+		sh.mu.Unlock()
 		ic.g.fail(fmt.Errorf("cnc: over-release of item %s[%v]: get-count reached zero before its last declared reader (declared count too low)",
 			ic.name, k))
 		return
 	}
-	rem, counted := ic.remaining[k]
+	rem, counted := sh.remaining[k]
 	if !counted {
-		if _, present := ic.items[k]; present {
+		if _, present := sh.items[k]; present {
 			// Present but un-counted: the negative-count error path left it
 			// pinned; the graph already failed.
-			ic.mu.Unlock()
+			sh.mu.Unlock()
 			return
 		}
-		ic.mu.Unlock()
+		sh.mu.Unlock()
 		ic.g.fail(fmt.Errorf("cnc: release of item %s[%v] that was never put", ic.name, k))
 		return
 	}
 	if rem--; rem > 0 {
-		ic.remaining[k] = rem
-		ic.mu.Unlock()
+		sh.remaining[k] = rem
+		sh.mu.Unlock()
 		return
 	}
-	delete(ic.items, k)
-	delete(ic.remaining, k)
-	ic.freed[k] = struct{}{}
-	ic.mu.Unlock()
+	delete(sh.items, k)
+	delete(sh.remaining, k)
+	sh.freed[k] = struct{}{}
+	sh.mu.Unlock()
 	ic.g.acct.free(ic.sizeBytes(k))
 }
 
@@ -759,12 +783,13 @@ func (ic *ItemCollection[K, V]) has(key any) bool {
 	if !ok {
 		return true // let execution surface the type error
 	}
-	ic.mu.Lock()
-	defer ic.mu.Unlock()
-	if _, present := ic.items[k]; present {
+	sh := ic.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, present := sh.items[k]; present {
 		return true
 	}
-	_, wasFreed := ic.freed[k]
+	_, wasFreed := sh.freed[k]
 	return wasFreed
 }
 
@@ -776,12 +801,13 @@ func (ic *ItemCollection[K, V]) freeableBytes(key any) int64 {
 	if !ok {
 		return 0
 	}
-	ic.mu.Lock()
-	defer ic.mu.Unlock()
-	if _, present := ic.items[k]; !present {
+	sh := ic.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, present := sh.items[k]; !present {
 		return 0
 	}
-	if rem, counted := ic.remaining[k]; !counted || rem != 1 {
+	if rem, counted := sh.remaining[k]; !counted || rem != 1 {
 		return 0
 	}
 	return ic.sizeBytes(k)
@@ -794,34 +820,35 @@ func (ic *ItemCollection[K, V]) freeableBytes(key any) int64 {
 // with a deterministic UseAfterFreeError (the declared count was too low)
 // instead of parking forever or returning stale data.
 func (ic *ItemCollection[K, V]) Get(k K) V {
-	ic.mu.Lock()
-	if v, ok := ic.items[k]; ok {
-		ic.mu.Unlock()
+	sh := ic.shardOf(k)
+	sh.mu.Lock()
+	if v, ok := sh.items[k]; ok {
+		sh.mu.Unlock()
 		return v
 	}
-	if _, wasFreed := ic.freed[k]; wasFreed {
-		ic.mu.Unlock()
+	if _, wasFreed := sh.freed[k]; wasFreed {
+		sh.mu.Unlock()
 		err := &UseAfterFreeError{Collection: ic.name, Key: k}
 		ic.g.fail(err)
 		panic(err) // unwinds the step like a failed Get, but is never retried
 	}
-	ic.mu.Unlock()
+	sh.mu.Unlock()
 	panic(&retrySignal{
 		park: func(label string, requeue func()) {
-			ic.mu.Lock()
-			if _, ok := ic.items[k]; ok {
+			sh.mu.Lock()
+			if _, ok := sh.items[k]; ok {
 				// The item arrived between TryGet and parking: requeue
 				// immediately instead of waiting.
-				ic.mu.Unlock()
+				sh.mu.Unlock()
 				requeue()
 				return
 			}
 			ic.g.parked.Add(1)
-			ic.waiters[k] = append(ic.waiters[k], waiter{label: label, notify: func() {
+			sh.waiters[k] = append(sh.waiters[k], waiter{label: label, notify: func() {
 				ic.g.parked.Add(-1)
 				requeue()
 			}})
-			ic.mu.Unlock()
+			sh.mu.Unlock()
 		},
 	})
 }
@@ -831,26 +858,32 @@ func (ic *ItemCollection[K, V]) Get(k K) V {
 // item fails the graph (deterministic use-after-free, like Get) and reports
 // the item as absent.
 func (ic *ItemCollection[K, V]) TryGet(k K) (V, bool) {
-	ic.mu.Lock()
-	v, ok := ic.items[k]
+	sh := ic.shardOf(k)
+	sh.mu.Lock()
+	v, ok := sh.items[k]
 	if !ok {
-		if _, wasFreed := ic.freed[k]; wasFreed {
-			ic.mu.Unlock()
+		if _, wasFreed := sh.freed[k]; wasFreed {
+			sh.mu.Unlock()
 			ic.g.fail(&UseAfterFreeError{Collection: ic.name, Key: k})
 			var zero V
 			return zero, false
 		}
 	}
-	ic.mu.Unlock()
+	sh.mu.Unlock()
 	return v, ok
 }
 
 // Len returns the number of items currently live — put and not yet freed
 // by get-count garbage collection. For the total ever put, use Puts.
 func (ic *ItemCollection[K, V]) Len() int {
-	ic.mu.Lock()
-	defer ic.mu.Unlock()
-	return len(ic.items)
+	n := 0
+	for i := range ic.shards {
+		sh := &ic.shards[i]
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // subscribe implements itemStore for tuned scheduling.
@@ -862,12 +895,13 @@ func (ic *ItemCollection[K, V]) subscribe(key any, label string, notify func()) 
 		ic.g.fail(fmt.Errorf("cnc: dependency key %v has wrong type for collection %s", key, ic.name))
 		return false
 	}
-	ic.mu.Lock()
-	defer ic.mu.Unlock()
-	if _, present := ic.items[k]; present {
+	sh := ic.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, present := sh.items[k]; present {
 		return false
 	}
-	if _, wasFreed := ic.freed[k]; wasFreed {
+	if _, wasFreed := sh.freed[k]; wasFreed {
 		// A tuned instance declared a dependency on an already-freed item:
 		// the get-count missed this consumer. Fail deterministically and
 		// report the dependency as satisfied so the countdown completes and
@@ -875,19 +909,22 @@ func (ic *ItemCollection[K, V]) subscribe(key any, label string, notify func()) 
 		ic.g.fail(&UseAfterFreeError{Collection: ic.name, Key: k})
 		return false
 	}
-	ic.waiters[k] = append(ic.waiters[k], waiter{label: label, notify: notify})
+	sh.waiters[k] = append(sh.waiters[k], waiter{label: label, notify: notify})
 	return true
 }
 
 // blockedInstances enumerates parked instances for deadlock reports.
 func (ic *ItemCollection[K, V]) blockedInstances() []string {
-	ic.mu.Lock()
-	defer ic.mu.Unlock()
 	var out []string
-	for k, ws := range ic.waiters {
-		for _, w := range ws {
-			out = append(out, fmt.Sprintf("%s <- %s[%v]", w.label, ic.name, k))
+	for i := range ic.shards {
+		sh := &ic.shards[i]
+		sh.mu.Lock()
+		for k, ws := range sh.waiters {
+			for _, w := range ws {
+				out = append(out, fmt.Sprintf("%s <- %s[%v]", w.label, ic.name, k))
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out

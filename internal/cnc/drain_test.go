@@ -1,0 +1,115 @@
+package cnc
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDrainRetiresPutsDeferredAfterCancelPump pins down the pump-on-drain
+// contract: the monitor goroutine pumps the accountant exactly once when
+// the context fires, so a throttled put issued *after* that pump (here: by
+// a step that waits until it has observed the cancellation) must still
+// retire through the accountant's own drain path — not hang the run on an
+// un-pumped pending hold.
+func TestDrainRetiresPutsDeferredAfterCancelPump(t *testing.T) {
+	g := NewGraph("late-put", 1).WithMemoryLimit(8)
+	out := NewItemCollection[int, int](g, "out")
+	out.WithSizeOf(func(int) int { return 8 }) // no get-count: budget never clears
+	tags := NewTagCollection[int](g, "tags", false)
+	tags.WithTagBytes(func(int) int { return 8 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	cancelled := make(chan struct{})
+	var bodyRuns atomic.Int64
+	step := NewStepCollection(g, "work", func(i int) error {
+		bodyRuns.Add(1)
+		close(started) // the test cancels only after the body is running
+		out.Put(i, i)
+		<-cancelled // resume only after the monitor's single pump has run
+		// The budget is full and can never free, so without drain-mode
+		// admission this put would be deferred forever.
+		tags.PutThrottled(i + 1)
+		return nil
+	})
+	step.Produces(out)
+	tags.Prescribe(step)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- g.RunContext(ctx, func() { tags.PutThrottled(0) })
+	}()
+	<-started
+	cancel()
+	// Give the monitor time to record the error and run its one pump
+	// before the step issues the late throttled put.
+	time.Sleep(50 * time.Millisecond)
+	close(cancelled)
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("throttled put deferred after the cancellation pump never retired")
+	}
+	if n := bodyRuns.Load(); n != 1 {
+		t.Fatalf("step bodies run = %d, want 1 (tag 1 must drain, not execute)", n)
+	}
+	if n := g.acct.pendingN.Load(); n != 0 {
+		t.Fatalf("accountant still holds %d pending put(s) after the run", n)
+	}
+	if s := g.Stats(); s.BackpressureStalls != 0 {
+		t.Fatalf("BackpressureStalls = %d, want 0 (drain admission, not forced admission)", s.BackpressureStalls)
+	}
+}
+
+// TestDrainPumpCancelStress races many throttled puts against the
+// cancellation flush across repeated runs: whatever interleaving the
+// deferral hits — before, during, or after the monitor's pump — the run
+// must return and leave no pending holds.
+func TestDrainPumpCancelStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 20; round++ {
+		g := NewGraph("pump-stress", 4).WithMemoryLimit(16)
+		out := NewItemCollection[int, int](g, "out")
+		out.WithSizeOf(func(int) int { return 8 })
+		tags := NewTagCollection[int](g, "tags", false)
+		tags.WithTagBytes(func(int) int { return 8 })
+		step := NewStepCollection(g, "work", func(i int) error {
+			out.Put(i, i)
+			if i < 64 {
+				tags.PutThrottled(i + 100*(i%3+1)) // fan out unique tags
+			}
+			return nil
+		})
+		step.Produces(out)
+		tags.Prescribe(step)
+
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			done <- g.RunContext(ctx, func() {
+				for i := 0; i < 32; i++ {
+					tags.PutThrottled(i)
+				}
+			})
+		}()
+		time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			t.Fatalf("round %d: cancelled bounded-memory run hung", round)
+		}
+		if n := g.acct.pendingN.Load(); n != 0 {
+			t.Fatalf("round %d: %d pending put(s) survived the run", round, n)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package cnc
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// StealPolicy selects how an idle worker picks steal victims — the same
+// knob internal/forkjoin exposes for the fork-join pool, carried over to
+// the CnC dispatch layer so the two runtimes' scheduling disciplines are
+// comparable (Dinh & Simhadri's point that work stealing transfers to
+// nested dataflow).
+type StealPolicy int
+
+const (
+	// StealRandom probes victims in (pseudo) random order; the default, as
+	// in Cilk-style runtimes.
+	StealRandom StealPolicy = iota
+	// StealSequential probes victims in round-robin order starting after
+	// the thief; kept as an ablation knob.
+	StealSequential
+)
+
+// String renders the policy for Describe output.
+func (p StealPolicy) String() string {
+	if p == StealSequential {
+		return "sequential"
+	}
+	return "random"
+}
+
+// ring is a growable circular FIFO of work items. Unlike the seed's
+// re-sliced `q.items = q.items[1:]` queues it reuses its backing array:
+// steady-state push/pop allocates nothing and retains no dead heads
+// (regression-tested with testing.AllocsPerRun).
+type ring struct {
+	buf  []func()
+	head int // index of the oldest element
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) pushBack(w func()) {
+	if r.n == len(r.buf) {
+		c := len(r.buf) * 2
+		if c == 0 {
+			c = 8
+		}
+		nb := make([]func(), c)
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = nb, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = w
+	r.n++
+}
+
+func (r *ring) popFront() (func(), bool) {
+	if r.n == 0 {
+		return nil, false
+	}
+	w := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return w, true
+}
+
+// workerLane is one worker's share of the work pool: a pinned FIFO for
+// ComputeOn placements (only the owner may run those), a general queue
+// other workers may steal from, a buffered wake token, and the owner's
+// victim-order RNG.
+type workerLane struct {
+	mu     sync.Mutex
+	pinned ring // ComputeOn work; strictly FIFO, owner-only
+	queue  ring // general work; owner and thieves both take oldest-first
+	wake   chan struct{}
+	rng    *rand.Rand // victim order; touched only by the owning worker
+}
+
+// workQueue is the runtime's work pool: per-worker lanes with randomized
+// work stealing, replacing the seed's single mutex-guarded global FIFO
+// whose every push cond.Broadcast()ed all workers.
+//
+// Placement: pinned work (ComputeOn) goes to its designated worker's
+// pinned FIFO and runs only there, preserving the per-worker put-order
+// guarantee. General work is placed round-robin across the lanes; the
+// owner drains its lane oldest-first and idle workers steal oldest-first
+// from other lanes. Oldest-first (rather than the fork-join pool's
+// owner-LIFO) is deliberate: the non-blocking CnC schedule makes progress
+// by re-putting its own tag behind the producers it polls for, which
+// requires queue fairness — owner-LIFO would let a single worker re-pop
+// its own re-put forever.
+//
+// Sleep/wake protocol (lost-wakeup-free): a worker that finds nothing —
+// own pinned, own queue, steal sweep — registers itself in the parked set
+// under parkMu, probes everything once more, and only then blocks on its
+// wake token. A pusher enqueues first and wakes second, so it either
+// completed the enqueue before the worker's post-registration probe (the
+// probe finds the item: both sides synchronise on the lane mutex) or it
+// observes the registration and hands the worker a token. Tokens are
+// buffered (capacity 1) so a wake sent before the worker actually blocks
+// is retained, and a stale token at worst causes one spurious re-probe.
+// Each push wakes at most one worker — the pinned target, or any parked
+// worker for stealable work — so puts stop paying the seed's
+// workers×puts thundering-herd broadcast bill (counted in Stats.Wakeups).
+type workQueue struct {
+	lanes  []*workerLane
+	policy StealPolicy
+
+	parkMu   sync.Mutex
+	parked   []int // ids of parked workers, most recently parked last
+	isParked []bool
+	closed   bool
+	nParked  atomic.Int32 // mirror of len(parked) for the push fast path
+
+	nextPush atomic.Uint64 // round-robin placement cursor
+
+	steals       atomic.Uint64
+	failedProbes atomic.Uint64
+	wakeups      atomic.Uint64
+}
+
+func (q *workQueue) init(workers int, policy StealPolicy, seed int64) {
+	q.policy = policy
+	q.lanes = make([]*workerLane, workers)
+	q.isParked = make([]bool, workers)
+	for i := range q.lanes {
+		q.lanes[i] = &workerLane{
+			wake: make(chan struct{}, 1),
+			rng:  rand.New(rand.NewSource(seed + int64(i)*7919 + 1)),
+		}
+	}
+}
+
+// push enqueues stealable work on the next lane in round-robin order and
+// wakes at most one parked worker.
+func (q *workQueue) push(w func()) {
+	t := int(q.nextPush.Add(1) % uint64(len(q.lanes)))
+	lane := q.lanes[t]
+	lane.mu.Lock()
+	lane.queue.pushBack(w)
+	lane.mu.Unlock()
+	q.wakeAny(t)
+}
+
+// pushLocal enqueues pinned work for one worker and wakes that worker
+// specifically — nobody else can run it.
+func (q *workQueue) pushLocal(worker int, w func()) {
+	lane := q.lanes[worker]
+	lane.mu.Lock()
+	lane.pinned.pushBack(w)
+	lane.mu.Unlock()
+	q.wakeWorker(worker)
+}
+
+// wakeAny wakes one parked worker, preferring the lane owner the item was
+// placed on. No-op when nobody is parked (the common busy-graph case,
+// checked without taking parkMu).
+func (q *workQueue) wakeAny(preferred int) {
+	if q.nParked.Load() == 0 {
+		return
+	}
+	q.parkMu.Lock()
+	chosen := -1
+	if q.isParked[preferred] {
+		chosen = preferred
+	} else if n := len(q.parked); n > 0 {
+		chosen = q.parked[n-1]
+	}
+	if chosen >= 0 {
+		q.removeParkedLocked(chosen)
+	}
+	q.parkMu.Unlock()
+	if chosen >= 0 {
+		q.sendWake(chosen)
+	}
+}
+
+// wakeWorker wakes the given worker iff it is parked.
+func (q *workQueue) wakeWorker(worker int) {
+	if q.nParked.Load() == 0 {
+		return
+	}
+	q.parkMu.Lock()
+	ok := q.isParked[worker]
+	if ok {
+		q.removeParkedLocked(worker)
+	}
+	q.parkMu.Unlock()
+	if ok {
+		q.sendWake(worker)
+	}
+}
+
+func (q *workQueue) sendWake(worker int) {
+	q.wakeups.Add(1)
+	select {
+	case q.lanes[worker].wake <- struct{}{}:
+	default: // a token is already pending; the worker will wake anyway
+	}
+}
+
+func (q *workQueue) removeParkedLocked(worker int) {
+	q.isParked[worker] = false
+	q.nParked.Add(-1)
+	for i, id := range q.parked {
+		if id == worker {
+			q.parked = append(q.parked[:i], q.parked[i+1:]...)
+			return
+		}
+	}
+}
+
+// take attempts to acquire one unit of work without blocking: the
+// worker's own pinned FIFO first (preserving the ComputeOn ordering
+// guarantee), then its own general queue, then a steal sweep.
+func (q *workQueue) take(worker int) (func(), bool) {
+	lane := q.lanes[worker]
+	lane.mu.Lock()
+	if w, ok := lane.pinned.popFront(); ok {
+		lane.mu.Unlock()
+		return w, true
+	}
+	if w, ok := lane.queue.popFront(); ok {
+		lane.mu.Unlock()
+		return w, true
+	}
+	lane.mu.Unlock()
+	if w := q.steal(worker); w != nil {
+		return w, true
+	}
+	return nil, false
+}
+
+// steal probes the other lanes once each, in policy order, taking the
+// oldest stealable item of the first non-empty victim.
+func (q *workQueue) steal(worker int) func() {
+	n := len(q.lanes)
+	if n == 1 {
+		return nil
+	}
+	start := 0
+	switch q.policy {
+	case StealRandom:
+		start = q.lanes[worker].rng.Intn(n)
+	case StealSequential:
+		start = worker + 1
+	}
+	for i := 0; i < n; i++ {
+		vi := (start + i) % n
+		if vi == worker {
+			continue
+		}
+		v := q.lanes[vi]
+		v.mu.Lock()
+		w, ok := v.queue.popFront()
+		v.mu.Unlock()
+		if ok {
+			q.steals.Add(1)
+			return w
+		}
+		q.failedProbes.Add(1)
+	}
+	return nil
+}
+
+// pop returns the next unit for the given worker, blocking until work
+// arrives or the queue closes. On close it keeps returning remaining work
+// (pinned first, then anything stealable) until none is left.
+func (q *workQueue) pop(worker int) (func(), bool) {
+	lane := q.lanes[worker]
+	for {
+		if w, ok := q.take(worker); ok {
+			return w, true
+		}
+		// Register as parked, then probe once more before sleeping: a
+		// pusher that missed the registration finished its enqueue first,
+		// so this probe sees the item; a pusher that saw it leaves a token.
+		q.parkMu.Lock()
+		if q.closed {
+			q.parkMu.Unlock()
+			return q.take(worker)
+		}
+		q.isParked[worker] = true
+		q.parked = append(q.parked, worker)
+		q.nParked.Add(1)
+		q.parkMu.Unlock()
+		if w, ok := q.take(worker); ok {
+			q.cancelPark(worker)
+			return w, true
+		}
+		<-lane.wake
+		// A stale token (left by a wake that raced with cancelPark) can
+		// deliver before anyone deregistered us: always deregister here so
+		// the parked set never holds a running worker.
+		q.cancelPark(worker)
+	}
+}
+
+// cancelPark deregisters the worker if a waker has not already done so.
+func (q *workQueue) cancelPark(worker int) {
+	q.parkMu.Lock()
+	if q.isParked[worker] {
+		q.removeParkedLocked(worker)
+	}
+	q.parkMu.Unlock()
+}
+
+func (q *workQueue) close() {
+	q.parkMu.Lock()
+	q.closed = true
+	ws := append([]int(nil), q.parked...)
+	for _, id := range ws {
+		q.removeParkedLocked(id)
+	}
+	q.parkMu.Unlock()
+	for _, id := range ws {
+		// Shutdown wakeups are not counted in Stats.Wakeups: the counter
+		// measures dispatch-path signalling, not teardown.
+		select {
+		case q.lanes[id].wake <- struct{}{}:
+		default:
+		}
+	}
+}

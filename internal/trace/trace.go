@@ -57,34 +57,52 @@ func (r *Recorder) Spans() []Span {
 // Report summarises a recording over a fixed worker count.
 type Report struct {
 	Tasks       int
-	Workers     int
+	Workers     int // effective worker count: max(requested, highest worker id seen + 1)
 	Makespan    time.Duration
 	Busy        time.Duration   // summed task durations
-	PerWorker   []time.Duration // busy time per worker
+	PerWorker   []time.Duration // busy time per worker; sums to Busy
 	Utilization float64         // Busy / (Workers × Makespan)
 }
 
-// Report computes the utilisation report for the given worker count.
+// Report computes the utilisation report for the given worker count. Spans
+// recorded with a worker id beyond the requested count grow the report —
+// Workers becomes the effective count and PerWorker covers every observed
+// id — so the identity sum(PerWorker) == Busy always holds and Utilization
+// stays a true fraction of worker-time; the seed silently dropped such
+// spans from PerWorker while still counting them in Busy, letting
+// Utilization exceed 100%. Spans with a negative worker id are
+// unattributable and are excluded from the report entirely.
 func (r *Recorder) Report(workers int) Report {
 	spans := r.Spans()
-	rep := Report{Tasks: len(spans), Workers: workers, PerWorker: make([]time.Duration, workers)}
+	eff := workers
+	if eff < 0 {
+		eff = 0
+	}
+	for _, s := range spans {
+		if s.Worker >= eff {
+			eff = s.Worker + 1
+		}
+	}
+	rep := Report{Workers: eff, PerWorker: make([]time.Duration, eff)}
 	var first, last time.Duration
-	for i, s := range spans {
+	for _, s := range spans {
+		if s.Worker < 0 {
+			continue
+		}
 		d := s.End - s.Start
 		rep.Busy += d
-		if s.Worker >= 0 && s.Worker < workers {
-			rep.PerWorker[s.Worker] += d
-		}
-		if i == 0 || s.Start < first {
+		rep.PerWorker[s.Worker] += d
+		if rep.Tasks == 0 || s.Start < first {
 			first = s.Start
 		}
 		if s.End > last {
 			last = s.End
 		}
+		rep.Tasks++
 	}
 	rep.Makespan = last - first
-	if workers > 0 && rep.Makespan > 0 {
-		rep.Utilization = float64(rep.Busy) / (float64(workers) * float64(rep.Makespan))
+	if rep.Workers > 0 && rep.Makespan > 0 {
+		rep.Utilization = float64(rep.Busy) / (float64(rep.Workers) * float64(rep.Makespan))
 	}
 	return rep
 }
@@ -103,7 +121,8 @@ func (rep Report) String() string {
 
 // Gantt renders a coarse ASCII Gantt chart of the recording: one row per
 // worker, width columns spanning the makespan, '#' where the worker was
-// busy.
+// busy. Like Report, worker ids beyond the requested count grow the chart
+// rather than vanish from it; negative ids are unattributable and skipped.
 func (r *Recorder) Gantt(workers, width int) string {
 	spans := r.Spans()
 	if len(spans) == 0 || width < 1 {
@@ -111,21 +130,28 @@ func (r *Recorder) Gantt(workers, width int) string {
 	}
 	var first, last time.Duration
 	first = spans[0].Start
+	eff := workers
+	if eff < 0 {
+		eff = 0
+	}
 	for _, s := range spans {
 		if s.End > last {
 			last = s.End
+		}
+		if s.Worker >= eff {
+			eff = s.Worker + 1
 		}
 	}
 	total := last - first
 	if total <= 0 {
 		total = 1
 	}
-	rows := make([][]byte, workers)
+	rows := make([][]byte, eff)
 	for i := range rows {
 		rows[i] = []byte(strings.Repeat(".", width))
 	}
 	for _, s := range spans {
-		if s.Worker < 0 || s.Worker >= workers {
+		if s.Worker < 0 {
 			continue
 		}
 		a := int(float64(s.Start-first) / float64(total) * float64(width))

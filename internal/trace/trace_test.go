@@ -66,6 +66,80 @@ func TestReport(t *testing.T) {
 	}
 }
 
+// TestReportGrowsToObservedWorkers is the regression test for the
+// out-of-range-worker bug: spans whose worker id is beyond the requested
+// count used to inflate Busy while vanishing from PerWorker, breaking the
+// sum identity and letting Utilization exceed 100%. The report must grow
+// to the effective worker count instead.
+func TestReportGrowsToObservedWorkers(t *testing.T) {
+	r := NewRecorder()
+	for _, w := range []int{0, 5} { // worker 5 is outside a Report(2) request
+		done := r.Task(w, "x")
+		time.Sleep(time.Millisecond)
+		done()
+	}
+	rep := r.Report(2)
+	if rep.Workers != 6 {
+		t.Fatalf("Workers = %d, want effective count 6", rep.Workers)
+	}
+	if len(rep.PerWorker) != 6 {
+		t.Fatalf("len(PerWorker) = %d, want 6", len(rep.PerWorker))
+	}
+	var sum time.Duration
+	for _, d := range rep.PerWorker {
+		sum += d
+	}
+	if sum != rep.Busy {
+		t.Fatalf("sum(PerWorker) = %v, Busy = %v: identity broken", sum, rep.Busy)
+	}
+	if rep.PerWorker[5] == 0 {
+		t.Fatal("out-of-range span still dropped from PerWorker")
+	}
+	if rep.Utilization > 1 {
+		t.Fatalf("Utilization = %v, exceeds 100%%", rep.Utilization)
+	}
+	if rep.Tasks != 2 {
+		t.Fatalf("Tasks = %d, want 2", rep.Tasks)
+	}
+}
+
+// TestReportExcludesUnattributableSpans: negative worker ids cannot be
+// charged to any worker; they must not count toward Busy either (the seed
+// counted them, another way to break the identity).
+func TestReportExcludesUnattributableSpans(t *testing.T) {
+	r := NewRecorder()
+	done := r.Task(-1, "orphan")
+	time.Sleep(time.Millisecond)
+	done()
+	d0 := r.Task(0, "x")
+	time.Sleep(time.Millisecond)
+	d0()
+	rep := r.Report(1)
+	if rep.Tasks != 1 || rep.Workers != 1 {
+		t.Fatalf("report %+v, want 1 task on 1 worker", rep)
+	}
+	if rep.Busy != rep.PerWorker[0] {
+		t.Fatalf("Busy = %v includes unattributable time (worker 0 busy %v)", rep.Busy, rep.PerWorker[0])
+	}
+}
+
+// TestGanttGrowsToObservedWorkers mirrors the Report fix on the chart:
+// a span on worker 3 must add rows to a Gantt(2, …) render, not vanish.
+func TestGanttGrowsToObservedWorkers(t *testing.T) {
+	r := NewRecorder()
+	done := r.Task(3, "x")
+	time.Sleep(time.Millisecond)
+	done()
+	g := r.Gantt(2, 20)
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("gantt rows = %d, want 4:\n%s", len(lines), g)
+	}
+	if !strings.Contains(lines[3], "#") {
+		t.Fatalf("worker 3 row shows no busy cells: %q", lines[3])
+	}
+}
+
 func TestGantt(t *testing.T) {
 	r := NewRecorder()
 	done := r.Task(0, "x")
