@@ -1,44 +1,33 @@
 // Command cncgraph prints the static CnC specification graph of one of the
-// benchmarks — the collections and their prescribe/produce/consume edges —
-// in the paper's textual notation (Listing 1 style) or Graphviz DOT
-// (Figure 1 style).
+// registered benchmarks — the collections and their prescribe/produce/
+// consume edges — in the paper's textual notation (Listing 1 style) or
+// Graphviz DOT (Figure 1 style).
 //
 // Usage:
 //
 //	cncgraph -bench ge          # textual CnC specification
-//	cncgraph -bench sw -dot     # DOT for rendering with graphviz
+//	cncgraph -bench chol -dot   # DOT for rendering with graphviz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"dpflow/internal/cnc"
-	"dpflow/internal/core"
-	"dpflow/internal/fw"
-	"dpflow/internal/ge"
-	"dpflow/internal/sw"
+	"dpflow/internal/bench"
 )
 
 func main() {
-	bench := flag.String("bench", "ge", "benchmark: ge, sw, fw")
+	name := flag.String("bench", "ge", "benchmark: "+bench.NameList())
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of the CnC textual form")
 	flag.Parse()
 
-	var g *cnc.Graph
-	switch strings.ToLower(*bench) {
-	case "ge":
-		g = ge.Algorithm.NewCnCGraph("GE", core.NativeCnC)
-	case "fw":
-		g = fw.Algorithm.NewCnCGraph("FW-APSP", core.NativeCnC)
-	case "sw":
-		g = sw.NewCnCGraph("SW")
-	default:
-		fmt.Fprintln(os.Stderr, "cncgraph: unknown bench", *bench)
+	b, err := bench.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cncgraph:", err)
 		os.Exit(2)
 	}
+	g := b.SpecGraph()
 	if *dot {
 		fmt.Print(g.Dot())
 		return

@@ -1,8 +1,11 @@
 // Command dpbench regenerates the paper's evaluation artifacts: every
-// figure (fig4..fig9), Table I (table1), the §IV-B claims reports
-// (crossover, swspan, bestblock), and the bounded-memory contract report
-// (memory: get-count GC leak freedom plus backpressure under a live-set
-// budget on real GE/FW/SW runs).
+// figure (fig4..fig9, plus the beyond-the-paper Cholesky panel figch),
+// Table I (table1), the §IV-B claims reports (crossover, swspan,
+// bestblock), and the bounded-memory contract report (memory: get-count
+// GC leak freedom plus backpressure under a live-set budget). The
+// benchmark-facing experiments iterate the internal/bench registry, so
+// every registered benchmark — GE, SW, FW-APSP, CH — appears in the
+// crossover verification, memory, and sched reports.
 //
 // Usage:
 //

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/core"
 	"dpflow/internal/dag"
 	"dpflow/internal/gep"
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		benchName = flag.String("bench", "ge", "benchmark: ge, sw, fw")
+		benchName = flag.String("bench", "ge", "benchmark: "+bench.NameList())
 		n         = flag.Int("n", 4096, "problem size (power of two)")
 		base      = flag.Int("base", 128, "recursive base size")
 		machName  = flag.String("machine", "epyc", "machine model: epyc, skylake, host")
@@ -34,16 +35,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var bench core.BenchID
-	switch strings.ToLower(*benchName) {
-	case "ge":
-		bench = core.GE
-	case "sw":
-		bench = core.SW
-	case "fw":
-		bench = core.FW
-	default:
-		fmt.Fprintln(os.Stderr, "dpsim: unknown bench", *benchName)
+	b, err := bench.ByName(*benchName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpsim: %v (known: %s)\n", err, bench.NameList())
 		os.Exit(2)
 	}
 	var mach *machine.Machine
@@ -66,19 +60,10 @@ func main() {
 	m := gep.BaseSize(*n, *base)
 	tiles := *n / m
 	fmt.Printf("%s n=%d base=%d (effective tile %d, %d tiles/side) on %s, P=%d\n\n",
-		bench, *n, *base, m, tiles, mach.Name, p)
-	fmt.Println(model.Describe(mach, bench, *n, *base))
+		b.ID(), *n, *base, m, tiles, mach.Name, p)
+	fmt.Println(model.Describe(mach, b, *n, *base))
 
-	var df, fj dag.Graph
-	if bench == core.SW {
-		df, fj = dag.NewSWDataflow(tiles), dag.NewSWForkJoin(tiles)
-	} else {
-		shape := gep.Triangular
-		if bench == core.FW {
-			shape = gep.Cube
-		}
-		df, fj = dag.NewGEPDataflow(tiles, shape), dag.NewGEPForkJoin(tiles, shape)
-	}
+	df, fj := b.Dataflow(tiles), b.ForkJoin(tiles)
 
 	for _, side := range []struct {
 		name string
@@ -89,7 +74,7 @@ func main() {
 		{"fork-join", fj, core.OMPTasking},
 	} {
 		st := dag.Analyze(side.g)
-		costs := model.CostsFor(mach, bench, *n, *base, side.v, df.Len())
+		costs := model.CostsFor(mach, b, *n, *base, side.v, df.Len())
 		span, err := simsched.Simulate(side.g, 0, costs)
 		check(err)
 		fmt.Printf("\n[%s DAG] nodes=%d tasks=%d edges=%d (A=%d B=%d C=%d D=%d SW=%d joins=%d)\n",
@@ -109,7 +94,7 @@ func main() {
 		if v == core.OMPTasking {
 			g = fj
 		}
-		r, err := simsched.SimulateTimeline(g, p, model.CostsFor(mach, bench, *n, *base, v, df.Len()), windows)
+		r, err := simsched.SimulateTimeline(g, p, model.CostsFor(mach, b, *n, *base, v, df.Len()), windows)
 		check(err)
 		fmt.Printf("%14s %12.4f %12.1f%% %10d\n", v, r.Makespan, 100*r.Utilization, r.PeakReady)
 		profiles[v.String()] = r.Timeline
@@ -126,9 +111,7 @@ func main() {
 			fmt.Println("| (0-9 = deciles of P busy)")
 		}
 	}
-	if bench != core.SW {
-		fmt.Printf("%14s %12.4f\n", "Estimated", model.EstimatedTime(mach, bench, *n, *base))
-	}
+	fmt.Printf("%14s %12.4f\n", "Estimated", model.EstimatedTime(mach, b, *n, *base))
 }
 
 func check(err error) {

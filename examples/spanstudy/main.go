@@ -12,6 +12,7 @@ import (
 	"log"
 	"math/rand"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/core"
 	"dpflow/internal/dag"
 	"dpflow/internal/forkjoin"
@@ -63,14 +64,16 @@ func spanTables() {
 
 func simulatedUtilization() {
 	fmt.Println("== simulated utilisation, GE n=2048 base=512 (starved regime) ==")
+	ge, err := bench.Lookup(core.GE)
+	check(err)
 	for _, mk := range []func() *machine.Machine{machine.EPYC64, machine.SKYLAKE192} {
 		mach := mk()
 		tiles := 2048 / gep.BaseSize(2048, 512)
 		df := dag.NewGEPDataflow(tiles, gep.Triangular)
 		fj := dag.NewGEPForkJoin(tiles, gep.Triangular)
-		rdf, err := simsched.Simulate(df, mach.Cores, model.CostsFor(mach, core.GE, 2048, 512, core.NativeCnC, df.Len()))
+		rdf, err := simsched.Simulate(df, mach.Cores, model.CostsFor(mach, ge, 2048, 512, core.NativeCnC, df.Len()))
 		check(err)
-		rfj, err := simsched.Simulate(fj, mach.Cores, model.CostsFor(mach, core.GE, 2048, 512, core.OMPTasking, df.Len()))
+		rfj, err := simsched.Simulate(fj, mach.Cores, model.CostsFor(mach, ge, 2048, 512, core.OMPTasking, df.Len()))
 		check(err)
 		fmt.Printf("%-12s data-flow: %6.3fs at %4.1f%% util | fork-join: %6.3fs at %4.1f%% util\n",
 			mach.Name, rdf.Makespan, 100*rdf.Utilization, rfj.Makespan, 100*rfj.Utilization)

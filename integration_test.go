@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/cnc"
 	"dpflow/internal/core"
 	"dpflow/internal/dag"
@@ -127,7 +128,11 @@ func TestEstimatedTracksSimulated(t *testing.T) {
 	mach := machine.SKYLAKE192()
 	for _, n := range []int{1024, 4096} {
 		for _, base := range []int{32, 128} {
-			est := model.EstimatedTime(mach, core.GE, n, base)
+			ge, err := bench.Lookup(core.GE)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := model.EstimatedTime(mach, ge, n, base)
 			sim, err := harness.SimulatePoint(mach, core.GE, n, base, core.NativeCnC)
 			if err != nil {
 				t.Fatal(err)

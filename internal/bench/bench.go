@@ -1,0 +1,156 @@
+// Package bench is the benchmark registry: each of the study's DP
+// benchmarks registers one self-describing implementation of the Benchmark
+// interface, and every cross-cutting layer — the analytical model, the
+// figure/claims/memory/sched harness, the chaos matrix, the dpbench and
+// dpsim CLIs — dispatches through the registry instead of switching on
+// core.BenchID by hand. Onboarding a new recurrence is then a one-package
+// change: implement Benchmark, call Register from an init, and the model
+// closed forms, DAG builders, runners, GC contract and reports all pick it
+// up (internal/chol is the worked example; see DESIGN.md §5f).
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/dag"
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/gep"
+)
+
+// ErrUnknownBenchmark is returned (wrapped) by Lookup and ByName for ids
+// and names no benchmark registered — the loud replacement for the silent
+// "treat anything unknown as GE-shaped" fallbacks the registry removed.
+var ErrUnknownBenchmark = errors.New("bench: unknown benchmark")
+
+// RunOpts carries the optional machinery of one Instance.Run.
+type RunOpts struct {
+	// Workers is the CnC worker count (CnC variants).
+	Workers int
+	// Pool runs the fork-join variant; required for core.OMPTasking.
+	Pool *forkjoin.Pool
+	// Tune, when non-nil, receives every cnc.Graph the run builds before
+	// it starts — the chaos harness's fault hook and the memory report's
+	// WithMemoryLimit hook. Ignored by non-CnC variants.
+	Tune func(*cnc.Graph)
+	// Trace, when non-nil, brackets every base-tile kernel invocation: the
+	// returned func is called when the kernel finishes. The sched report's
+	// utilisation probe.
+	Trace func() func()
+}
+
+// Instance is one concrete problem of a benchmark: inputs generated from a
+// seed plus the serial reference result. An Instance is single-use — one
+// Run, then Verify against the reference.
+type Instance interface {
+	// Run executes the variant on the instance's working copy and returns
+	// the CnC runtime stats (zero-valued for non-CnC variants).
+	Run(ctx context.Context, v core.Variant, opts RunOpts) (gep.CnCStats, error)
+	// Verify checks the result of the preceding Run against the serial
+	// reference.
+	Verify() error
+}
+
+// Benchmark is one self-describing DP benchmark. The methods fall in three
+// groups: identity (ID, Name), execution (NewInstance → Instance), and the
+// static descriptions the model/harness layers consume — DAG builders for
+// both execution models and the paper's analytical-model closed forms.
+type Benchmark interface {
+	// ID is the benchmark's shared enum name.
+	ID() core.BenchID
+	// Name is the lowercase CLI token (dpsim -bench <name>).
+	Name() string
+
+	// NewInstance builds a fresh problem of size n at the given base size,
+	// deterministically from seed, with its serial reference precomputed.
+	NewInstance(n, base int, seed int64) (Instance, error)
+
+	// Dataflow builds the analytic true-dependency task graph at tile
+	// granularity, ForkJoin the ordering DAG the Spawn/Wait schedule
+	// imposes (joins included).
+	Dataflow(tiles int) dag.Graph
+	ForkJoin(tiles int) dag.Graph
+
+	// TotalTasks is the closed-form base-task census for a tiles×tiles
+	// problem; KindCounts breaks it down by dag.Kind (joins excluded).
+	TotalTasks(tiles int) int
+	KindCounts(tiles int) [dag.NumKinds]int
+
+	// Flops, MaxMissBound and StreamLines are the paper's per-base-task
+	// closed forms (§IV-B): floating-point operations, the three-line
+	// cache-miss upper bound, and the streaming-regime line traffic of one
+	// m×m base task of the given kind.
+	Flops(kind dag.Kind, m int) float64
+	MaxMissBound(kind dag.Kind, m, lineBytes int) float64
+	StreamLines(kind dag.Kind, m, lineBytes int) float64
+
+	// SpecGraph builds the static CnC specification graph — collections
+	// and prescribe/produce/consume edges, Listing 1 style — without
+	// running it (cmd/cncgraph's text and DOT renderings).
+	SpecGraph() *cnc.Graph
+
+	// DepCount is the number of pre-declared dependencies / blocking gets
+	// of a base task of the given kind (prices the CnC variant overheads).
+	DepCount(kind dag.Kind) float64
+	// PrefetchFriendly reports whether the fork-join schedule's depth-first
+	// locality lets the hardware prefetcher discount the benchmark's memory
+	// time (true for the GE family, false for SW's row streams).
+	PrefetchFriendly() bool
+}
+
+var registry = map[core.BenchID]Benchmark{}
+
+// Register adds a benchmark to the registry; duplicate ids panic (a wiring
+// bug, caught at init time).
+func Register(b Benchmark) {
+	if _, dup := registry[b.ID()]; dup {
+		panic(fmt.Sprintf("bench: duplicate registration of %v", b.ID()))
+	}
+	registry[b.ID()] = b
+}
+
+// Lookup resolves a benchmark id, or reports ErrUnknownBenchmark.
+func Lookup(id core.BenchID) (Benchmark, error) {
+	b, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %v (registered: %s)", ErrUnknownBenchmark, id, NameList())
+	}
+	return b, nil
+}
+
+// ByName resolves a benchmark by its CLI token or its BenchID string,
+// case-insensitively, or reports ErrUnknownBenchmark.
+func ByName(name string) (Benchmark, error) {
+	want := strings.ToLower(name)
+	for _, b := range registry {
+		if want == b.Name() || want == strings.ToLower(b.ID().String()) {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q (registered: %s)", ErrUnknownBenchmark, name, NameList())
+}
+
+// All returns every registered benchmark, sorted by id — the loop driver
+// for registry-wide reports and conformance tests.
+func All() []Benchmark {
+	out := make([]Benchmark, 0, len(registry))
+	for _, b := range registry {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// NameList renders the registered CLI tokens for usage messages.
+func NameList() string {
+	var names []string
+	for _, b := range All() {
+		names = append(names, b.Name())
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"dpflow/internal/chol"
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/dag"
+	"dpflow/internal/gep"
+	"dpflow/internal/matrix"
+)
+
+func init() { Register(chBench{}) }
+
+// chBench is tiled Cholesky factorisation — the fourth benchmark, onboarded
+// entirely through this registry (no layer outside internal/chol and this
+// file knows its recurrence). POTRF maps to KindA, TRSM to KindC and the
+// trailing UPDATE to KindD, so the model prices its kernels with the
+// GE-family triangular closed forms: POTRF is funcA-shaped (a shrinking
+// triangular elimination of the diagonal tile), TRSM funcC-shaped (a
+// pivot-column solve) and UPDATE funcD-shaped (a full m³ rank-update).
+type chBench struct{}
+
+func (chBench) ID() core.BenchID { return core.CH }
+func (chBench) Name() string     { return "chol" }
+
+func (chBench) NewInstance(n, base int, seed int64) (Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	a := chol.NewSPD(n, rng)
+	ref := a.Clone()
+	if err := chol.TiledSerial(ref, base); err != nil {
+		return nil, err
+	}
+	return &chInstance{work: a, ref: ref, base: base}, nil
+}
+
+func (chBench) Dataflow(tiles int) dag.Graph { return dag.NewCholDataflow(tiles) }
+func (chBench) ForkJoin(tiles int) dag.Graph { return dag.NewCholForkJoin(tiles) }
+
+// TotalTasks is the tetrahedral number T(T+1)(T+2)/6: phase k updates the
+// (T−k)(T−k+1)/2-tile lower triangle.
+func (chBench) TotalTasks(tiles int) int { return tiles * (tiles + 1) * (tiles + 2) / 6 }
+
+func (chBench) KindCounts(tiles int) [dag.NumKinds]int {
+	var out [dag.NumKinds]int
+	out[dag.KindA] = tiles
+	out[dag.KindC] = tiles * (tiles - 1) / 2
+	out[dag.KindD] = (tiles - 1) * tiles * (tiles + 1) / 6
+	return out
+}
+
+// Flops uses the GE triangular forms: POTRF/TRSM/UPDATE perform the same
+// multiply-subtract updates plus an amortised division (and square root on
+// the diagonal) per row pair.
+func (chBench) Flops(kind dag.Kind, m int) float64 {
+	u := Updates(kind, m, gep.Triangular)
+	divRows := float64(m * m)
+	return 2*float64(u) + 3*divRows
+}
+
+func (chBench) MaxMissBound(kind dag.Kind, m, lineBytes int) float64 {
+	return missBoundLoop(m, lineBytes, triangularGeom(kind, m))
+}
+
+func (chBench) StreamLines(kind dag.Kind, m, lineBytes int) float64 {
+	return streamLinesOf(float64(Updates(kind, m, gep.Triangular)), m, lineBytes)
+}
+
+// DepCount follows internal/chol's deps: POTRF awaits the previous-phase
+// UPDATE of its tile, TRSM additionally the phase's POTRF, UPDATE the two
+// TRSMs (one on the diagonal) plus the previous-phase UPDATE.
+func (chBench) DepCount(kind dag.Kind) float64 {
+	switch kind {
+	case dag.KindA:
+		return 1
+	case dag.KindC:
+		return 2
+	case dag.KindD:
+		return 3
+	default:
+		return 0
+	}
+}
+
+func (chBench) PrefetchFriendly() bool { return true }
+
+func (chBench) SpecGraph() *cnc.Graph { return chol.NewCnCGraph("CH") }
+
+// chInstance drives one SPD factorisation; all chol drivers apply
+// bit-identical per-element operations, so Verify demands exact equality
+// with the tiled serial reference.
+type chInstance struct {
+	work *matrix.Dense
+	ref  *matrix.Dense
+	base int
+}
+
+func (in *chInstance) Run(ctx context.Context, v core.Variant, opts RunOpts) (gep.CnCStats, error) {
+	switch v {
+	case core.SerialRDP:
+		return gep.CnCStats{}, chol.TiledSerial(in.work, in.base)
+	case core.OMPTasking:
+		if opts.Pool == nil {
+			return gep.CnCStats{}, fmt.Errorf("bench: chol: OMPTasking requires RunOpts.Pool")
+		}
+		return gep.CnCStats{}, chol.ForkJoinContext(ctx, in.work, in.base, opts.Pool, opts.Trace)
+	case core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC:
+		return chol.RunCnCConfigured(ctx, in.work, in.base, v, chol.RunConfig{
+			Workers: opts.Workers, Tune: opts.Tune, Trace: opts.Trace,
+		})
+	default:
+		return gep.CnCStats{}, fmt.Errorf("bench: chol does not drive variant %s", v)
+	}
+}
+
+func (in *chInstance) Verify() error {
+	if !matrix.Equal(in.work, in.ref) {
+		return fmt.Errorf("bench: chol factor disagrees with tiled serial reference (maxdiff %g)",
+			matrix.MaxAbsDiff(in.work, in.ref))
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dpflow/internal/core"
+	"dpflow/internal/dag"
+	"dpflow/internal/forkjoin"
+)
+
+// The conformance suite runs automatically against every registered
+// benchmark — register a fifth benchmark and it is held to the same
+// contract with no new test code. It replaces the per-package
+// TestAllVariantsAgree copies that ge, fw and sw used to carry.
+
+const (
+	confN       = 64
+	confBase    = 8
+	confWorkers = 3
+	confSeed    = 17
+)
+
+// TestConformanceVariantsAgree: every variant of every benchmark must
+// reproduce the serial reference exactly (all drivers apply bit-identical
+// per-element operations, so Verify demands equality, not tolerance).
+func TestConformanceVariantsAgree(t *testing.T) {
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: confWorkers})
+	defer pool.Close()
+	variants := []core.Variant{core.SerialRDP, core.OMPTasking,
+		core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC}
+	for _, b := range All() {
+		for _, v := range variants {
+			t.Run(b.Name()+"/"+v.String(), func(t *testing.T) {
+				in, err := b.NewInstance(confN, confBase, confSeed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := in.Run(context.Background(), v, RunOpts{Workers: confWorkers, Pool: pool}); err != nil {
+					t.Fatal(err)
+				}
+				if err := in.Verify(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceLeakFree: the CnC schedules that declare get-counts must
+// garbage-collect every item receipt by quiesce on every benchmark —
+// LiveItems 0, everything put eventually freed, and a live high-water mark
+// strictly below the total put count.
+func TestConformanceLeakFree(t *testing.T) {
+	for _, b := range All() {
+		for _, v := range []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC} {
+			t.Run(b.Name()+"/"+v.String(), func(t *testing.T) {
+				in, err := b.NewInstance(confN, confBase, confSeed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats, err := in.Run(context.Background(), v, RunOpts{Workers: confWorkers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := in.Verify(); err != nil {
+					t.Fatal(err)
+				}
+				if stats.ItemsPut == 0 {
+					t.Fatal("ItemsPut = 0; stats not wired")
+				}
+				if stats.LiveItems != 0 {
+					t.Fatalf("LiveItems = %d after quiesce, want 0", stats.LiveItems)
+				}
+				if stats.ItemsFreed != int64(stats.ItemsPut) {
+					t.Fatalf("ItemsFreed = %d, want %d", stats.ItemsFreed, stats.ItemsPut)
+				}
+				if stats.PeakLiveItems >= int64(stats.ItemsPut) {
+					t.Fatalf("PeakLiveItems = %d, want < %d (no item ever died)",
+						stats.PeakLiveItems, stats.ItemsPut)
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceCancellation: a pre-cancelled context must unwind every
+// parallel variant of every benchmark promptly with context.Canceled.
+func TestConformanceCancellation(t *testing.T) {
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: confWorkers})
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, b := range All() {
+		for _, v := range core.ParallelVariants {
+			t.Run(b.Name()+"/"+v.String(), func(t *testing.T) {
+				in, err := b.NewInstance(confN, confBase, confSeed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, err = in.Run(ctx, v, RunOpts{Workers: confWorkers, Pool: pool})
+				if v == core.OMPTasking {
+					// The fork-join pool observes cancellation between task
+					// dispatches, so a pre-cancelled run may still complete;
+					// a completed run must then verify.
+					if err == nil {
+						if verr := in.Verify(); verr != nil {
+							t.Fatalf("uncancelled run failed verification: %v", verr)
+						}
+						return
+					}
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("Run with cancelled ctx = %v, want context.Canceled or nil", err)
+					}
+					return
+				}
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("Run with cancelled ctx = %v, want context.Canceled", err)
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceCensus cross-checks each benchmark's three structural
+// views: the closed-form TotalTasks, the per-kind breakdown, and the
+// materialised DAGs of both execution models.
+func TestConformanceCensus(t *testing.T) {
+	for _, b := range All() {
+		for _, tiles := range []int{1, 2, 4, 8} {
+			df, fj := b.Dataflow(tiles), b.ForkJoin(tiles)
+			if err := dag.CheckAcyclic(df); err != nil {
+				t.Fatalf("%s tiles=%d dataflow: %v", b.Name(), tiles, err)
+			}
+			if err := dag.CheckAcyclic(fj); err != nil {
+				t.Fatalf("%s tiles=%d fork-join: %v", b.Name(), tiles, err)
+			}
+			total := b.TotalTasks(tiles)
+			sum := 0
+			for _, c := range b.KindCounts(tiles) {
+				sum += c
+			}
+			if sum != total {
+				t.Fatalf("%s tiles=%d: KindCounts sum %d, TotalTasks %d", b.Name(), tiles, sum, total)
+			}
+			if got := dag.Analyze(df).Tasks; got != total {
+				t.Fatalf("%s tiles=%d: dataflow has %d tasks, TotalTasks %d", b.Name(), tiles, got, total)
+			}
+			if got := dag.Analyze(fj).Tasks; got != total {
+				t.Fatalf("%s tiles=%d: fork-join has %d tasks, TotalTasks %d", b.Name(), tiles, got, total)
+			}
+		}
+	}
+}
+
+// TestConformanceInstanceSingleUse: Verify without a Run must not pass
+// trivially for score-carrying benchmarks, and a failed-run instance must
+// not verify (spot-checked via sw, whose Verify guards explicitly).
+func TestConformanceInstanceSingleUse(t *testing.T) {
+	b, err := Lookup(core.SW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := b.NewInstance(confN, confBase, confSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Verify(); err == nil {
+		t.Fatal("sw Verify before Run succeeded; want error")
+	}
+}

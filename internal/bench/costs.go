@@ -1,0 +1,101 @@
+// Shared closed forms of the paper's analytical model (§IV-B), moved here
+// from internal/model so each benchmark can assemble its own Flops /
+// MaxMissBound / StreamLines methods from them. internal/model keeps the
+// machine-dependent pricing (MemTime, ExecTime, CostsFor) and consumes the
+// per-benchmark forms through the Benchmark interface.
+package bench
+
+import (
+	"math"
+
+	"dpflow/internal/dag"
+	"dpflow/internal/gep"
+)
+
+// TotalTasksGEP returns the closed-form base-task count of the paper for a
+// T-tile GE problem: (1/3)T³ + (1/2)T² + (1/6)T = T(T+1)(2T+1)/6. For the
+// cube shape (FW) it is simply T³.
+func TotalTasksGEP(tiles int, shape gep.Shape) int {
+	if shape == gep.Cube {
+		return tiles * tiles * tiles
+	}
+	return tiles * (tiles + 1) * (2*tiles + 1) / 6
+}
+
+// Updates returns the number of DP-table update operations a base task of
+// the given kind performs on an m×m tile, for the given shape.
+func Updates(kind dag.Kind, m int, shape gep.Shape) int {
+	if kind == dag.KindSW {
+		return m * m
+	}
+	if shape == gep.Cube {
+		return m * m * m
+	}
+	switch kind {
+	case dag.KindA:
+		return (m - 1) * m * (2*m - 1) / 6 // Σ (m-1-k)²
+	case dag.KindB, dag.KindC:
+		return m * m * (m - 1) / 2 // Σ (m-1-k)·m
+	case dag.KindD:
+		return m * m * m
+	default:
+		return 0
+	}
+}
+
+// WorkingSetBytes is the paper's three-block working set of a base task.
+func WorkingSetBytes(m int) int { return 3 * m * m * 8 }
+
+// CompulsoryLines is the minimum line traffic of a base task: streaming
+// three m×m blocks once.
+func CompulsoryLines(m, lineBytes int) float64 {
+	lw := float64(lineBytes) / 8
+	return math.Ceil(3 * float64(m*m) / lw)
+}
+
+// segLines is the line count of a contiguous segment of elems doubles.
+func segLines(elems, lineBytes int) float64 {
+	if elems <= 0 {
+		return 0
+	}
+	return math.Ceil(float64(elems) / (float64(lineBytes) / 8))
+}
+
+// missBoundLoop evaluates the paper's per-task upper bound on cache misses
+// assuming the cache holds no more than three lines: for every (k, i)
+// iteration pair the kernel touches the C[i][j·] segment, the C[k][j·]
+// segment, C[i][k] and C[k][k] — two segment transfers plus two single
+// lines. geom reports the i iterations and j-segment length at step k.
+func missBoundLoop(m, lineBytes int, geom func(k int) (rows, segLen int)) float64 {
+	total := 0.0
+	for k := 0; k < m; k++ {
+		rows, segLen := geom(k)
+		if rows <= 0 || segLen <= 0 {
+			continue
+		}
+		total += float64(rows) * (2*segLines(segLen, lineBytes) + 2)
+	}
+	return total
+}
+
+// triangularGeom is the (rows, segment-length) geometry of the GE-family
+// kernels over the triangular update set, by task kind.
+func triangularGeom(kind dag.Kind, m int) func(k int) (int, int) {
+	switch kind {
+	case dag.KindA:
+		return func(k int) (int, int) { return m - 1 - k, m - 1 - k }
+	case dag.KindB:
+		return func(k int) (int, int) { return m - 1 - k, m }
+	case dag.KindC:
+		return func(k int) (int, int) { return m, m - 1 - k }
+	default: // KindD
+		return func(k int) (int, int) { return m, m }
+	}
+}
+
+// streamLinesOf is the realistic per-task traffic at a level whose capacity
+// cannot hold the three-block working set: one line transfer per lw update
+// operations, plus the compulsory streaming of the blocks themselves.
+func streamLinesOf(updates float64, m, lineBytes int) float64 {
+	return updates/(float64(lineBytes)/8) + CompulsoryLines(m, lineBytes)
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"math/rand"
+
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/dag"
+	"dpflow/internal/fw"
+	"dpflow/internal/gep"
+	"dpflow/internal/graphgen"
+)
+
+func init() { Register(fwBench{}) }
+
+// fwBench is Floyd-Warshall all-pairs shortest paths — the GEP
+// instantiation over the full cube update set (every funcX kind performs
+// the same m³ relaxations).
+type fwBench struct{}
+
+func (fwBench) ID() core.BenchID { return core.FW }
+func (fwBench) Name() string     { return "fw" }
+
+func (fwBench) NewInstance(n, base int, seed int64) (Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	d := graphgen.Random(graphgen.Config{N: n, Density: 0.35, MaxWeight: 9, Infinity: fw.Infinity}, rng)
+	ref := d.Clone()
+	if err := fw.RDPSerial(ref, base); err != nil {
+		return nil, err
+	}
+	return &gepInstance{alg: fw.Algorithm, name: "fw", work: d, ref: ref, base: base}, nil
+}
+
+func (fwBench) Dataflow(tiles int) dag.Graph { return dag.NewGEPDataflow(tiles, gep.Cube) }
+func (fwBench) ForkJoin(tiles int) dag.Graph { return dag.NewGEPForkJoin(tiles, gep.Cube) }
+
+func (fwBench) TotalTasks(tiles int) int { return TotalTasksGEP(tiles, gep.Cube) }
+
+func (fwBench) KindCounts(tiles int) [dag.NumKinds]int {
+	var out [dag.NumKinds]int
+	a, b, c, d := gep.TaskCount(tiles, gep.Cube)
+	out[dag.KindA], out[dag.KindB], out[dag.KindC], out[dag.KindD] = a, b, c, d
+	return out
+}
+
+// Flops: each FW update is an add and a compare.
+func (fwBench) Flops(kind dag.Kind, m int) float64 {
+	return 2 * float64(Updates(kind, m, gep.Cube))
+}
+
+func (fwBench) MaxMissBound(kind dag.Kind, m, lineBytes int) float64 {
+	return missBoundLoop(m, lineBytes, func(int) (int, int) { return m, m })
+}
+
+func (fwBench) StreamLines(kind dag.Kind, m, lineBytes int) float64 {
+	return streamLinesOf(float64(Updates(kind, m, gep.Cube)), m, lineBytes)
+}
+
+// DepCount matches GE: the FW recursion pre-declares the same await
+// structure per kind.
+func (fwBench) DepCount(kind dag.Kind) float64 {
+	switch kind {
+	case dag.KindA:
+		return 1
+	case dag.KindB, dag.KindC:
+		return 2
+	case dag.KindD:
+		return 4
+	default:
+		return 0
+	}
+}
+
+func (fwBench) PrefetchFriendly() bool { return true }
+
+func (fwBench) SpecGraph() *cnc.Graph { return fw.Algorithm.NewCnCGraph("FW-APSP", core.NativeCnC) }

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"math/rand"
+
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/dag"
+	"dpflow/internal/ge"
+	"dpflow/internal/gep"
+)
+
+func init() { Register(geBench{}) }
+
+// geBench is Gaussian Elimination without pivoting — the paper's running
+// example (§III), a GEP instantiation over the triangular update set.
+type geBench struct{}
+
+func (geBench) ID() core.BenchID { return core.GE }
+func (geBench) Name() string     { return "ge" }
+
+func (geBench) NewInstance(n, base int, seed int64) (Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	a, _ := ge.NewSystem(n, rng)
+	ref := a.Clone()
+	if err := ge.RDPSerial(ref, base); err != nil {
+		return nil, err
+	}
+	return &gepInstance{alg: ge.Algorithm, name: "ge", work: a, ref: ref, base: base}, nil
+}
+
+func (geBench) Dataflow(tiles int) dag.Graph { return dag.NewGEPDataflow(tiles, gep.Triangular) }
+func (geBench) ForkJoin(tiles int) dag.Graph { return dag.NewGEPForkJoin(tiles, gep.Triangular) }
+
+func (geBench) TotalTasks(tiles int) int { return TotalTasksGEP(tiles, gep.Triangular) }
+
+func (geBench) KindCounts(tiles int) [dag.NumKinds]int {
+	var out [dag.NumKinds]int
+	a, b, c, d := gep.TaskCount(tiles, gep.Triangular)
+	out[dag.KindA], out[dag.KindB], out[dag.KindC], out[dag.KindD] = a, b, c, d
+	return out
+}
+
+// Flops: each GE update costs a multiply and a subtract, plus an amortised
+// division per (k, i) row pair (bounded by m²).
+func (geBench) Flops(kind dag.Kind, m int) float64 {
+	u := Updates(kind, m, gep.Triangular)
+	divRows := float64(m * m)
+	return 2*float64(u) + 3*divRows
+}
+
+func (geBench) MaxMissBound(kind dag.Kind, m, lineBytes int) float64 {
+	return missBoundLoop(m, lineBytes, triangularGeom(kind, m))
+}
+
+func (geBench) StreamLines(kind dag.Kind, m, lineBytes int) float64 {
+	return streamLinesOf(float64(Updates(kind, m, gep.Triangular)), m, lineBytes)
+}
+
+// DepCount follows internal/gep's deps (Listing 5): funcA awaits one input,
+// funcB/funcC two, funcD four.
+func (geBench) DepCount(kind dag.Kind) float64 {
+	switch kind {
+	case dag.KindA:
+		return 1
+	case dag.KindB, dag.KindC:
+		return 2
+	case dag.KindD:
+		return 4
+	default:
+		return 0
+	}
+}
+
+func (geBench) PrefetchFriendly() bool { return true }
+
+func (geBench) SpecGraph() *cnc.Graph { return ge.Algorithm.NewCnCGraph("GE", core.NativeCnC) }

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"dpflow/internal/core"
+	"dpflow/internal/gep"
+	"dpflow/internal/matrix"
+)
+
+// gepInstance drives one GE or FW problem through the gep.Algorithm
+// recursion. All drivers apply bit-identical per-element updates, so Verify
+// demands exact equality with the precomputed serial reference.
+type gepInstance struct {
+	alg  gep.Algorithm
+	name string
+	work *matrix.Dense
+	ref  *matrix.Dense
+	base int
+}
+
+func (in *gepInstance) Run(ctx context.Context, v core.Variant, opts RunOpts) (gep.CnCStats, error) {
+	alg := in.alg
+	if opts.Trace != nil {
+		kernel, trace := alg.Kernel, opts.Trace
+		alg.Kernel = func(x *matrix.Dense, i0, j0, k0, b int) {
+			done := trace()
+			kernel(x, i0, j0, k0, b)
+			done()
+		}
+	}
+	switch v {
+	case core.SerialRDP:
+		return gep.CnCStats{}, alg.RDPSerial(in.work, in.base)
+	case core.OMPTasking:
+		if opts.Pool == nil {
+			return gep.CnCStats{}, fmt.Errorf("bench: %s: OMPTasking requires RunOpts.Pool", in.name)
+		}
+		return gep.CnCStats{}, alg.ForkJoinContext(ctx, in.work, in.base, opts.Pool)
+	case core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC:
+		return alg.RunCnCContext(ctx, in.work, in.base, opts.Workers, v, opts.Tune)
+	default:
+		return gep.CnCStats{}, fmt.Errorf("bench: %s does not drive variant %s", in.name, v)
+	}
+}
+
+func (in *gepInstance) Verify() error {
+	if !matrix.Equal(in.work, in.ref) {
+		return fmt.Errorf("bench: %s result disagrees with serial reference (maxdiff %g)",
+			in.name, matrix.MaxAbsDiff(in.work, in.ref))
+	}
+	return nil
+}

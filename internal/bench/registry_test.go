@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+
+	"dpflow/internal/core"
+)
+
+// TestRegistryContents pins the registered benchmark set: the three paper
+// benchmarks plus Cholesky, sorted by id, with lowercase CLI tokens.
+func TestRegistryContents(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("registered %d benchmarks, want 4: %s", len(all), NameList())
+	}
+	wantIDs := []core.BenchID{core.GE, core.SW, core.FW, core.CH}
+	wantNames := []string{"ge", "sw", "fw", "chol"}
+	for i, b := range all {
+		if b.ID() != wantIDs[i] {
+			t.Fatalf("All()[%d].ID() = %v, want %v", i, b.ID(), wantIDs[i])
+		}
+		if b.Name() != wantNames[i] {
+			t.Fatalf("All()[%d].Name() = %q, want %q", i, b.Name(), wantNames[i])
+		}
+		got, err := Lookup(b.ID())
+		if err != nil || got.ID() != b.ID() {
+			t.Fatalf("Lookup(%v) = %v, %v", b.ID(), got, err)
+		}
+		g := b.SpecGraph()
+		if g == nil || g.Describe() == "" {
+			t.Fatalf("%s: empty CnC spec graph", b.Name())
+		}
+	}
+}
+
+// TestLookupUnknownFailsLoudly is the registry half of the silent-fallback
+// fix: an id nobody registered must name the failure, never default to a
+// GE-shaped benchmark.
+func TestLookupUnknownFailsLoudly(t *testing.T) {
+	if _, err := Lookup(core.BenchID(99)); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("Lookup(99) err = %v, want ErrUnknownBenchmark", err)
+	}
+	if _, err := ByName("nonesuch"); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("ByName(nonesuch) err = %v, want ErrUnknownBenchmark", err)
+	}
+}
+
+// TestByNameAliases: the CLI accepts both the lowercase token and the
+// BenchID string, case-insensitively.
+func TestByNameAliases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		id   core.BenchID
+	}{
+		{"ge", core.GE}, {"GE", core.GE},
+		{"sw", core.SW}, {"SW", core.SW},
+		{"fw", core.FW}, {"fw-apsp", core.FW}, {"FW-APSP", core.FW},
+		{"chol", core.CH}, {"ch", core.CH}, {"CH", core.CH},
+	} {
+		b, err := ByName(tc.name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", tc.name, err)
+		}
+		if b.ID() != tc.id {
+			t.Fatalf("ByName(%q).ID() = %v, want %v", tc.name, b.ID(), tc.id)
+		}
+	}
+}

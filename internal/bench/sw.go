@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/dag"
+	"dpflow/internal/gep"
+	"dpflow/internal/kernels"
+	"dpflow/internal/matrix"
+	"dpflow/internal/seq"
+	"dpflow/internal/sw"
+)
+
+func init() { Register(swBench{}) }
+
+// swBench is Smith-Waterman local alignment — the wavefront benchmark whose
+// fork-join joins are the paper's artificial dependencies. Every base task
+// is the single KindSW tile kernel.
+type swBench struct{}
+
+func (swBench) ID() core.BenchID { return core.SW }
+func (swBench) Name() string     { return "sw" }
+
+func (swBench) NewInstance(n, base int, seed int64) (Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	a := seq.RandomDNA(n, rng)
+	p := &sw.Problem{A: a, B: seq.Mutate(a, 0.2, seq.DNAAlphabet, rng), Scoring: kernels.DefaultScoring}
+	ref := p.NewTable()
+	want, err := p.RDPSerial(ref, base)
+	if err != nil {
+		return nil, err
+	}
+	return &swInstance{p: p, work: p.NewTable(), ref: ref, want: want, base: base}, nil
+}
+
+func (swBench) Dataflow(tiles int) dag.Graph { return dag.NewSWDataflow(tiles) }
+func (swBench) ForkJoin(tiles int) dag.Graph { return dag.NewSWForkJoin(tiles) }
+
+func (swBench) TotalTasks(tiles int) int { return tiles * tiles }
+
+func (swBench) KindCounts(tiles int) [dag.NumKinds]int {
+	var out [dag.NumKinds]int
+	out[dag.KindSW] = tiles * tiles
+	return out
+}
+
+// Flops: an SW cell costs about eight operations (three candidate scores,
+// a max chain and the zero clamp).
+func (swBench) Flops(kind dag.Kind, m int) float64 { return 8 * float64(m*m) }
+
+// MaxMissBound: per row, three row segments (above, above-left, own) plus
+// the two sequence elements.
+func (swBench) MaxMissBound(kind dag.Kind, m, lineBytes int) float64 {
+	return float64(m) * (3*segLines(m, lineBytes) + 2)
+}
+
+func (swBench) StreamLines(kind dag.Kind, m, lineBytes int) float64 {
+	return streamLinesOf(float64(3*m*m), m, lineBytes)
+}
+
+// DepCount: three awaited neighbours (west, north, north-west).
+func (swBench) DepCount(kind dag.Kind) float64 {
+	if kind == dag.KindSW {
+		return 3
+	}
+	return 0
+}
+
+// PrefetchFriendly is false: SW tiles stream table rows identically under
+// both execution models, so neither side earns the prefetch discount.
+func (swBench) PrefetchFriendly() bool { return false }
+
+func (swBench) SpecGraph() *cnc.Graph { return sw.NewCnCGraph("SW") }
+
+// swInstance drives one SW problem; Verify demands both the exact maximum
+// score and a bit-identical DP table against the serial reference.
+type swInstance struct {
+	p     *sw.Problem
+	work  *matrix.Dense
+	ref   *matrix.Dense
+	want  float64
+	got   float64
+	base  int
+	byRun bool
+}
+
+func (in *swInstance) Run(ctx context.Context, v core.Variant, opts RunOpts) (gep.CnCStats, error) {
+	p := *in.p
+	p.Trace = opts.Trace
+	in.byRun = true
+	switch v {
+	case core.SerialRDP:
+		score, err := p.RDPSerial(in.work, in.base)
+		in.got = score
+		return gep.CnCStats{}, err
+	case core.OMPTasking:
+		if opts.Pool == nil {
+			return gep.CnCStats{}, fmt.Errorf("bench: sw: OMPTasking requires RunOpts.Pool")
+		}
+		score, err := p.ForkJoinContext(ctx, in.work, in.base, opts.Pool)
+		in.got = score
+		return gep.CnCStats{}, err
+	case core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC:
+		score, stats, err := p.RunCnCContext(ctx, in.work, in.base, opts.Workers, v, opts.Tune)
+		in.got = score
+		return stats, err
+	default:
+		return gep.CnCStats{}, fmt.Errorf("bench: sw does not drive variant %s", v)
+	}
+}
+
+func (in *swInstance) Verify() error {
+	if !in.byRun {
+		return fmt.Errorf("bench: sw: Verify before Run")
+	}
+	if in.got != in.want {
+		return fmt.Errorf("bench: sw score = %g, want %g", in.got, in.want)
+	}
+	if !matrix.Equal(in.work, in.ref) {
+		return fmt.Errorf("bench: sw table disagrees with serial reference (maxdiff %g)",
+			matrix.MaxAbsDiff(in.work, in.ref))
+	}
+	return nil
+}

@@ -3,27 +3,19 @@ package chaos_test
 import (
 	"context"
 	"errors"
-	"fmt"
-	"math/rand"
 	"strings"
 	"testing"
 	"time"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/chaos"
 	"dpflow/internal/cnc"
 	"dpflow/internal/core"
-	"dpflow/internal/fw"
-	"dpflow/internal/ge"
-	"dpflow/internal/graphgen"
-	"dpflow/internal/kernels"
-	"dpflow/internal/matrix"
-	"dpflow/internal/seq"
-	"dpflow/internal/sw"
 )
 
-// Sweep geometry: 4x4 tiles per shape, small enough that 20 seeds x 4
-// faults x 3 shapes stays fast under -race, large enough that every
-// variant exercises real cross-tile dependencies.
+// Sweep geometry: 4x4 tiles per benchmark, small enough that 20 seeds x 4
+// faults x every registered benchmark stays fast under -race, large enough
+// that every variant exercises real cross-tile dependencies.
 const (
 	chaosN       = 32
 	chaosBase    = 8
@@ -35,89 +27,30 @@ const (
 // by seed, so every (shape, fault) pair sees all of them.
 var cncVariants = []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC}
 
-// newGETarget builds a fresh GE instance: the work matrix is private to
-// the run, and Verify compares it against the serial R-DP reference.
-func newGETarget(t *testing.T, seed int64, v core.Variant) chaos.Target {
+// newBenchTarget builds a fresh single-use instance of a registered
+// benchmark as a chaos target: the work state is private to the run,
+// Instance.Run threads the runner's tune hook into every graph the
+// benchmark builds, and Verify is the instance's own oracle (serial
+// reference comparison, plus the score check for SW).
+func newBenchTarget(t *testing.T, b bench.Benchmark, seed int64, v core.Variant) chaos.Target {
 	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
-	a, _ := ge.NewSystem(chaosN, rng)
-	ref := a.Clone()
-	if err := ge.RDPSerial(ref, chaosBase); err != nil {
-		t.Fatalf("GE reference: %v", err)
-	}
-	work := a.Clone()
-	return chaos.Target{
-		Name: "GE/" + v.String(),
-		Run: func(ctx context.Context, tune func(*cnc.Graph)) error {
-			_, err := ge.RunCnCContext(ctx, work, chaosBase, chaosWorkers, v, tune)
-			return err
-		},
-		Verify: func() error {
-			if !matrix.Equal(work, ref) {
-				return errors.New("GE table differs from serial reference")
-			}
-			return nil
-		},
-	}
-}
-
-func newFWTarget(t *testing.T, seed int64, v core.Variant) chaos.Target {
-	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
-	d := graphgen.Random(graphgen.Config{N: chaosN, Density: 0.35, MaxWeight: 9, Infinity: fw.Infinity}, rng)
-	ref := d.Clone()
-	if err := fw.RDPSerial(ref, chaosBase); err != nil {
-		t.Fatalf("FW reference: %v", err)
-	}
-	work := d.Clone()
-	return chaos.Target{
-		Name: "FW/" + v.String(),
-		Run: func(ctx context.Context, tune func(*cnc.Graph)) error {
-			_, err := fw.RunCnCContext(ctx, work, chaosBase, chaosWorkers, v, tune)
-			return err
-		},
-		Verify: func() error {
-			if !matrix.Equal(work, ref) {
-				return errors.New("FW table differs from serial reference")
-			}
-			return nil
-		},
-	}
-}
-
-func newSWTarget(t *testing.T, seed int64, v core.Variant) chaos.Target {
-	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
-	a := seq.RandomDNA(chaosN, rng)
-	p := &sw.Problem{A: a, B: seq.Mutate(a, 0.2, seq.DNAAlphabet, rng), Scoring: kernels.DefaultScoring}
-	ref := p.NewTable()
-	refScore, err := p.RDPSerial(ref, chaosBase)
+	in, err := b.NewInstance(chaosN, chaosBase, seed)
 	if err != nil {
-		t.Fatalf("SW reference: %v", err)
+		t.Fatalf("%s instance: %v", b.ID(), err)
 	}
-	work := p.NewTable()
-	var gotScore float64
 	return chaos.Target{
-		Name: "SW/" + v.String(),
+		Name: b.ID().String() + "/" + v.String(),
 		Run: func(ctx context.Context, tune func(*cnc.Graph)) error {
-			var err error
-			gotScore, _, err = p.RunCnCContext(ctx, work, chaosBase, chaosWorkers, v, tune)
+			_, err := in.Run(ctx, v, bench.RunOpts{Workers: chaosWorkers, Tune: tune})
 			return err
 		},
-		Verify: func() error {
-			if !matrix.Equal(work, ref) {
-				return errors.New("SW table differs from serial reference")
-			}
-			if gotScore != refScore {
-				return fmt.Errorf("SW score %v, reference %v", gotScore, refScore)
-			}
-			return nil
-		},
+		Verify: in.Verify,
 	}
 }
 
-// TestChaosSweep is the acceptance matrix: every benchmark shape under
-// every fault for chaosSeeds seeds, rotating through the CnC variants.
+// TestChaosSweep is the acceptance matrix: every registered benchmark
+// under every fault for chaosSeeds seeds, rotating through the CnC
+// variants.
 // Each run must either complete with a table equal to the serial reference
 // (possibly after retries) or return an error naming the injected fault,
 // and the hard deadline must never fire.
@@ -128,15 +61,7 @@ func TestChaosSweep(t *testing.T) {
 		StallWindow: 2 * time.Second,
 		Retry:       times, // >= the fault budget: recoverable faults must be absorbed
 	}
-	shapes := []struct {
-		name string
-		mk   func(t *testing.T, seed int64, v core.Variant) chaos.Target
-	}{
-		{"GE", newGETarget},
-		{"FW", newFWTarget},
-		{"SW", newSWTarget},
-	}
-	for _, shape := range shapes {
+	for _, b := range bench.All() {
 		for _, mkFault := range []func() chaos.Fault{
 			func() chaos.Fault { return &chaos.StepError{Prob: 0.05, Times: times} },
 			func() chaos.Fault { return &chaos.StepPanic{Prob: 0.05, Times: times} },
@@ -144,12 +69,12 @@ func TestChaosSweep(t *testing.T) {
 			func() chaos.Fault { return &chaos.DropTag{Prob: 0.02, Times: 1} },
 		} {
 			fault := mkFault()
-			t.Run(shape.name+"/"+fault.Name(), func(t *testing.T) {
+			t.Run(b.ID().String()+"/"+fault.Name(), func(t *testing.T) {
 				t.Parallel()
 				injected := 0
 				for seed := int64(0); seed < chaosSeeds; seed++ {
 					v := cncVariants[seed%int64(len(cncVariants))]
-					target := shape.mk(t, seed, v)
+					target := newBenchTarget(t, b, seed, v)
 					fault := mkFault() // fresh budget per run
 					res := r.Drive(target, fault, seed)
 					injected += res.Injections
@@ -188,7 +113,7 @@ func TestChaosSweep(t *testing.T) {
 				}
 				if injected == 0 {
 					t.Fatalf("%s/%s: fault never fired across %d seeds — sweep is vacuous",
-						shape.name, fault.Name(), chaosSeeds)
+						b.ID(), fault.Name(), chaosSeeds)
 				}
 			})
 		}

@@ -16,6 +16,7 @@
 package chol
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -178,34 +179,67 @@ func TiledSerial(a *matrix.Dense, base int) error {
 // ForkJoin runs the right-looking schedule on the pool with a taskwait
 // after the TRSM batch and after the UPDATE batch of each phase.
 func ForkJoin(a *matrix.Dense, base int, pool *forkjoin.Pool) error {
+	return ForkJoinContext(context.Background(), a, base, pool, nil)
+}
+
+// ForkJoinContext is ForkJoin with cooperative cancellation (a cancelled
+// ctx unwinds the recursion and returns ctx.Err() with a partial factor)
+// and an optional trace hook: when non-nil, trace brackets every tile
+// kernel invocation — the returned func is called when the kernel finishes
+// (the sched report's utilisation probe).
+func ForkJoinContext(ctx context.Context, a *matrix.Dense, base int, pool *forkjoin.Pool, trace func() func()) error {
 	if err := validate(a, base); err != nil {
 		return err
 	}
 	bs := gep.BaseSize(a.Rows(), base)
 	tiles := a.Rows() / bs
+	span := traceFn(trace)
 	var firstErr error
-	pool.Run(func(ctx *forkjoin.Ctx) {
+	err := pool.RunContext(ctx, func(fjc *forkjoin.Ctx) {
 		var g forkjoin.Group
 		for k := 0; k < tiles; k++ {
-			if err := potrf(a, k, bs); err != nil {
+			done := span()
+			err := potrf(a, k, bs)
+			done()
+			if err != nil {
 				firstErr = err
 				return
 			}
 			for i := k + 1; i < tiles; i++ {
 				i := i
-				ctx.Spawn(&g, func(*forkjoin.Ctx) { trsm(a, i, k, bs) })
+				fjc.Spawn(&g, func(*forkjoin.Ctx) {
+					done := span()
+					trsm(a, i, k, bs)
+					done()
+				})
 			}
-			ctx.Wait(&g)
+			fjc.Wait(&g)
 			for j := k + 1; j < tiles; j++ {
 				for i := j; i < tiles; i++ {
 					i, j := i, j
-					ctx.Spawn(&g, func(*forkjoin.Ctx) { update(a, i, j, k, bs) })
+					fjc.Spawn(&g, func(*forkjoin.Ctx) {
+						done := span()
+						update(a, i, j, k, bs)
+						done()
+					})
 				}
 			}
-			ctx.Wait(&g)
+			fjc.Wait(&g)
 		}
 	})
+	if err != nil {
+		return err
+	}
 	return firstErr
+}
+
+// traceFn normalises an optional trace hook into an always-callable span
+// opener.
+func traceFn(trace func() func()) func() func() {
+	if trace == nil {
+		return func() func() { return func() {} }
+	}
+	return trace
 }
 
 // Tag identifies one tile task: Kind 0 = POTRF, 1 = TRSM, 2 = UPDATE.
@@ -220,24 +254,83 @@ type Key struct {
 	I, J, K int
 }
 
-// RunCnC runs the data-flow Cholesky: three step collections with the
+// The task/item kinds of the Tag.Kind / Key.Kind fields.
+const (
+	KindPotrf = iota
+	KindTrsm
+	KindUpdate
+)
+
+// RunConfig bundles the optional knobs of a CnC Cholesky run.
+type RunConfig struct {
+	// Workers is the CnC worker count.
+	Workers int
+	// Tune, when non-nil, receives the built graph before the run starts —
+	// the chaos harness's fault-injection and the memory report's
+	// WithMemoryLimit hook.
+	Tune func(*cnc.Graph)
+	// Trace, when non-nil, brackets every tile kernel invocation.
+	Trace func() func()
+}
+
+// NewCnCGraph builds the static CnC structure of the Cholesky program —
+// one step collection prescribed by one tag collection, synchronised
+// through one item collection of finished tile states — without running
+// it (cmd/cncgraph's description and DOT renderings).
+func NewCnCGraph(name string) *cnc.Graph {
+	g := cnc.NewGraph(name, 1)
+	out := cnc.NewItemCollection[Key, bool](g, "tile_outputs")
+	tags := cnc.NewTagCollection[Tag](g, "tasks", false)
+	step := cnc.NewStepCollection(g, "cholTask", func(Tag) error { return nil })
+	step.Consumes(out).Produces(out)
+	tags.Prescribe(step)
+	return g
+}
+
+// RunCnC runs the data-flow Cholesky: one step collection with the
 // dependency structure above, items at base-tile granularity.
 func RunCnC(a *matrix.Dense, base, workers int, variant core.Variant) (gep.CnCStats, error) {
+	return RunCnCContext(context.Background(), a, base, workers, variant, nil)
+}
+
+// RunCnCContext is RunCnC with cooperative cancellation and the tune hook
+// (see RunConfig.Tune).
+func RunCnCContext(ctx context.Context, a *matrix.Dense, base, workers int, variant core.Variant, tune func(*cnc.Graph)) (gep.CnCStats, error) {
+	return RunCnCConfigured(ctx, a, base, variant, RunConfig{Workers: workers, Tune: tune})
+}
+
+// RunCnCConfigured is the full-control entry point behind RunCnC.
+//
+// For the GC-enabled schedules (everything but NonBlockingCnC) it declares
+// the memory contract: every tile receipt's consumer count is known in
+// closed form, so get-count GC frees it as its last reader completes and
+// Graph.WithMemoryLimit can throttle the environment's tag sprint. With
+// T = tiles per side the consumer counts are
+//
+//   - POTRF(k): one per TRSM(i,k), i > k → T−1−k (the last diagonal frees
+//     on put);
+//   - TRSM(i,k): the UPDATEs of row i (i−k of them, counting the diagonal
+//     task once) plus those of column i below the diagonal (T−1−i)
+//     → T−k−1;
+//   - UPDATE(i,j,k): exactly the phase-k+1 task on tile (i,j), which always
+//     exists (j ≥ k+1) → 1.
+//
+// The diagonal UPDATE's step body blocking-gets TRSM(i,k) twice (as row and
+// column factor), but releases fire per declared dependency at completion,
+// not per Get, so the deduplicated deps list below is also the exact
+// release set.
+func RunCnCConfigured(ctx context.Context, a *matrix.Dense, base int, variant core.Variant, cfg RunConfig) (gep.CnCStats, error) {
 	if err := validate(a, base); err != nil {
 		return gep.CnCStats{}, err
 	}
 	bs := gep.BaseSize(a.Rows(), base)
 	tiles := a.Rows() / bs
 
-	g := cnc.NewGraph("chol-"+variant.String(), workers)
+	g := cnc.NewGraph("chol-"+variant.String(), cfg.Workers)
 	out := cnc.NewItemCollection[Key, bool](g, "tile_outputs")
 	tags := cnc.NewTagCollection[Tag](g, "tasks", false)
+	span := traceFn(cfg.Trace)
 
-	const (
-		kindPotrf = iota
-		kindTrsm
-		kindUpdate
-	)
 	await := func(k Key) bool {
 		if variant == core.NonBlockingCnC {
 			_, ok := out.TryGet(k)
@@ -252,21 +345,24 @@ func RunCnC(a *matrix.Dense, base, workers int, variant core.Variant) (gep.CnCSt
 		if k == 0 {
 			return Key{}, false
 		}
-		return Key{kindUpdate, i, j, k - 1}, true
+		return Key{KindUpdate, i, j, k - 1}, true
 	}
 	step := cnc.NewStepCollection(g, "cholTask", func(t Tag) error {
 		switch t.Kind {
-		case kindPotrf:
+		case KindPotrf:
 			if p, ok := prevUpdate(t.K, t.K, t.K); ok && !await(p) {
 				tags.Put(t)
 				return nil
 			}
-			if err := potrf(a, t.K, bs); err != nil {
+			done := span()
+			err := potrf(a, t.K, bs)
+			done()
+			if err != nil {
 				return err
 			}
-			out.Put(Key{kindPotrf, t.K, t.K, t.K}, true)
-		case kindTrsm:
-			if !await(Key{kindPotrf, t.K, t.K, t.K}) {
+			out.Put(Key{KindPotrf, t.K, t.K, t.K}, true)
+		case KindTrsm:
+			if !await(Key{KindPotrf, t.K, t.K, t.K}) {
 				tags.Put(t)
 				return nil
 			}
@@ -274,10 +370,12 @@ func RunCnC(a *matrix.Dense, base, workers int, variant core.Variant) (gep.CnCSt
 				tags.Put(t)
 				return nil
 			}
+			done := span()
 			trsm(a, t.I, t.K, bs)
-			out.Put(Key{kindTrsm, t.I, t.K, t.K}, true)
+			done()
+			out.Put(Key{KindTrsm, t.I, t.K, t.K}, true)
 		default:
-			ok := await(Key{kindTrsm, t.I, t.K, t.K}) && await(Key{kindTrsm, t.J, t.K, t.K})
+			ok := await(Key{KindTrsm, t.I, t.K, t.K}) && await(Key{KindTrsm, t.J, t.K, t.K})
 			if ok {
 				if p, pOK := prevUpdate(t.I, t.J, t.K); pOK {
 					ok = await(p)
@@ -287,8 +385,10 @@ func RunCnC(a *matrix.Dense, base, workers int, variant core.Variant) (gep.CnCSt
 				tags.Put(t)
 				return nil
 			}
+			done := span()
 			update(a, t.I, t.J, t.K, bs)
-			out.Put(Key{kindUpdate, t.I, t.J, t.K}, true)
+			done()
+			out.Put(Key{KindUpdate, t.I, t.J, t.K}, true)
 		}
 		return nil
 	})
@@ -298,19 +398,19 @@ func RunCnC(a *matrix.Dense, base, workers int, variant core.Variant) (gep.CnCSt
 		var ds []cnc.Dep
 		add := func(k Key) { ds = append(ds, out.Key(k)) }
 		switch t.Kind {
-		case kindPotrf:
+		case KindPotrf:
 			if p, ok := prevUpdate(t.K, t.K, t.K); ok {
 				add(p)
 			}
-		case kindTrsm:
-			add(Key{kindPotrf, t.K, t.K, t.K})
+		case KindTrsm:
+			add(Key{KindPotrf, t.K, t.K, t.K})
 			if p, ok := prevUpdate(t.I, t.K, t.K); ok {
 				add(p)
 			}
 		default:
-			add(Key{kindTrsm, t.I, t.K, t.K})
+			add(Key{KindTrsm, t.I, t.K, t.K})
 			if t.J != t.I {
-				add(Key{kindTrsm, t.J, t.K, t.K})
+				add(Key{KindTrsm, t.J, t.K, t.K})
 			}
 			if p, ok := prevUpdate(t.I, t.J, t.K); ok {
 				add(p)
@@ -326,20 +426,47 @@ func RunCnC(a *matrix.Dense, base, workers int, variant core.Variant) (gep.CnCSt
 	}
 	tags.Prescribe(step)
 
-	err := g.Run(func() {
+	// Memory contract (consumer counts derived in the doc comment above).
+	// NonBlockingCnC is excluded: its poll-miss re-put retires one
+	// successful step instance per poll, which would release the declared
+	// read set once per poll instead of once per tile.
+	if variant != core.NonBlockingCnC {
+		tile := bs * bs * 8
+		out.WithGetCount(func(k Key) int {
+			switch k.Kind {
+			case KindPotrf:
+				return tiles - 1 - k.K
+			case KindTrsm:
+				return tiles - k.K - 1
+			default: // KindUpdate
+				return 1
+			}
+		}).WithSizeOf(func(Key) int { return tile })
+		step.WithGets(deps)
+		// Every tag is a base task here (the environment expands the task
+		// space itself), so each admitted tag materialises one tile.
+		tags.WithTagBytes(func(Tag) int { return tile })
+	}
+	if cfg.Tune != nil {
+		cfg.Tune(g)
+	}
+
+	err := g.RunContext(ctx, func() {
 		for k := 0; k < tiles; k++ {
-			tags.Put(Tag{kindPotrf, k, k, k})
+			tags.PutThrottled(Tag{KindPotrf, k, k, k})
 			for i := k + 1; i < tiles; i++ {
-				tags.Put(Tag{kindTrsm, i, k, k})
+				tags.PutThrottled(Tag{KindTrsm, i, k, k})
 			}
 			for j := k + 1; j < tiles; j++ {
 				for i := j; i < tiles; i++ {
-					tags.Put(Tag{kindUpdate, i, j, k})
+					tags.PutThrottled(Tag{KindUpdate, i, j, k})
 				}
 			}
 		}
 	})
-	stats := gep.CnCStats{Stats: g.Stats(), BaseTasks: out.Len()}
+	// Puts, not Len: with get-counts active Len is the *live* census and
+	// drops to zero as tiles are garbage-collected.
+	stats := gep.CnCStats{Stats: g.Stats(), BaseTasks: int(out.Puts())}
 	return stats, err
 }
 

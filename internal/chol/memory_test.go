@@ -1,0 +1,130 @@
+package chol
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/matrix"
+)
+
+// TestCnCLeakFree checks the Cholesky memory contract across the three
+// schedules that declare get-counts: after a successful run every tile
+// receipt must have been garbage-collected (a too-high declared count would
+// leave LiveItems > 0; a too-low one fails the run with a use-after-free or
+// over-release), the factor must still be bit-identical to the tiled serial
+// reference, and the live high-water mark must sit strictly below the total
+// put count.
+func TestCnCLeakFree(t *testing.T) {
+	for _, v := range []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC} {
+		t.Run(v.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			orig := NewSPD(64, rng)
+			ref := orig.Clone()
+			if err := TiledSerial(ref, 8); err != nil {
+				t.Fatal(err)
+			}
+
+			x := orig.Clone()
+			stats, err := RunCnC(x, 8, 3, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(x, ref) {
+				t.Fatalf("factor disagrees with tiled serial (maxdiff %g)", matrix.MaxAbsDiff(x, ref))
+			}
+			if stats.LiveItems != 0 {
+				t.Fatalf("LiveItems = %d after quiesce, want 0 (declared get-counts too high)", stats.LiveItems)
+			}
+			if stats.ItemsFreed != int64(stats.ItemsPut) {
+				t.Fatalf("ItemsFreed = %d, want %d", stats.ItemsFreed, stats.ItemsPut)
+			}
+			if stats.PeakLiveItems >= int64(stats.ItemsPut) {
+				t.Fatalf("PeakLiveItems = %d, want < %d (no item ever died)", stats.PeakLiveItems, stats.ItemsPut)
+			}
+		})
+	}
+}
+
+// TestNonBlockingExcludedFromGC pins the NonBlockingCnC carve-out: its
+// poll-miss re-put retires one successful step instance per poll, so
+// completion-time releases would over-release. The variant therefore runs
+// without get-counts — nothing freed, everything live at quiesce.
+func TestNonBlockingExcludedFromGC(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := NewSPD(32, rng)
+	stats, err := RunCnC(x, 4, 3, core.NonBlockingCnC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ItemsFreed != 0 {
+		t.Fatalf("ItemsFreed = %d, want 0 (NonBlocking must not declare get-counts)", stats.ItemsFreed)
+	}
+	if stats.LiveItems != int64(stats.ItemsPut) {
+		t.Fatalf("LiveItems = %d, want %d", stats.LiveItems, stats.ItemsPut)
+	}
+}
+
+// TestBoundedMemoryCH runs Cholesky under a memory limit derived from its
+// own unbounded peak: the feasible budget must hold strictly (stalls 0,
+// peak <= limit) and the infeasible half-peak budget must degrade — stalls
+// reported, run still correct — instead of deadlocking.
+func TestBoundedMemoryCH(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	orig := NewSPD(256, rng)
+	ref := orig.Clone()
+	if err := TiledSerial(ref, 16); err != nil {
+		t.Fatal(err)
+	}
+
+	x := orig.Clone()
+	unbounded, err := RunCnC(x, 16, 4, core.NativeCnC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.LiveItems != 0 {
+		t.Fatalf("unbounded: LiveItems = %d, want 0", unbounded.LiveItems)
+	}
+	if unbounded.PeakLiveBytes == 0 {
+		t.Fatal("unbounded: PeakLiveBytes = 0; SizeOf hints not wired")
+	}
+	if !matrix.Equal(x, ref) {
+		t.Fatalf("unbounded factor disagrees with tiled serial (maxdiff %g)", matrix.MaxAbsDiff(x, ref))
+	}
+
+	limit := unbounded.PeakLiveBytes * 95 / 100
+	y := orig.Clone()
+	bounded, err := RunCnCContext(context.Background(), y, 16, 4, core.NativeCnC,
+		func(g *cnc.Graph) { g.WithMemoryLimit(limit) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.PeakLiveBytes > limit {
+		t.Fatalf("bounded: PeakLiveBytes = %d, want <= %d", bounded.PeakLiveBytes, limit)
+	}
+	if bounded.BackpressureStalls != 0 {
+		t.Fatalf("bounded: BackpressureStalls = %d, want 0 (budget was feasible)", bounded.BackpressureStalls)
+	}
+	if !matrix.Equal(y, ref) {
+		t.Fatalf("bounded factor disagrees with tiled serial (maxdiff %g)", matrix.MaxAbsDiff(y, ref))
+	}
+
+	tight := unbounded.PeakLiveBytes / 2
+	z := orig.Clone()
+	degraded, err := RunCnCContext(context.Background(), z, 16, 4, core.NativeCnC,
+		func(g *cnc.Graph) { g.WithMemoryLimit(tight) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.BackpressureStalls == 0 {
+		t.Fatal("degraded: BackpressureStalls = 0, want > 0 (half-peak budget is infeasible)")
+	}
+	if degraded.LiveItems != 0 {
+		t.Fatalf("degraded: LiveItems = %d, want 0", degraded.LiveItems)
+	}
+	if !matrix.Equal(z, ref) {
+		t.Fatalf("degraded factor disagrees with tiled serial (maxdiff %g)", matrix.MaxAbsDiff(z, ref))
+	}
+}

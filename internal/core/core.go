@@ -95,7 +95,9 @@ func ModelOf(v Variant) Model {
 	return DataFlow
 }
 
-// BenchID identifies one of the paper's three DP benchmarks.
+// BenchID identifies one of the study's DP benchmarks. The semantics of
+// each id — shapes, kernels, closed forms, runners — live with the
+// benchmark itself in internal/bench; this enum is only the shared name.
 type BenchID int
 
 const (
@@ -105,6 +107,9 @@ const (
 	SW
 	// FW is Floyd-Warshall all-pairs shortest path.
 	FW
+	// CH is tiled Cholesky factorisation — the CnC case study of the
+	// paper's §V related work, onboarded as the fourth benchmark.
+	CH
 )
 
 // String returns the benchmark's short name.
@@ -116,6 +121,8 @@ func (b BenchID) String() string {
 		return "SW"
 	case FW:
 		return "FW-APSP"
+	case CH:
+		return "CH"
 	default:
 		return fmt.Sprintf("BenchID(%d)", int(b))
 	}

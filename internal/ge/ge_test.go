@@ -11,29 +11,6 @@ import (
 	"dpflow/internal/matrix"
 )
 
-func TestAllVariantsAgree(t *testing.T) {
-	pool := forkjoin.NewPool(forkjoin.Config{Workers: 3})
-	defer pool.Close()
-	rng := rand.New(rand.NewSource(1))
-	orig := matrix.NewSquare(64)
-	orig.FillDiagonallyDominant(rng)
-
-	ref := orig.Clone()
-	Serial(ref)
-
-	variants := []core.Variant{core.SerialLoop, core.SerialRDP, core.OMPTasking,
-		core.NativeCnC, core.TunerCnC, core.ManualCnC, core.NonBlockingCnC}
-	for _, v := range variants {
-		x := orig.Clone()
-		if _, err := Run(v, x, 8, 3, pool); err != nil {
-			t.Fatalf("%v: %v", v, err)
-		}
-		if !matrix.Equal(x, ref) {
-			t.Fatalf("%v disagrees with serial (maxdiff %g)", v, matrix.MaxAbsDiff(x, ref))
-		}
-	}
-}
-
 // End-to-end: every variant must actually solve linear systems.
 func TestSolveSystemAllVariants(t *testing.T) {
 	pool := forkjoin.NewPool(forkjoin.Config{Workers: 2})

@@ -6,8 +6,10 @@ import (
 	"io"
 	"math"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/core"
 	"dpflow/internal/dag"
+	"dpflow/internal/forkjoin"
 	"dpflow/internal/gep"
 	"dpflow/internal/machine"
 	"dpflow/internal/model"
@@ -23,7 +25,11 @@ const maxSweepTiles = 256
 // BestOverBases returns the minimum simulated time of a variant over a
 // base-size sweep, and the base achieving it. The sweep checks ctx between
 // points.
-func BestOverBases(ctx context.Context, mach *machine.Machine, bench core.BenchID, n int, v core.Variant, bases []int) (float64, int, error) {
+func BestOverBases(ctx context.Context, mach *machine.Machine, id core.BenchID, n int, v core.Variant, bases []int) (float64, int, error) {
+	b, err := bench.Lookup(id)
+	if err != nil {
+		return 0, 0, err
+	}
 	cache := map[string]dag.Graph{}
 	best, bestBase := math.Inf(1), 0
 	for _, base := range bases {
@@ -36,7 +42,7 @@ func BestOverBases(ctx context.Context, mach *machine.Machine, bench core.BenchI
 		if tiles := n / gep.BaseSize(n, base); tiles > maxSweepTiles {
 			continue
 		}
-		t, err := simulatePoint(cache, mach, bench, n, base, v)
+		t, err := simulatePoint(cache, mach, b, n, base, v)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -53,30 +59,72 @@ func BestOverBases(ctx context.Context, mach *machine.Machine, bench core.BenchI
 // to data-flow.
 func WriteCrossover(ctx context.Context, w io.Writer) error {
 	bases := []int{32, 64, 128, 256, 512}
-	fmt.Fprintln(w, "# crossover: best time over base sweep, GE (data-flow = best CnC variant)")
-	fmt.Fprintf(w, "%12s %8s %14s %14s %10s\n", "machine", "n", "data-flow", "fork-join", "winner")
-	for _, mk := range []func() *machine.Machine{machine.EPYC64, machine.SKYLAKE192} {
-		mach := mk()
-		for _, n := range []int{2048, 4096, 8192, 16384} {
-			df := math.Inf(1)
-			for _, v := range []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC} {
-				t, _, err := BestOverBases(ctx, mach, core.GE, n, v, bases)
+	for _, b := range bench.All() {
+		fmt.Fprintf(w, "# crossover: best time over base sweep, %s (data-flow = best CnC variant)\n", b.ID())
+		fmt.Fprintf(w, "%12s %8s %14s %14s %10s\n", "machine", "n", "data-flow", "fork-join", "winner")
+		for _, mk := range []func() *machine.Machine{machine.EPYC64, machine.SKYLAKE192} {
+			mach := mk()
+			for _, n := range []int{2048, 4096, 8192, 16384} {
+				df := math.Inf(1)
+				for _, v := range []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC} {
+					t, _, err := BestOverBases(ctx, mach, b.ID(), n, v, bases)
+					if err != nil {
+						return err
+					}
+					if t < df {
+						df = t
+					}
+				}
+				fj, _, err := BestOverBases(ctx, mach, b.ID(), n, core.OMPTasking, bases)
 				if err != nil {
 					return err
 				}
-				if t < df {
-					df = t
+				winner := "data-flow"
+				if fj < df {
+					winner = "fork-join"
 				}
+				fmt.Fprintf(w, "%12s %8d %14.4f %14.4f %10s\n", mach.Name, n, df, fj, winner)
 			}
-			fj, _, err := BestOverBases(ctx, mach, core.GE, n, core.OMPTasking, bases)
-			if err != nil {
+		}
+		fmt.Fprintln(w)
+	}
+	return writeCrossoverVerification(ctx, w)
+}
+
+// writeCrossoverVerification grounds the simulated tables in real runs:
+// every registered benchmark executes every parallel variant on a small
+// instance and is checked against its serial reference. A benchmark that
+// simulates but cannot run — or runs but disagrees with its reference —
+// fails the experiment instead of shipping an unverified table.
+func writeCrossoverVerification(ctx context.Context, w io.Writer) error {
+	const (
+		verifyN       = 128
+		verifyBase    = 16
+		verifyWorkers = 4
+		verifySeed    = 5
+	)
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: verifyWorkers})
+	defer pool.Close()
+	fmt.Fprintf(w, "# verification: real runs, n=%d base=%d workers=%d, checked against serial reference\n",
+		verifyN, verifyBase, verifyWorkers)
+	fmt.Fprintf(w, "%10s %14s %12s %12s\n", "bench", "variant", "base tasks", "result")
+	for _, b := range bench.All() {
+		for _, v := range core.ParallelVariants {
+			if err := ctx.Err(); err != nil {
 				return err
 			}
-			winner := "data-flow"
-			if fj < df {
-				winner = "fork-join"
+			in, err := b.NewInstance(verifyN, verifyBase, verifySeed)
+			if err != nil {
+				return fmt.Errorf("crossover verify %s: %w", b.Name(), err)
 			}
-			fmt.Fprintf(w, "%12s %8d %14.4f %14.4f %10s\n", mach.Name, n, df, fj, winner)
+			stats, err := in.Run(ctx, v, bench.RunOpts{Workers: verifyWorkers, Pool: pool})
+			if err != nil {
+				return fmt.Errorf("crossover verify %s/%v: %w", b.Name(), v, err)
+			}
+			if err := in.Verify(); err != nil {
+				return fmt.Errorf("crossover verify %s/%v: %w", b.Name(), v, err)
+			}
+			fmt.Fprintf(w, "%10s %14s %12d %12s\n", b.Name(), v, stats.BaseTasks, "ok")
 		}
 	}
 	return nil
@@ -139,13 +187,13 @@ func WriteBestBlock(ctx context.Context, w io.Writer) error {
 	fmt.Fprintf(w, "%12s %10s %14s %10s %14s\n", "machine", "bench", "variant", "best base", "time")
 	for _, mk := range []func() *machine.Machine{machine.EPYC64, machine.SKYLAKE192} {
 		mach := mk()
-		for _, bench := range []core.BenchID{core.GE, core.SW, core.FW} {
+		for _, b := range bench.All() {
 			for _, v := range core.ParallelVariants {
-				t, base, err := BestOverBases(ctx, mach, bench, 8192, v, bases)
+				t, base, err := BestOverBases(ctx, mach, b.ID(), 8192, v, bases)
 				if err != nil {
 					return err
 				}
-				fmt.Fprintf(w, "%12s %10s %14s %10d %14.4f\n", mach.Name, bench, v, base, t)
+				fmt.Fprintf(w, "%12s %10s %14s %10d %14.4f\n", mach.Name, b.ID(), v, base, t)
 			}
 		}
 	}
@@ -170,10 +218,14 @@ func WriteRWay(ctx context.Context, w io.Writer) error {
 			unit.Exec[k] = 1
 		}
 	}
-	costs := func(v core.Variant, total int) simsched.Costs {
-		return model.CostsFor(mach, core.GE, n, base, v, total)
+	ge, err := bench.Lookup(core.GE)
+	if err != nil {
+		return err
 	}
-	df := dag.NewGEPDataflow(tiles, gep.Triangular)
+	costs := func(v core.Variant, total int) simsched.Costs {
+		return model.CostsFor(mach, ge, n, base, v, total)
+	}
+	df := ge.Dataflow(tiles)
 	dfSpan, err := simsched.Simulate(df, 0, unit)
 	if err != nil {
 		return err
@@ -215,12 +267,16 @@ func WriteComputeOn(ctx context.Context, w io.Writer) error {
 		n    = 8192
 		base = 128
 	)
+	ge, err := bench.Lookup(core.GE)
+	if err != nil {
+		return err
+	}
 	tiles := n / gep.BaseSize(n, base)
-	df := dag.NewGEPDataflow(tiles, gep.Triangular)
-	costs := model.CostsFor(mach, core.GE, n, base, core.TunerCnC, df.Len())
+	df := ge.Dataflow(tiles).(*dag.GEPDataflow)
+	costs := model.CostsFor(mach, ge, n, base, core.TunerCnC, df.Len())
 	m := gep.BaseSize(n, base)
 	// A migrated tile re-streams its working set across the interconnect.
-	penalty := float64(model.WorkingSetBytes(m)) / 64.0 * mach.MemMissCost
+	penalty := float64(bench.WorkingSetBytes(m)) / 64.0 * mach.MemMissCost
 	home := func(id int) int {
 		i, j, _ := df.Coords(id)
 		return (i*131 + j) % mach.Sockets
@@ -261,16 +317,11 @@ func WriteScaling(ctx context.Context, w io.Writer) error {
 	)
 	mach := machine.EPYC64() // cost constants; the core count is swept
 	fmt.Fprintf(w, "# scaling: simulated strong scaling, n=%d base=%d (%s cost model)\n", n, base, mach.Name)
-	for _, bench := range []core.BenchID{core.GE, core.SW} {
+	for _, b := range bench.All() {
 		tiles := n / gep.BaseSize(n, base)
-		var df, fj dag.Graph
-		if bench == core.SW {
-			df, fj = dag.NewSWDataflow(tiles), dag.NewSWForkJoin(tiles)
-		} else {
-			df, fj = dag.NewGEPDataflow(tiles, gep.Triangular), dag.NewGEPForkJoin(tiles, gep.Triangular)
-		}
-		dfCosts := model.CostsFor(mach, bench, n, base, core.NativeCnC, df.Len())
-		fjCosts := model.CostsFor(mach, bench, n, base, core.OMPTasking, df.Len())
+		df, fj := b.Dataflow(tiles), b.ForkJoin(tiles)
+		dfCosts := model.CostsFor(mach, b, n, base, core.NativeCnC, df.Len())
+		fjCosts := model.CostsFor(mach, b, n, base, core.OMPTasking, df.Len())
 		dfOne, err := simsched.Simulate(df, 1, dfCosts)
 		if err != nil {
 			return err
@@ -279,7 +330,7 @@ func WriteScaling(ctx context.Context, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "\n## %s (%d tiles/side)\n", bench, tiles)
+		fmt.Fprintf(w, "\n## %s (%d tiles/side)\n", b.ID(), tiles)
 		fmt.Fprintf(w, "%8s %14s %12s %14s %12s %10s\n",
 			"P", "data-flow (s)", "speedup", "fork-join (s)", "speedup", "winner")
 		for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
@@ -318,10 +369,14 @@ func WriteCluster(ctx context.Context, w io.Writer) error {
 	fmt.Fprintf(w, "# cluster: distributed data-flow GE, n=%d, owner-computes block-cyclic tiles\n", n)
 	fmt.Fprintf(w, "%8s %8s %8s %14s %12s %12s %12s\n",
 		"base", "nodes", "cores", "time (s)", "speedup", "messages", "comm (s)")
+	ge, err := bench.Lookup(core.GE)
+	if err != nil {
+		return err
+	}
 	for _, base := range []int{128, 512} {
 		tiles := n / gep.BaseSize(n, base)
-		g := dag.NewGEPDataflow(tiles, gep.Triangular)
-		costs := model.CostsFor(mach, core.GE, n, base, core.NativeCnC, g.Len())
+		g := ge.Dataflow(tiles).(*dag.GEPDataflow)
+		costs := model.CostsFor(mach, ge, n, base, core.NativeCnC, g.Len())
 		m := gep.BaseSize(n, base)
 		transfer := float64(m*m*8) / (10 << 30) // tile over 10 GiB/s links
 		var t1 float64
@@ -365,6 +420,10 @@ func WriteCluster(ctx context.Context, w io.Writer) error {
 // overheads.
 func WriteSWWave(ctx context.Context, w io.Writer) error {
 	mach := machine.EPYC64()
+	sw, err := bench.Lookup(core.SW)
+	if err != nil {
+		return err
+	}
 	const n = 8192
 	fmt.Fprintf(w, "# swwave: three SW schedules, n=%d on %s\n", n, mach.Name)
 	fmt.Fprintf(w, "%8s %18s %18s %18s\n", "base", "fj-recursion (s)", "fj-wavefront (s)", "data-flow (s)")
@@ -373,10 +432,10 @@ func WriteSWWave(ctx context.Context, w io.Writer) error {
 			return err
 		}
 		tiles := n / gep.BaseSize(n, base)
-		df := dag.NewSWDataflow(tiles)
-		costsFJ := model.CostsFor(mach, core.SW, n, base, core.OMPTasking, df.Len())
-		costsDF := model.CostsFor(mach, core.SW, n, base, core.NativeCnC, df.Len())
-		rec, err := simsched.Simulate(dag.NewSWForkJoin(tiles), mach.Cores, costsFJ)
+		df := sw.Dataflow(tiles)
+		costsFJ := model.CostsFor(mach, sw, n, base, core.OMPTasking, df.Len())
+		costsDF := model.CostsFor(mach, sw, n, base, core.NativeCnC, df.Len())
+		rec, err := simsched.Simulate(sw.ForkJoin(tiles), mach.Cores, costsFJ)
 		if err != nil {
 			return err
 		}

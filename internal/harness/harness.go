@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/core"
 	"dpflow/internal/dag"
 	"dpflow/internal/gep"
@@ -92,6 +93,10 @@ func Figures() []Experiment {
 			Bench: core.FW, Machine: machine.EPYC64, Ns: ns, BasesFor: swfwBases},
 		{ID: "fig9", Title: "Execution time of Floyd-Warshall on SKYLAKE-192",
 			Bench: core.FW, Machine: machine.SKYLAKE192, Ns: ns, BasesFor: swfwBases},
+		// Beyond the paper: Cholesky shares GE's triangular kernel geometry,
+		// so it reuses the GE base-size axis and analytical-model series.
+		{ID: "figch", Title: "Execution time of Cholesky factorization on EPYC-64",
+			Bench: core.CH, Machine: machine.EPYC64, Ns: ns, BasesFor: geBases, Estimated: true},
 	}
 }
 
@@ -105,51 +110,44 @@ func FigureByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// shapeOf maps a benchmark to its GEP update-set shape (SW excluded).
-func shapeOf(b core.BenchID) gep.Shape {
-	if b == core.FW {
-		return gep.Cube
-	}
-	return gep.Triangular
-}
-
 // graphFor builds (or fetches from cache) the task graph of one sweep
 // point. Data-flow graphs are shared across the three CnC variants.
-func graphFor(cache map[string]dag.Graph, bench core.BenchID, tiles int, m core.Model) dag.Graph {
-	key := fmt.Sprintf("%d/%d/%d", bench, tiles, m)
+func graphFor(cache map[string]dag.Graph, b bench.Benchmark, tiles int, m core.Model) dag.Graph {
+	key := fmt.Sprintf("%d/%d/%d", b.ID(), tiles, m)
 	if g, ok := cache[key]; ok {
 		return g
 	}
 	var g dag.Graph
-	switch {
-	case bench == core.SW && m == core.ForkJoin:
-		g = dag.NewSWForkJoin(tiles)
-	case bench == core.SW:
-		g = dag.NewSWDataflow(tiles)
-	case m == core.ForkJoin:
-		g = dag.NewGEPForkJoin(tiles, shapeOf(bench))
-	default:
-		g = dag.NewGEPDataflow(tiles, shapeOf(bench))
+	if m == core.ForkJoin {
+		g = b.ForkJoin(tiles)
+	} else {
+		g = b.Dataflow(tiles)
 	}
 	cache[key] = g
 	return g
 }
 
 // SimulatePoint runs one (machine, bench, n, base, variant) point through
-// the model + simulator and returns the predicted execution time.
-func SimulatePoint(mach *machine.Machine, bench core.BenchID, n, base int, v core.Variant) (float64, error) {
+// the model + simulator and returns the predicted execution time. Unknown
+// benchmark ids report bench.ErrUnknownBenchmark instead of defaulting to a
+// GE-shaped sweep.
+func SimulatePoint(mach *machine.Machine, id core.BenchID, n, base int, v core.Variant) (float64, error) {
+	b, err := bench.Lookup(id)
+	if err != nil {
+		return 0, err
+	}
 	cache := map[string]dag.Graph{}
-	return simulatePoint(cache, mach, bench, n, base, v)
+	return simulatePoint(cache, mach, b, n, base, v)
 }
 
-func simulatePoint(cache map[string]dag.Graph, mach *machine.Machine, bench core.BenchID, n, base int, v core.Variant) (float64, error) {
+func simulatePoint(cache map[string]dag.Graph, mach *machine.Machine, b bench.Benchmark, n, base int, v core.Variant) (float64, error) {
 	tiles := n / gep.BaseSize(n, base)
-	df := graphFor(cache, bench, tiles, core.DataFlow)
+	df := graphFor(cache, b, tiles, core.DataFlow)
 	g := df
 	if v == core.OMPTasking {
-		g = graphFor(cache, bench, tiles, core.ForkJoin)
+		g = graphFor(cache, b, tiles, core.ForkJoin)
 	}
-	costs := model.CostsFor(mach, bench, n, base, v, df.Len())
+	costs := model.CostsFor(mach, b, n, base, v, df.Len())
 	r, err := simsched.Simulate(g, mach.Cores, costs)
 	if err != nil {
 		return 0, err
@@ -167,6 +165,10 @@ func (e Experiment) Run(opts Options) (*FigureResult, error) {
 // and returns ctx.Err() instead of a partial result.
 func (e Experiment) RunContext(ctx context.Context, opts Options) (*FigureResult, error) {
 	mach := e.Machine()
+	bm, err := bench.Lookup(e.Bench)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
 	res := &FigureResult{Exp: e}
 	for _, fullN := range e.Ns {
 		n := fullN >> opts.Scale
@@ -200,7 +202,7 @@ func (e Experiment) RunContext(ctx context.Context, opts Options) (*FigureResult
 			}
 			panel.Bases = append(panel.Bases, b)
 			for i, v := range core.ParallelVariants {
-				secs, err := simulatePoint(cache, mach, e.Bench, n, b, v)
+				secs, err := simulatePoint(cache, mach, bm, n, b, v)
 				if err != nil {
 					return nil, fmt.Errorf("%s n=%d base=%d %v: %w", e.ID, n, b, v, err)
 				}
@@ -212,7 +214,7 @@ func (e Experiment) RunContext(ctx context.Context, opts Options) (*FigureResult
 			if e.Estimated {
 				series[len(series)-1].Points = append(series[len(series)-1].Points, core.Point{
 					Bench: e.Bench, Machine: mach.Name, Variant: "Estimated",
-					N: n, Base: b, Seconds: model.EstimatedTime(mach, e.Bench, n, b),
+					N: n, Base: b, Seconds: model.EstimatedTime(mach, bm, n, b),
 				})
 			}
 		}

@@ -6,14 +6,15 @@ import (
 	"strings"
 	"testing"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/core"
 	"dpflow/internal/machine"
 )
 
 func TestFiguresRegistry(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 6 {
-		t.Fatalf("%d figures, want 6", len(figs))
+	if len(figs) != 7 {
+		t.Fatalf("%d figures, want 7 (fig4-fig9 + figch)", len(figs))
 	}
 	seen := map[string]bool{}
 	for _, f := range figs {
@@ -27,6 +28,9 @@ func TestFiguresRegistry(t *testing.T) {
 	}
 	if _, ok := FigureByID("fig4"); !ok {
 		t.Fatal("fig4 missing")
+	}
+	if ch, ok := FigureByID("figch"); !ok || ch.Bench != core.CH || !ch.Estimated {
+		t.Fatalf("figch missing or misconfigured: %+v ok=%v", ch, ok)
 	}
 	if _, ok := FigureByID("nope"); ok {
 		t.Fatal("bogus id found")
@@ -92,16 +96,30 @@ func TestRunFig6Scaled(t *testing.T) {
 
 func TestSimulatePointAllBenches(t *testing.T) {
 	mach := machine.EPYC64()
-	for _, bench := range []core.BenchID{core.GE, core.SW, core.FW} {
+	for _, b := range bench.All() {
 		for _, v := range core.ParallelVariants {
-			secs, err := SimulatePoint(mach, bench, 1024, 64, v)
+			secs, err := SimulatePoint(mach, b.ID(), 1024, 64, v)
 			if err != nil {
-				t.Fatalf("%v %v: %v", bench, v, err)
+				t.Fatalf("%v %v: %v", b.ID(), v, err)
 			}
 			if secs <= 0 {
-				t.Fatalf("%v %v: %v seconds", bench, v, secs)
+				t.Fatalf("%v %v: %v seconds", b.ID(), v, secs)
 			}
 		}
+	}
+}
+
+// An id outside the registry must fail loudly — the old shapeOf helper
+// silently defaulted unknown benchmarks to a GE-shaped (Triangular) sweep.
+func TestSimulatePointUnknownBenchFailsLoudly(t *testing.T) {
+	_, err := SimulatePoint(machine.EPYC64(), core.BenchID(99), 1024, 64, core.NativeCnC)
+	if !errors.Is(err, bench.ErrUnknownBenchmark) {
+		t.Fatalf("SimulatePoint(unknown) = %v, want ErrUnknownBenchmark", err)
+	}
+	exp := Experiment{ID: "bogus", Bench: core.BenchID(99), Machine: machine.EPYC64,
+		Ns: []int{2048}, BasesFor: func(int) []int { return []int{64} }}
+	if _, err := exp.Run(Options{Scale: 3}); !errors.Is(err, bench.ErrUnknownBenchmark) {
+		t.Fatalf("Experiment.Run(unknown bench) = %v, want ErrUnknownBenchmark", err)
 	}
 }
 
@@ -132,8 +150,37 @@ func TestClaimsReports(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if !strings.Contains(out, "EPYC-64") || !strings.Contains(out, "FW-APSP") {
+	if !strings.Contains(out, "EPYC-64") {
 		t.Fatalf("bestblock output incomplete:\n%s", out)
+	}
+	// The claims loops are registry-driven: every registered benchmark —
+	// including CH — must show up in the best-block table.
+	for _, b := range bench.All() {
+		if !strings.Contains(out, b.ID().String()) {
+			t.Fatalf("bestblock output missing %s:\n%s", b.ID(), out)
+		}
+	}
+}
+
+// WriteCrossover must cover every registered benchmark in both its
+// simulated table and its real-run verification block, and every
+// verification row must come out ok (errors fail the experiment).
+func TestCrossoverCoversRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crossover runs real benchmarks")
+	}
+	var sb strings.Builder
+	if err := WriteCrossover(context.Background(), &sb); err != nil {
+		t.Fatalf("WriteCrossover: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, b := range bench.All() {
+		if !strings.Contains(out, b.ID().String()) {
+			t.Fatalf("crossover output missing %s:\n%s", b.ID(), out)
+		}
+	}
+	if !strings.Contains(out, "CH") || !strings.Contains(out, "verification") {
+		t.Fatalf("crossover missing CH verification block:\n%s", out)
 	}
 }
 

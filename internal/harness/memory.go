@@ -2,26 +2,18 @@ package harness
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/cnc"
 	"dpflow/internal/core"
-	"dpflow/internal/fw"
-	"dpflow/internal/ge"
 	"dpflow/internal/gep"
-	"dpflow/internal/graphgen"
-	"dpflow/internal/kernels"
-	"dpflow/internal/matrix"
-	"dpflow/internal/seq"
-	"dpflow/internal/sw"
 )
 
 // Memory-report geometry: 8x8 tiles per benchmark is large enough that the
 // live set has real structure (interior tiles with full fan-in) yet small
-// enough that three schedules x two runs x three benchmarks finishes in
+// enough that three schedules x two runs x four benchmarks finishes in
 // seconds.
 const (
 	memN       = 256
@@ -30,68 +22,26 @@ const (
 	memSeed    = 7
 )
 
-// memRun executes one benchmark once under a schedule, building fresh
-// inputs, and returns the graph's stats after verifying the result against
-// the serial reference.
-type memRun func(ctx context.Context, v core.Variant, tune func(*cnc.Graph)) (gep.CnCStats, error)
-
-func geMemRun(ctx context.Context, v core.Variant, tune func(*cnc.Graph)) (gep.CnCStats, error) {
-	rng := rand.New(rand.NewSource(memSeed))
-	a, _ := ge.NewSystem(memN, rng)
-	ref := a.Clone()
-	if err := ge.RDPSerial(ref, memBase); err != nil {
+// memRun executes one registered benchmark once under a schedule on a
+// fresh instance and returns the graph's stats after verifying the result
+// against the serial reference.
+func memRun(ctx context.Context, b bench.Benchmark, v core.Variant, tune func(*cnc.Graph)) (gep.CnCStats, error) {
+	in, err := b.NewInstance(memN, memBase, memSeed)
+	if err != nil {
 		return gep.CnCStats{}, err
 	}
-	work := a.Clone()
-	stats, err := ge.RunCnCContext(ctx, work, memBase, memWorkers, v, tune)
+	stats, err := in.Run(ctx, v, bench.RunOpts{Workers: memWorkers, Tune: tune})
 	if err != nil {
 		return stats, err
 	}
-	if !matrix.Equal(work, ref) {
-		return stats, errors.New("GE result differs from serial reference")
-	}
-	return stats, nil
-}
-
-func fwMemRun(ctx context.Context, v core.Variant, tune func(*cnc.Graph)) (gep.CnCStats, error) {
-	rng := rand.New(rand.NewSource(memSeed))
-	d := graphgen.Random(graphgen.Config{N: memN, Density: 0.35, MaxWeight: 9, Infinity: fw.Infinity}, rng)
-	ref := d.Clone()
-	if err := fw.RDPSerial(ref, memBase); err != nil {
-		return gep.CnCStats{}, err
-	}
-	work := d.Clone()
-	stats, err := fw.RunCnCContext(ctx, work, memBase, memWorkers, v, tune)
-	if err != nil {
-		return stats, err
-	}
-	if !matrix.Equal(work, ref) {
-		return stats, errors.New("FW result differs from serial reference")
-	}
-	return stats, nil
-}
-
-func swMemRun(ctx context.Context, v core.Variant, tune func(*cnc.Graph)) (gep.CnCStats, error) {
-	rng := rand.New(rand.NewSource(memSeed))
-	a := seq.RandomDNA(memN, rng)
-	p := &sw.Problem{A: a, B: seq.Mutate(a, 0.2, seq.DNAAlphabet, rng), Scoring: kernels.DefaultScoring}
-	want := p.Linear()
-	h := p.NewTable()
-	score, stats, err := p.RunCnCContext(ctx, h, memBase, memWorkers, v, tune)
-	if err != nil {
-		return stats, err
-	}
-	if score != want {
-		return stats, fmt.Errorf("SW score %v, linear-space reference %v", score, want)
-	}
-	return stats, nil
+	return stats, in.Verify()
 }
 
 // WriteMemory reports the bounded-memory contract of the CnC runtime on
-// real benchmark graphs: for every GC-enabled schedule of GE, FW, and SW it
-// runs once unbounded (measuring the natural peak live set) and once with
-// the memory limit set to 95% of that measured peak. The claims checked per
-// row:
+// real benchmark graphs: for every GC-enabled schedule of every registered
+// benchmark it runs once unbounded (measuring the natural peak live set)
+// and once with the memory limit set to 95% of that measured peak. The
+// claims checked per row:
 //
 //   - leak freedom: LiveItems == 0 at quiesce, ItemsFreed == ItemsPut;
 //   - the peak live set is a fraction of the items put (get-count GC frees
@@ -104,14 +54,6 @@ func swMemRun(ctx context.Context, v core.Variant, tune func(*cnc.Graph)) (gep.C
 // Any violated claim is reported as an error so `dpbench -exp memory` can
 // gate CI.
 func WriteMemory(ctx context.Context, w io.Writer) error {
-	benches := []struct {
-		name string
-		run  memRun
-	}{
-		{"GE", geMemRun},
-		{"FW", fwMemRun},
-		{"SW", swMemRun},
-	}
 	variants := []core.Variant{core.NativeCnC, core.TunerCnC, core.ManualCnC}
 
 	fmt.Fprintf(w, "# memory: get-count GC + backpressure, n=%d base=%d workers=%d (limit = 95%% of unbounded peak)\n", memN, memBase, memWorkers)
@@ -120,27 +62,28 @@ func WriteMemory(ctx context.Context, w io.Writer) error {
 
 	var failures []string
 	bounded, degraded := 0, 0
-	for _, b := range benches {
+	for _, b := range bench.All() {
+		name := b.ID().String()
 		for _, v := range variants {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			free, err := b.run(ctx, v, nil)
+			free, err := memRun(ctx, b, v, nil)
 			if err != nil {
-				return fmt.Errorf("memory: %s/%s unbounded: %w", b.name, v, err)
+				return fmt.Errorf("memory: %s/%s unbounded: %w", name, v, err)
 			}
-			writeMemRow(w, b.name, v.String(), "unbounded", free.Stats, 0)
-			if msg := checkLeakFree(b.name, v.String(), free.Stats); msg != "" {
+			writeMemRow(w, name, v.String(), "unbounded", free.Stats, 0)
+			if msg := checkLeakFree(name, v.String(), free.Stats); msg != "" {
 				failures = append(failures, msg)
 			}
 
 			limit := free.PeakLiveBytes * 95 / 100
-			capped, err := b.run(ctx, v, func(g *cnc.Graph) { g.WithMemoryLimit(limit) })
+			capped, err := memRun(ctx, b, v, func(g *cnc.Graph) { g.WithMemoryLimit(limit) })
 			if err != nil {
-				return fmt.Errorf("memory: %s/%s bounded to %d: %w", b.name, v, limit, err)
+				return fmt.Errorf("memory: %s/%s bounded to %d: %w", name, v, limit, err)
 			}
-			writeMemRow(w, b.name, v.String(), "bounded", capped.Stats, limit)
-			if msg := checkLeakFree(b.name, v.String(), capped.Stats); msg != "" {
+			writeMemRow(w, name, v.String(), "bounded", capped.Stats, limit)
+			if msg := checkLeakFree(name, v.String(), capped.Stats); msg != "" {
 				failures = append(failures, msg)
 			}
 			switch {
@@ -150,7 +93,7 @@ func WriteMemory(ctx context.Context, w io.Writer) error {
 				bounded++
 			default:
 				failures = append(failures, fmt.Sprintf("%s/%s: peak %d bytes exceeds limit %d without reported stalls",
-					b.name, v, capped.PeakLiveBytes, limit))
+					name, v, capped.PeakLiveBytes, limit))
 			}
 		}
 	}

@@ -8,17 +8,18 @@ import (
 
 // TestWriteMemory runs the bounded-memory claims report end to end: every
 // row must come out leak-free, no claim may fail (WriteMemory returns an
-// error when one does), and all three benchmarks must appear in both modes.
+// error when one does), and every registered benchmark must appear in both
+// modes.
 func TestWriteMemory(t *testing.T) {
 	if testing.Short() {
-		t.Skip("memory report runs 18 CnC graphs")
+		t.Skip("memory report runs 24 CnC graphs")
 	}
 	var sb strings.Builder
 	if err := WriteMemory(context.Background(), &sb); err != nil {
 		t.Fatalf("WriteMemory: %v\n%s", err, sb.String())
 	}
 	out := sb.String()
-	for _, want := range []string{"# memory", "GE", "FW", "SW", "unbounded", "bounded", "leak-free"} {
+	for _, want := range []string{"# memory", "GE", "FW", "SW", "CH", "unbounded", "bounded", "leak-free"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}

@@ -2,22 +2,17 @@ package harness
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/core"
 	"dpflow/internal/forkjoin"
-	"dpflow/internal/ge"
-	"dpflow/internal/gep"
-	"dpflow/internal/kernels"
-	"dpflow/internal/matrix"
 	"dpflow/internal/trace"
 )
 
-// Scheduler-overhead geometry: real GE runs, several tile counts per
+// Scheduler-overhead geometry: real benchmark runs, several tile counts per
 // schedule, on enough workers that dispatch contention is visible but small
 // enough that a full sweep stays CI-sized.
 const (
@@ -42,32 +37,26 @@ type schedRow struct {
 	puts     uint64 // tags + items put (CnC only)
 }
 
-// runSchedGE executes GE once at a sweep point under one schedule with a
-// tracing kernel, verifies the result against the serial reference, and
-// returns the measured row. Kernel spans are recorded on lane 0 (worker
-// ids are not threaded through gep kernels), so trace.Report contributes
-// the busy-time aggregate: utilisation = kernel busy / (workers × wall).
-func runSchedGE(ctx context.Context, p schedPoint, v core.Variant) (schedRow, error) {
-	rng := rand.New(rand.NewSource(schedSeed))
-	a, _ := ge.NewSystem(p.n, rng)
-	ref := a.Clone()
-	if err := ge.RDPSerial(ref, p.base); err != nil {
+// runSched executes one registered benchmark once at a sweep point under
+// one schedule with the instance's Trace hook recording kernel spans, then
+// verifies the result against the serial reference and returns the measured
+// row. Spans are recorded on lane 0 (worker ids are not threaded through
+// the kernels), so trace.Report contributes the busy-time aggregate:
+// utilisation = kernel busy / (workers × wall).
+func runSched(ctx context.Context, b bench.Benchmark, p schedPoint, v core.Variant) (schedRow, error) {
+	in, err := b.NewInstance(p.n, p.base, schedSeed)
+	if err != nil {
 		return schedRow{}, err
 	}
-
 	rec := trace.NewRecorder()
-	alg := gep.Algorithm{Shape: gep.Triangular, Kernel: func(x *matrix.Dense, i0, j0, k0, b int) {
-		done := rec.Task(0, "tile")
-		kernels.GE(x, i0, j0, k0, b)
-		done()
-	}}
-	work := a.Clone()
+	opts := bench.RunOpts{Workers: schedWorkers, Trace: func() func() { return rec.Task(0, "tile") }}
 	row := schedRow{point: p, variant: v}
 
 	start := time.Now()
 	if v == core.OMPTasking {
 		pool := forkjoin.NewPool(forkjoin.Config{Workers: schedWorkers, Seed: schedSeed})
-		err := alg.ForkJoin(work, p.base, pool)
+		opts.Pool = pool
+		_, err := in.Run(ctx, v, opts)
 		pool.Close()
 		if err != nil {
 			return row, err
@@ -76,7 +65,7 @@ func runSchedGE(ctx context.Context, p schedPoint, v core.Variant) (schedRow, er
 		fs := pool.Stats()
 		row.steals, row.probes = fs.Steals, fs.FailedProbes
 	} else {
-		stats, err := alg.RunCnCContext(ctx, work, p.base, schedWorkers, v, nil)
+		stats, err := in.Run(ctx, v, opts)
 		if err != nil {
 			return row, err
 		}
@@ -92,54 +81,56 @@ func runSchedGE(ctx context.Context, p schedPoint, v core.Variant) (schedRow, er
 				stats.Wakeups, stats.StepsStarted, stats.InlineRuns)
 		}
 	}
-	if !matrix.Equal(work, ref) {
-		return row, errors.New("GE result differs from serial reference")
+	if err := in.Verify(); err != nil {
+		return row, err
 	}
 	rep := rec.Report(schedWorkers)
 	row.util, row.tasks = rep.Utilization, rep.Tasks
 	return row, nil
 }
 
-// WriteSched reports the dispatch-layer overhead counters of real GE runs
-// across a problem-size × base-case-size sweep, one row per schedule: the
-// fork-join pool and every CnC schedule on the work-stealing graph runtime.
-// Each row's result is verified against the serial reference; for CnC rows
-// the targeted-wakeup claim (Wakeups ≤ dispatches, hence ≪ the seed's
-// implied workers × puts broadcast bill, printed as `bcast~`) gates the
-// exit status so `dpbench -exp sched` can run as a CI smoke job. This is
-// the instrumented ground truth behind the paper's Fig. 4–9 overhead
-// story: as the scheduler constant per task shrinks, the size at which
-// fork-join overtakes data-flow moves outward.
+// WriteSched reports the dispatch-layer overhead counters of real runs of
+// every registered benchmark across a problem-size × base-case-size sweep,
+// one row per schedule: the fork-join pool and every CnC schedule on the
+// work-stealing graph runtime. Each row's result is verified against the
+// serial reference; for CnC rows the targeted-wakeup claim (Wakeups ≤
+// dispatches, hence ≪ the seed's implied workers × puts broadcast bill,
+// printed as `bcast~`) gates the exit status so `dpbench -exp sched` can
+// run as a CI smoke job. This is the instrumented ground truth behind the
+// paper's Fig. 4–9 overhead story: as the scheduler constant per task
+// shrinks, the size at which fork-join overtakes data-flow moves outward.
 func WriteSched(ctx context.Context, w io.Writer) error {
 	points := []schedPoint{{256, 32}, {256, 64}, {512, 32}, {512, 64}}
 	variants := []core.Variant{core.OMPTasking, core.NativeCnC, core.NonBlockingCnC, core.TunerCnC, core.ManualCnC}
 
-	fmt.Fprintf(w, "# sched: GE dispatch-overhead sweep, workers=%d (real runs, tracing kernel)\n", schedWorkers)
-	fmt.Fprintf(w, "%5s %5s %16s %10s %6s %7s %8s %10s %8s %8s %10s\n",
-		"n", "base", "variant", "wall", "util", "tasks", "steals", "probes", "wakeups", "requeue", "bcast~")
+	fmt.Fprintf(w, "# sched: dispatch-overhead sweep over all registered benchmarks, workers=%d (real runs, tracing kernel)\n", schedWorkers)
+	fmt.Fprintf(w, "%6s %5s %5s %16s %10s %6s %7s %8s %10s %8s %8s %10s\n",
+		"bench", "n", "base", "variant", "wall", "util", "tasks", "steals", "probes", "wakeups", "requeue", "bcast~")
 
 	var failures []string
-	for _, p := range points {
-		for _, v := range variants {
-			if err := ctx.Err(); err != nil {
-				return err
+	for _, b := range bench.All() {
+		for _, p := range points {
+			for _, v := range variants {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				row, err := runSched(ctx, b, p, v)
+				if err != nil {
+					failures = append(failures, fmt.Sprintf("%s n=%d base=%d %s: %v", b.Name(), p.n, p.base, v, err))
+					continue
+				}
+				bcast := "-" // the seed's implied wake count: workers × puts
+				if v != core.OMPTasking {
+					bcast = fmt.Sprint(uint64(schedWorkers) * row.puts)
+				}
+				wake := "-"
+				if v != core.OMPTasking {
+					wake = fmt.Sprint(row.wakeups)
+				}
+				fmt.Fprintf(w, "%6s %5d %5d %16s %10s %5.1f%% %7d %8d %10d %8s %8d %10s\n",
+					b.Name(), p.n, p.base, v, row.wall.Round(10*time.Microsecond), 100*row.util,
+					row.tasks, row.steals, row.probes, wake, row.requeues, bcast)
 			}
-			row, err := runSchedGE(ctx, p, v)
-			if err != nil {
-				failures = append(failures, fmt.Sprintf("n=%d base=%d %s: %v", p.n, p.base, v, err))
-				continue
-			}
-			bcast := "-" // the seed's implied wake count: workers × puts
-			if v != core.OMPTasking {
-				bcast = fmt.Sprint(uint64(schedWorkers) * row.puts)
-			}
-			wake := "-"
-			if v != core.OMPTasking {
-				wake = fmt.Sprint(row.wakeups)
-			}
-			fmt.Fprintf(w, "%5d %5d %16s %10s %5.1f%% %7d %8d %10d %8s %8d %10s\n",
-				p.n, p.base, v, row.wall.Round(10*time.Microsecond), 100*row.util,
-				row.tasks, row.steals, row.probes, wake, row.requeues, bcast)
 		}
 	}
 	if len(failures) > 0 {

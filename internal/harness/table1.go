@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/cachesim"
 	"dpflow/internal/core"
 	"dpflow/internal/model"
@@ -64,6 +65,10 @@ func RunTable1Context(ctx context.Context, scale int) (*Table1Result, error) {
 		paperL2 = 1 << 20
 		paperL3 = 32 << 20
 	)
+	ge, err := bench.Lookup(core.GE)
+	if err != nil {
+		return nil, err
+	}
 	n := paperN / scale
 	l1 := 32 << 10 / (scale * scale)
 	if l1 < 2<<10 {
@@ -87,7 +92,7 @@ func RunTable1Context(ctx context.Context, scale int) (*Table1Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		est := model.EstimatedMaxMisses(core.GE, n, base, 64)
+		est := model.EstimatedMaxMisses(ge, n, base, 64)
 		row := Table1Row{
 			Base:      base,
 			PaperBase: paperBase,

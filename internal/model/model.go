@@ -1,21 +1,17 @@
-// Package model implements the paper's analytical model (§IV-B) and derives
+// Package model prices the paper's analytical model (§IV-B) and derives
 // the cost tables the discrete-event simulator runs on.
 //
-// Three ingredients:
+// The benchmark-specific arithmetic — task censuses, per-kind flop counts,
+// the three-line cache-miss bounds and streaming traffic — lives with each
+// benchmark behind the bench.Benchmark interface (internal/bench). This
+// package keeps what is machine-dependent and benchmark-generic:
 //
-//  1. Task census. For base size m on an n×n problem the recursive
-//     algorithm reaches (1/3)(n/m)³ + (1/2)(n/m)² + (1/6)(n/m) base cases
-//     for GE — the paper's formula, which equals Σ_{k=1..T} k² with
-//     T = n/m, and which the per-function census of internal/gep sums to
-//     exactly (asserted by tests).
+//  1. Cache misses. Per level the effective miss count is the compulsory
+//     traffic when three m×m blocks fit and grows toward the benchmark's
+//     streaming/bound regime when they do not. This is what produces
+//     Table I and the "Estimated" curves.
 //
-//  2. Cache misses. Per base task the paper derives an upper bound on
-//     misses assuming the cache holds only three lines; per level the
-//     effective miss count is the compulsory traffic when three m×m blocks
-//     fit and grows toward the streaming/bound regime when they do not.
-//     This is what produces Table I and the "Estimated" curves.
-//
-//  3. Variant overheads. Each scheduling event of each variant is priced
+//  2. Variant overheads. Each scheduling event of each variant is priced
 //     using the machine's Overheads constants: OpenMP tasks pay a spawn,
 //     CnC steps pay tag-put + scheduling, native blocking gets pay
 //     expected abort/requeue re-executions, tuned variants pay dependency
@@ -27,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/core"
 	"dpflow/internal/dag"
 	"dpflow/internal/gep"
@@ -34,180 +31,47 @@ import (
 	"dpflow/internal/simsched"
 )
 
-// TotalTasksGEP returns the closed-form base-task count of the paper for a
-// T-tile GE problem: (1/3)T³ + (1/2)T² + (1/6)T = T(T+1)(2T+1)/6. For the
-// cube shape (FW) it is simply T³.
-func TotalTasksGEP(tiles int, shape gep.Shape) int {
-	if shape == gep.Cube {
-		return tiles * tiles * tiles
-	}
-	return tiles * (tiles + 1) * (2*tiles + 1) / 6
-}
-
-// Updates returns the number of DP-table update operations a base task of
-// the given kind performs on an m×m tile, for the given shape.
-func Updates(kind dag.Kind, m int, shape gep.Shape) int {
-	if kind == dag.KindSW {
-		return m * m
-	}
-	if shape == gep.Cube {
-		return m * m * m
-	}
-	switch kind {
-	case dag.KindA:
-		return (m - 1) * m * (2*m - 1) / 6 // Σ (m-1-k)²
-	case dag.KindB, dag.KindC:
-		return m * m * (m - 1) / 2 // Σ (m-1-k)·m
-	case dag.KindD:
-		return m * m * m
-	default:
-		return 0
-	}
-}
-
-// Flops converts an update count into floating-point operation counts:
-// GE updates cost a multiply and a subtract plus an amortised division per
-// row; FW updates an add and a compare; SW cells about eight operations.
-func Flops(bench core.BenchID, kind dag.Kind, m int) float64 {
-	switch bench {
-	case core.GE:
-		u := Updates(kind, m, gep.Triangular)
-		divRows := float64(m * m) // one division per (k, i) pair, bounded
-		return 2*float64(u) + 3*divRows
-	case core.FW:
-		return 2 * float64(Updates(kind, m, gep.Cube))
-	default: // SW
-		return 8 * float64(m*m)
-	}
-}
-
-// WorkingSetBytes is the paper's three-block working set of a base task.
-func WorkingSetBytes(m int) int { return 3 * m * m * 8 }
-
-// CompulsoryLines is the minimum line traffic of a base task: streaming
-// three m×m blocks once.
-func CompulsoryLines(m, lineBytes int) float64 {
-	lw := float64(lineBytes) / 8
-	return math.Ceil(3 * float64(m*m) / lw)
-}
-
-// MaxMissBound is the paper's per-task upper bound on cache misses,
-// assuming the cache holds no more than three lines: for every (k, i)
-// iteration pair the kernel touches the C[i][j·] segment, the C[k][j·]
-// segment, C[i][k] and C[k][k] — two segment transfers plus two single
-// lines. The iteration pairs and segment lengths depend on the task kind.
-func MaxMissBound(bench core.BenchID, kind dag.Kind, m, lineBytes int) float64 {
-	lw := float64(lineBytes) / 8
-	seg := func(elems int) float64 {
-		if elems <= 0 {
-			return 0
-		}
-		return math.Ceil(float64(elems) / lw)
-	}
-	if bench == core.SW {
-		// Per row: three row segments (above, above-left, own) + sequence
-		// elements.
-		return float64(m) * (3*seg(m) + 2)
-	}
-	total := 0.0
-	for k := 0; k < m; k++ {
-		var rows int   // i iterations at this k
-		var segLen int // j-segment length at this k
-		if bench == core.FW {
-			rows, segLen = m, m
-		} else {
-			switch kind {
-			case dag.KindA:
-				rows, segLen = m-1-k, m-1-k
-			case dag.KindB:
-				rows, segLen = m-1-k, m
-			case dag.KindC:
-				rows, segLen = m, m-1-k
-			default: // KindD
-				rows, segLen = m, m
-			}
-		}
-		if rows <= 0 || segLen <= 0 {
-			continue
-		}
-		total += float64(rows) * (2*seg(segLen) + 2)
-	}
-	return total
-}
-
-// streamLines is the realistic per-task traffic at a level whose capacity
-// cannot hold the three-block working set: the own block streams once per
-// elimination step, plus the pivot row/column blocks.
-func streamLines(bench core.BenchID, kind dag.Kind, m, lineBytes int) float64 {
-	lw := float64(lineBytes) / 8
-	shape := gep.Triangular
-	if bench == core.FW {
-		shape = gep.Cube
-	}
-	u := float64(Updates(kind, m, shape))
-	if bench == core.SW {
-		u = float64(3 * m * m)
-	}
-	return u/lw + CompulsoryLines(m, lineBytes)
-}
-
 // LevelMisses returns the effective miss count of one base task at a cache
-// level: compulsory when the three-block working set fits, the streaming
-// estimate otherwise.
-func LevelMisses(bench core.BenchID, kind dag.Kind, m int, lvl machine.CacheLevel) float64 {
-	if lvl.Fits(WorkingSetBytes(m)) {
-		return CompulsoryLines(m, lvl.LineBytes)
+// level: compulsory when the three-block working set fits, the benchmark's
+// streaming estimate otherwise.
+func LevelMisses(b bench.Benchmark, kind dag.Kind, m int, lvl machine.CacheLevel) float64 {
+	if lvl.Fits(bench.WorkingSetBytes(m)) {
+		return bench.CompulsoryLines(m, lvl.LineBytes)
 	}
-	return streamLines(bench, kind, m, lvl.LineBytes)
+	return b.StreamLines(kind, m, lvl.LineBytes)
 }
 
 // MemTime prices one base task's data movement through the hierarchy:
 // every L1 miss is served by L2 at L1.MissCost, and so on down to memory.
-func MemTime(mach *machine.Machine, bench core.BenchID, kind dag.Kind, m int) float64 {
-	t := LevelMisses(bench, kind, m, mach.L1) * mach.L1.MissCost
-	t += LevelMisses(bench, kind, m, mach.L2) * mach.L2.MissCost
-	l3 := LevelMisses(bench, kind, m, mach.L3)
+func MemTime(mach *machine.Machine, b bench.Benchmark, kind dag.Kind, m int) float64 {
+	t := LevelMisses(b, kind, m, mach.L1) * mach.L1.MissCost
+	t += LevelMisses(b, kind, m, mach.L2) * mach.L2.MissCost
+	l3 := LevelMisses(b, kind, m, mach.L3)
 	t += l3 * mach.L3.MissCost
 	// Lines missing in L3 go to memory.
-	if !mach.L3.Fits(WorkingSetBytes(m)) {
+	if !mach.L3.Fits(bench.WorkingSetBytes(m)) {
 		t += l3 * mach.MemMissCost
 	} else {
-		t += CompulsoryLines(m, mach.L3.LineBytes) * mach.MemMissCost * 0.1
+		t += bench.CompulsoryLines(m, mach.L3.LineBytes) * mach.MemMissCost * 0.1
 	}
 	return t
 }
 
 // ExecTime is the modelled execution time of one base task: compute plus
-// data movement. Fork-join executions of the blocked GE/FW kernels benefit
-// from depth-first locality and effective prefetching (the machine's
-// PrefetchFactor): the LIFO schedule re-visits the blocks a parent call
-// just touched. Data-flow executions pay the full memory cost — the
-// paper's §IV-B observation that coarse-grained data-flow irregularity
-// defeats the prefetcher. SW tiles stream rows identically under both
-// models, so neither side gets the discount there.
-func ExecTime(mach *machine.Machine, bench core.BenchID, kind dag.Kind, m int, forkJoin bool) float64 {
-	mem := MemTime(mach, bench, kind, m)
-	if forkJoin && bench != core.SW {
+// data movement. Fork-join executions of prefetch-friendly benchmarks
+// benefit from depth-first locality and effective prefetching (the
+// machine's PrefetchFactor): the LIFO schedule re-visits the blocks a
+// parent call just touched. Data-flow executions pay the full memory cost —
+// the paper's §IV-B observation that coarse-grained data-flow irregularity
+// defeats the prefetcher. SW reports itself prefetch-unfriendly: its tiles
+// stream rows identically under both models, so neither side gets the
+// discount there.
+func ExecTime(mach *machine.Machine, b bench.Benchmark, kind dag.Kind, m int, forkJoin bool) float64 {
+	mem := MemTime(mach, b, kind, m)
+	if forkJoin && b.PrefetchFriendly() {
 		mem *= mach.PrefetchFactor
 	}
-	return Flops(bench, kind, m)*mach.FlopTime + mem
-}
-
-// depCount is the number of pre-declared dependencies / blocking gets of a
-// base task by kind (cf. internal/gep's deps and Listing 5).
-func depCount(kind dag.Kind) float64 {
-	switch kind {
-	case dag.KindA:
-		return 1
-	case dag.KindB, dag.KindC:
-		return 2
-	case dag.KindD:
-		return 4
-	case dag.KindSW:
-		return 3
-	default:
-		return 0
-	}
+	return b.Flops(kind, m)*mach.FlopTime + mem
 }
 
 // abortFraction is the modelled fraction of blocking gets that fail on
@@ -227,7 +91,7 @@ const manualSerialFraction = 0.35
 // CostsFor builds the simulator cost table for one configuration. n is the
 // problem size, base the requested base size (the effective tile side is
 // gep.BaseSize(n, base)), totalTasks the number of base tasks in the DAG.
-func CostsFor(mach *machine.Machine, bench core.BenchID, n, base int, v core.Variant, totalTasks int) simsched.Costs {
+func CostsFor(mach *machine.Machine, b bench.Benchmark, n, base int, v core.Variant, totalTasks int) simsched.Costs {
 	m := gep.BaseSize(n, base)
 	var c simsched.Costs
 	o := mach.Overheads
@@ -238,7 +102,7 @@ func CostsFor(mach *machine.Machine, bench core.BenchID, n, base int, v core.Var
 			c.Overhead[k] = o.JoinFJ
 			continue
 		}
-		c.Exec[k] = ExecTime(mach, bench, kind, m, fj)
+		c.Exec[k] = ExecTime(mach, b, kind, m, fj)
 		switch v {
 		case core.OMPTasking:
 			c.Overhead[k] = o.SpawnFJ
@@ -247,11 +111,11 @@ func CostsFor(mach *machine.Machine, bench core.BenchID, n, base int, v core.Var
 			// abortFraction, costing an abort/requeue plus another
 			// scheduler round trip for the re-execution.
 			c.Overhead[k] = o.TagPut*tagTreeFactor + o.StepSched +
-				abortFraction*depCount(kind)*(o.AbortRetry+0.5*o.StepSched)
+				abortFraction*b.DepCount(kind)*(o.AbortRetry+0.5*o.StepSched)
 		case core.TunerCnC:
-			c.Overhead[k] = o.TagPut*tagTreeFactor + 0.3*o.StepSched + depCount(kind)*o.DepCheck
+			c.Overhead[k] = o.TagPut*tagTreeFactor + 0.3*o.StepSched + b.DepCount(kind)*o.DepCheck
 		case core.ManualCnC:
-			c.Overhead[k] = o.StepSched + depCount(kind)*o.DepCheck + o.Instantiate
+			c.Overhead[k] = o.StepSched + b.DepCount(kind)*o.DepCheck + o.Instantiate
 		default:
 			c.Overhead[k] = o.TagPut
 		}
@@ -268,79 +132,78 @@ func CostsFor(mach *machine.Machine, bench core.BenchID, n, base int, v core.Var
 	return c
 }
 
-// EstimatedTime is the paper's "Estimated" series for the GE (and FW)
-// figures: total modelled work — using the per-level effective miss counts
-// and zero recursion/scheduling overhead — divided fairly over the cores.
-func EstimatedTime(mach *machine.Machine, bench core.BenchID, n, base int) float64 {
+// EstimatedTime is the paper's "Estimated" series for the figures: total
+// modelled work — using the per-level effective miss counts and zero
+// recursion/scheduling overhead — divided fairly over the cores.
+func EstimatedTime(mach *machine.Machine, b bench.Benchmark, n, base int) float64 {
 	m := gep.BaseSize(n, base)
 	tiles := n / m
-	shape := gep.Triangular
-	if bench == core.FW {
-		shape = gep.Cube
-	}
 	var total float64
-	if bench == core.SW {
-		total = float64(tiles*tiles) * ExecTime(mach, bench, dag.KindSW, m, false)
-	} else {
-		a, b, cc, d := gep.TaskCount(tiles, shape)
-		total = float64(a)*ExecTime(mach, bench, dag.KindA, m, false) +
-			float64(b)*ExecTime(mach, bench, dag.KindB, m, false) +
-			float64(cc)*ExecTime(mach, bench, dag.KindC, m, false) +
-			float64(d)*ExecTime(mach, bench, dag.KindD, m, false)
+	for k, count := range b.KindCounts(tiles) {
+		if count == 0 {
+			continue
+		}
+		total += float64(count) * ExecTime(mach, b, dag.Kind(k), m, false)
 	}
 	return total / float64(mach.Cores)
 }
 
 // EstimatedMaxMisses is the model side of Table I: the summed per-task
-// upper bound on cache misses over the whole R-DP GE computation at the
-// given base size (the bound is line-size dependent but capacity
-// independent — "the cache cannot hold more than three lines").
-func EstimatedMaxMisses(bench core.BenchID, n, base, lineBytes int) float64 {
+// upper bound on cache misses over the whole R-DP computation at the given
+// base size (the bound is line-size dependent but capacity independent —
+// "the cache cannot hold more than three lines").
+func EstimatedMaxMisses(b bench.Benchmark, n, base, lineBytes int) float64 {
 	m := gep.BaseSize(n, base)
 	tiles := n / m
-	shape := gep.Triangular
-	if bench == core.FW {
-		shape = gep.Cube
+	var total float64
+	for k, count := range b.KindCounts(tiles) {
+		if count == 0 {
+			continue
+		}
+		total += float64(count) * b.MaxMissBound(dag.Kind(k), m, lineBytes)
 	}
-	a, b, c, d := gep.TaskCount(tiles, shape)
-	return float64(a)*MaxMissBound(bench, dag.KindA, m, lineBytes) +
-		float64(b)*MaxMissBound(bench, dag.KindB, m, lineBytes) +
-		float64(c)*MaxMissBound(bench, dag.KindC, m, lineBytes) +
-		float64(d)*MaxMissBound(bench, dag.KindD, m, lineBytes)
+	return total
+}
+
+// dominantKind is the benchmark's most numerous base-task kind at a
+// representative tile count — KindD for the GEP family (updates dominate
+// the census), KindSW for SW's single-kind wavefront.
+func dominantKind(b bench.Benchmark) dag.Kind {
+	kind, max := dag.Kind(0), -1
+	for k, count := range b.KindCounts(8) {
+		if count > max {
+			kind, max = dag.Kind(k), count
+		}
+	}
+	return kind
 }
 
 // Describe renders the model's view of one configuration, for dpsim.
-func Describe(mach *machine.Machine, bench core.BenchID, n, base int) string {
+func Describe(mach *machine.Machine, b bench.Benchmark, n, base int) string {
 	m := gep.BaseSize(n, base)
+	kind := dominantKind(b)
 	return fmt.Sprintf("%s %s n=%d base=%d: task exec D=%.3gs (flops %.3g, ws %dKB)",
-		mach.Name, bench, n, m,
-		ExecTime(mach, bench, dag.KindD, m, false),
-		Flops(bench, dag.KindD, m),
-		WorkingSetBytes(m)>>10)
+		mach.Name, b.ID(), n, m,
+		ExecTime(mach, b, kind, m, false),
+		b.Flops(kind, m),
+		bench.WorkingSetBytes(m)>>10)
 }
 
 // BestBase picks the base size minimising the modelled per-core work — the
 // model-driven counterpart of sweeping the figures' x-axis, usable as an
 // autotuner default before any measurement. It searches powers of two in
 // [minBase, n/2].
-func BestBase(mach *machine.Machine, bench core.BenchID, n, minBase int) int {
+func BestBase(mach *machine.Machine, b bench.Benchmark, n, minBase int) int {
 	if minBase < 1 {
 		minBase = 8
 	}
 	best, bestTime := minBase, math.Inf(1)
 	for base := minBase; base <= n/2; base *= 2 {
-		t := EstimatedTime(mach, bench, n, base)
+		t := EstimatedTime(mach, b, n, base)
 		// Penalise starvation the flat estimate cannot see: fewer ready
 		// tasks than cores forces idle processors.
 		tiles := n / gep.BaseSize(n, base)
-		shape := gep.Triangular
-		if bench == core.FW {
-			shape = gep.Cube
-		}
-		tasks := TotalTasksGEP(tiles, shape)
-		if bench == core.SW {
-			tasks = tiles * tiles
-		}
+		tasks := b.TotalTasks(tiles)
 		if tasks < mach.Cores {
 			t *= float64(mach.Cores) / float64(tasks)
 		}

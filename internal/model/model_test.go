@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"dpflow/internal/bench"
 	"dpflow/internal/core"
 	"dpflow/internal/dag"
 	"dpflow/internal/gep"
@@ -11,71 +12,13 @@ import (
 	"dpflow/internal/simsched"
 )
 
-// The paper's closed-form task count (1/3)T³+(1/2)T²+(1/6)T must equal the
-// per-function census of the recursion.
-func TestTaskCountFormulaMatchesCensus(t *testing.T) {
-	for _, tiles := range []int{1, 2, 3, 4, 8, 16, 100} {
-		for _, shape := range []gep.Shape{gep.Triangular, gep.Cube} {
-			a, b, c, d := gep.TaskCount(tiles, shape)
-			if got, want := TotalTasksGEP(tiles, shape), a+b+c+d; got != want {
-				t.Fatalf("%v tiles=%d: formula %d != census %d", shape, tiles, got, want)
-			}
-		}
+func mustBench(t *testing.T, id core.BenchID) bench.Benchmark {
+	t.Helper()
+	b, err := bench.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
 	}
-}
-
-// Updates must agree with brute-force counting of the guarded loop nest.
-func TestUpdatesBruteForce(t *testing.T) {
-	for _, m := range []int{1, 2, 3, 4, 8} {
-		counts := map[dag.Kind]int{}
-		// Count triangular-guard updates in a block by kind geometry:
-		// A: i>k && j>k within block; B: rows i>k, all j of a disjoint
-		// column block; C: all i, cols j>k; D: everything.
-		for k := 0; k < m; k++ {
-			counts[dag.KindA] += (m - 1 - k) * (m - 1 - k)
-			counts[dag.KindB] += (m - 1 - k) * m
-			counts[dag.KindC] += m * (m - 1 - k)
-			counts[dag.KindD] += m * m
-		}
-		for kind, want := range counts {
-			if got := Updates(kind, m, gep.Triangular); got != want {
-				t.Fatalf("Updates(%v, %d) = %d, want %d", kind, m, got, want)
-			}
-		}
-		if got := Updates(dag.KindB, m, gep.Cube); got != m*m*m {
-			t.Fatalf("cube Updates = %d, want %d", got, m*m*m)
-		}
-		if got := Updates(dag.KindSW, m, gep.Triangular); got != m*m {
-			t.Fatalf("SW Updates = %d", got)
-		}
-	}
-}
-
-func TestMaxMissBoundProperties(t *testing.T) {
-	// The bound must dominate compulsory traffic and grow with m.
-	prev := 0.0
-	for _, m := range []int{8, 16, 32, 64, 128} {
-		b := MaxMissBound(core.GE, dag.KindD, m, 64)
-		if b <= prev {
-			t.Fatalf("bound not increasing at m=%d", m)
-		}
-		if b < CompulsoryLines(m, 64) {
-			t.Fatalf("bound %v below compulsory %v at m=%d", b, CompulsoryLines(m, 64), m)
-		}
-		prev = b
-	}
-	// Closed-form check for D: m² rows × (2·ceil(m/8)+2) at 64B lines.
-	m := 16
-	if got, want := MaxMissBound(core.GE, dag.KindD, m, 64), float64(m*m*(2*2+2)); got != want {
-		t.Fatalf("D bound = %v, want %v", got, want)
-	}
-	// A ≤ B,C ≤ D for the same m.
-	a := MaxMissBound(core.GE, dag.KindA, m, 64)
-	b := MaxMissBound(core.GE, dag.KindB, m, 64)
-	d := MaxMissBound(core.GE, dag.KindD, m, 64)
-	if !(a <= b && b <= d) {
-		t.Fatalf("bound ordering violated: A=%v B=%v D=%v", a, b, d)
-	}
+	return b
 }
 
 // The Table I mechanism: per-level effective misses must jump exactly when
@@ -84,28 +27,29 @@ func TestMaxMissBoundProperties(t *testing.T) {
 // paper's observed drops after 128 (L2) and 1024 (L3).
 func TestFitThresholdsSkylake(t *testing.T) {
 	mach := machine.SKYLAKE192()
-	if !mach.L2.Fits(WorkingSetBytes(128)) {
+	if !mach.L2.Fits(bench.WorkingSetBytes(128)) {
 		t.Fatal("3 blocks of 128² must fit Skylake L2")
 	}
-	if mach.L2.Fits(WorkingSetBytes(256)) {
+	if mach.L2.Fits(bench.WorkingSetBytes(256)) {
 		t.Fatal("3 blocks of 256² must not fit Skylake L2")
 	}
-	if !mach.L3.Fits(WorkingSetBytes(1024)) {
+	if !mach.L3.Fits(bench.WorkingSetBytes(1024)) {
 		t.Fatal("3 blocks of 1024² must fit Skylake L3 share")
 	}
-	if mach.L3.Fits(WorkingSetBytes(2048)) {
+	if mach.L3.Fits(bench.WorkingSetBytes(2048)) {
 		t.Fatal("3 blocks of 2048² must not fit Skylake L3 share")
 	}
 }
 
 func TestExecTimePrefetchAdvantage(t *testing.T) {
 	mach := machine.EPYC64()
-	fj := ExecTime(mach, core.GE, dag.KindD, 128, true)
-	df := ExecTime(mach, core.GE, dag.KindD, 128, false)
+	ge := mustBench(t, core.GE)
+	fj := ExecTime(mach, ge, dag.KindD, 128, true)
+	df := ExecTime(mach, ge, dag.KindD, 128, false)
 	if fj >= df {
 		t.Fatalf("fork-join task (%v) should be cheaper than data-flow (%v)", fj, df)
 	}
-	flops := Flops(core.GE, dag.KindD, 128) * mach.FlopTime
+	flops := ge.Flops(dag.KindD, 128) * mach.FlopTime
 	if fj < flops {
 		t.Fatalf("prefetching cannot beat pure compute time")
 	}
@@ -113,11 +57,12 @@ func TestExecTimePrefetchAdvantage(t *testing.T) {
 
 func TestCostsForVariantOrdering(t *testing.T) {
 	mach := machine.EPYC64()
-	tasks := TotalTasksGEP(64, gep.Triangular)
-	omp := CostsFor(mach, core.GE, 1024, 16, core.OMPTasking, tasks)
-	nat := CostsFor(mach, core.GE, 1024, 16, core.NativeCnC, tasks)
-	tun := CostsFor(mach, core.GE, 1024, 16, core.TunerCnC, tasks)
-	man := CostsFor(mach, core.GE, 1024, 16, core.ManualCnC, tasks)
+	ge := mustBench(t, core.GE)
+	tasks := ge.TotalTasks(64)
+	omp := CostsFor(mach, ge, 1024, 16, core.OMPTasking, tasks)
+	nat := CostsFor(mach, ge, 1024, 16, core.NativeCnC, tasks)
+	tun := CostsFor(mach, ge, 1024, 16, core.TunerCnC, tasks)
+	man := CostsFor(mach, ge, 1024, 16, core.ManualCnC, tasks)
 
 	d := dag.KindD
 	if !(omp.Overhead[d] < tun.Overhead[d] && tun.Overhead[d] < nat.Overhead[d]) {
@@ -142,13 +87,14 @@ func TestCostsForVariantOrdering(t *testing.T) {
 // the per-base-size curve has the U shape: the best base size is interior.
 func TestSimulatedGEMagnitudeAndShape(t *testing.T) {
 	mach := machine.EPYC64()
+	ge := mustBench(t, core.GE)
 	n := 4096
 	var times []float64
 	bases := []int{16, 64, 128, 256, 512, 1024}
 	for _, base := range bases {
 		tiles := n / gep.BaseSize(n, base)
-		g := dag.NewGEPDataflow(tiles, gep.Triangular)
-		c := CostsFor(mach, core.GE, n, base, core.NativeCnC, g.Len())
+		g := ge.Dataflow(tiles)
+		c := CostsFor(mach, ge, n, base, core.NativeCnC, g.Len())
 		r, err := simsched.Simulate(g, mach.Cores, c)
 		if err != nil {
 			t.Fatal(err)
@@ -172,7 +118,7 @@ func TestSimulatedGEMagnitudeAndShape(t *testing.T) {
 // bestTime is the minimum simulated makespan over a base-size sweep — the
 // quantity the paper's "X outperforms Y" statements refer to (each variant
 // runs at its own best block size).
-func bestTime(t *testing.T, mach *machine.Machine, bench core.BenchID, n int, v core.Variant, bases []int) float64 {
+func bestTime(t *testing.T, mach *machine.Machine, b bench.Benchmark, n int, v core.Variant, bases []int) float64 {
 	t.Helper()
 	best := math.Inf(1)
 	for _, base := range bases {
@@ -181,21 +127,12 @@ func bestTime(t *testing.T, mach *machine.Machine, bench core.BenchID, n int, v 
 		}
 		tiles := n / gep.BaseSize(n, base)
 		var g dag.Graph
-		switch {
-		case bench == core.SW && v == core.OMPTasking:
-			g = dag.NewSWForkJoin(tiles)
-		case bench == core.SW:
-			g = dag.NewSWDataflow(tiles)
-		case v == core.OMPTasking && bench == core.FW:
-			g = dag.NewGEPForkJoin(tiles, gep.Cube)
-		case v == core.OMPTasking:
-			g = dag.NewGEPForkJoin(tiles, gep.Triangular)
-		case bench == core.FW:
-			g = dag.NewGEPDataflow(tiles, gep.Cube)
-		default:
-			g = dag.NewGEPDataflow(tiles, gep.Triangular)
+		if v == core.OMPTasking {
+			g = b.ForkJoin(tiles)
+		} else {
+			g = b.Dataflow(tiles)
 		}
-		r, err := simsched.Simulate(g, mach.Cores, CostsFor(mach, bench, n, base, v, g.Len()))
+		r, err := simsched.Simulate(g, mach.Cores, CostsFor(mach, b, n, base, v, g.Len()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,22 +152,23 @@ func bestTime(t *testing.T, mach *machine.Machine, bench core.BenchID, n int, v 
 func TestCrossoverClaims(t *testing.T) {
 	bases := []int{32, 64, 128, 256, 512}
 	epyc, skx := machine.EPYC64(), machine.SKYLAKE192()
+	ge, sw := mustBench(t, core.GE), mustBench(t, core.SW)
 
 	// Claim 1 on EPYC-64: GE small vs large.
-	smallDF := bestTime(t, epyc, core.GE, 2048, core.TunerCnC, bases)
-	smallFJ := bestTime(t, epyc, core.GE, 2048, core.OMPTasking, bases)
+	smallDF := bestTime(t, epyc, ge, 2048, core.TunerCnC, bases)
+	smallFJ := bestTime(t, epyc, ge, 2048, core.OMPTasking, bases)
 	if smallDF >= smallFJ {
 		t.Fatalf("GE 2K on EPYC: data-flow %v should beat fork-join %v", smallDF, smallFJ)
 	}
-	largeDF := bestTime(t, epyc, core.GE, 8192, core.NativeCnC, bases)
-	largeFJ := bestTime(t, epyc, core.GE, 8192, core.OMPTasking, bases)
+	largeDF := bestTime(t, epyc, ge, 8192, core.NativeCnC, bases)
+	largeFJ := bestTime(t, epyc, ge, 8192, core.OMPTasking, bases)
 	if largeFJ >= largeDF {
 		t.Fatalf("GE 8K on EPYC: fork-join %v should beat data-flow %v", largeFJ, largeDF)
 	}
 
 	// Claim 2: the same 8K GE problem on 192 cores flips back to data-flow.
-	skxDF := bestTime(t, skx, core.GE, 8192, core.NativeCnC, bases)
-	skxFJ := bestTime(t, skx, core.GE, 8192, core.OMPTasking, bases)
+	skxDF := bestTime(t, skx, ge, 8192, core.NativeCnC, bases)
+	skxFJ := bestTime(t, skx, ge, 8192, core.OMPTasking, bases)
 	if skxDF >= skxFJ {
 		t.Fatalf("GE 8K on SKYLAKE-192: data-flow %v should beat fork-join %v", skxDF, skxFJ)
 	}
@@ -238,8 +176,8 @@ func TestCrossoverClaims(t *testing.T) {
 	// Claim 3: SW favours data-flow at every size on both machines.
 	for _, mach := range []*machine.Machine{epyc, skx} {
 		for _, n := range []int{2048, 8192, 16384} {
-			df := bestTime(t, mach, core.SW, n, core.NativeCnC, bases)
-			fj := bestTime(t, mach, core.SW, n, core.OMPTasking, bases)
+			df := bestTime(t, mach, sw, n, core.NativeCnC, bases)
+			fj := bestTime(t, mach, sw, n, core.OMPTasking, bases)
 			if df >= fj {
 				t.Fatalf("SW n=%d on %s: data-flow %v should beat fork-join %v", n, mach.Name, df, fj)
 			}
@@ -249,46 +187,57 @@ func TestCrossoverClaims(t *testing.T) {
 
 func TestEstimatedTimePositiveAndScales(t *testing.T) {
 	mach := machine.SKYLAKE192()
-	small := EstimatedTime(mach, core.GE, 2048, 256)
-	large := EstimatedTime(mach, core.GE, 16384, 256)
+	ge := mustBench(t, core.GE)
+	small := EstimatedTime(mach, ge, 2048, 256)
+	large := EstimatedTime(mach, ge, 16384, 256)
 	if small <= 0 || large <= small {
 		t.Fatalf("estimated times: 2K=%v 16K=%v", small, large)
 	}
-	if sw := EstimatedTime(mach, core.SW, 2048, 256); sw <= 0 {
+	if sw := EstimatedTime(mach, mustBench(t, core.SW), 2048, 256); sw <= 0 {
 		t.Fatalf("SW estimated = %v", sw)
+	}
+	// CH prices like a triangular GE over half the tiles: positive, and
+	// below GE at equal n and base.
+	ch := EstimatedTime(mach, mustBench(t, core.CH), 2048, 256)
+	if ch <= 0 || ch >= small {
+		t.Fatalf("CH estimated = %v, want in (0, GE=%v)", ch, small)
 	}
 }
 
 func TestEstimatedMaxMissesMonotoneInN(t *testing.T) {
-	a := EstimatedMaxMisses(core.GE, 2048, 128, 64)
-	b := EstimatedMaxMisses(core.GE, 4096, 128, 64)
+	ge := mustBench(t, core.GE)
+	a := EstimatedMaxMisses(ge, 2048, 128, 64)
+	b := EstimatedMaxMisses(ge, 4096, 128, 64)
 	if b <= a {
 		t.Fatalf("bound not growing with n: %v vs %v", a, b)
 	}
-	if fw := EstimatedMaxMisses(core.FW, 1024, 128, 64); fw <= EstimatedMaxMisses(core.GE, 1024, 128, 64) {
-		t.Fatalf("FW (cube) bound should exceed GE (triangular): %v", fw)
+	fw := mustBench(t, core.FW)
+	if fwB := EstimatedMaxMisses(fw, 1024, 128, 64); fwB <= EstimatedMaxMisses(ge, 1024, 128, 64) {
+		t.Fatalf("FW (cube) bound should exceed GE (triangular): %v", fwB)
 	}
 }
 
 func TestDescribe(t *testing.T) {
-	s := Describe(machine.EPYC64(), core.GE, 1024, 64)
-	if s == "" {
-		t.Fatal("empty description")
+	for _, b := range bench.All() {
+		if s := Describe(machine.EPYC64(), b, 1024, 64); s == "" {
+			t.Fatalf("%s: empty description", b.Name())
+		}
 	}
 }
 
 func TestBestBaseInterior(t *testing.T) {
 	mach := machine.EPYC64()
-	for _, bench := range []core.BenchID{core.GE, core.SW, core.FW} {
-		base := BestBase(mach, bench, 8192, 8)
+	for _, b := range bench.All() {
+		base := BestBase(mach, b, 8192, 8)
 		if base < 16 || base > 1024 {
-			t.Fatalf("%v: BestBase = %d, expected an interior optimum", bench, base)
+			t.Fatalf("%v: BestBase = %d, expected an interior optimum", b.ID(), base)
 		}
 	}
 	// Larger machines push the optimum down or keep it (more cores want
 	// more tasks), never up by much.
-	e := BestBase(machine.EPYC64(), core.GE, 8192, 8)
-	s := BestBase(machine.SKYLAKE192(), core.GE, 8192, 8)
+	ge := mustBench(t, core.GE)
+	e := BestBase(machine.EPYC64(), ge, 8192, 8)
+	s := BestBase(machine.SKYLAKE192(), ge, 8192, 8)
 	if s > e*4 {
 		t.Fatalf("192-core best base %d much larger than 64-core %d", s, e)
 	}

@@ -31,6 +31,20 @@ import (
 type Problem struct {
 	A, B    []byte
 	Scoring kernels.Scoring
+	// Trace, when non-nil, brackets every base-tile kernel invocation in
+	// every driver: the returned func is called when the kernel finishes
+	// (the sched report's utilisation probe).
+	Trace func() func()
+}
+
+// kernel applies the SW base-case kernel at table coordinates (i, j) under
+// the optional Trace hook. Callers pass the already-shifted 1+tile origin.
+func (p *Problem) kernel(h *matrix.Dense, i, j, s int) {
+	if p.Trace != nil {
+		done := p.Trace()
+		defer done()
+	}
+	kernels.SW(h, p.A, p.B, p.Scoring, i, j, s)
 }
 
 // N returns the sequence length.
@@ -76,7 +90,7 @@ func (p *Problem) RDPSerial(h *matrix.Dense, base int) (float64, error) {
 
 func (p *Problem) recurse(h *matrix.Dense, i0, j0, s, base int) {
 	if s <= base {
-		kernels.SW(h, p.A, p.B, p.Scoring, 1+i0, 1+j0, s)
+		p.kernel(h, 1+i0, 1+j0, s)
 		return
 	}
 	half := s / 2
@@ -106,7 +120,7 @@ func (p *Problem) ForkJoinContext(ctx context.Context, h *matrix.Dense, base int
 
 func (p *Problem) fjRecurse(ctx *forkjoin.Ctx, h *matrix.Dense, i0, j0, s, base int) {
 	if s <= base {
-		kernels.SW(h, p.A, p.B, p.Scoring, 1+i0, 1+j0, s)
+		p.kernel(h, 1+i0, 1+j0, s)
 		return
 	}
 	half := s / 2
@@ -189,7 +203,7 @@ func (p *Problem) RunCnCContext(ctx context.Context, h *matrix.Dense, base, work
 			tags.Put(t)
 			return nil
 		}
-		kernels.SW(h, p.A, p.B, p.Scoring, 1+t.I*t.S, 1+t.J*t.S, t.S)
+		p.kernel(h, 1+t.I*t.S, 1+t.J*t.S, t.S)
 		out.Put(TileKey{t.I, t.J}, true)
 		return nil
 	})
@@ -329,7 +343,7 @@ func (p *Problem) ForkJoinWavefront(h *matrix.Dense, base int, pool *forkjoin.Po
 			for i := lo; i <= hi; i++ {
 				ti, tj := i, d-i
 				ctx.Spawn(&g, func(*forkjoin.Ctx) {
-					kernels.SW(h, p.A, p.B, p.Scoring, 1+ti*bs, 1+tj*bs, bs)
+					p.kernel(h, 1+ti*bs, 1+tj*bs, bs)
 				})
 			}
 			ctx.Wait(&g) // barrier per wavefront
