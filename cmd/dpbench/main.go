@@ -39,6 +39,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abandon the run after this long (0 = no limit)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		quiet   = flag.Bool("quiet", false, "suppress progress lines")
+		raceDet = flag.Bool("race-detect", false, "perf: run fork-join rows under determinacy-race detection and CnC rows under discipline checking, and report detector stats")
 	)
 	flag.Parse()
 
@@ -66,7 +67,7 @@ func main() {
 		ids = harness.IDs()
 	}
 	for _, id := range ids {
-		if err := run(ctx, id, *csv, *jsonF, *scale, *tscale, *tiles, *quiet); err != nil {
+		if err := run(ctx, id, *csv, *jsonF, *scale, *tscale, *tiles, *quiet, *raceDet); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				fmt.Fprintln(os.Stderr, "dpbench: timeout exceeded during", id)
 			} else {
@@ -77,7 +78,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTiles int, quiet bool) error {
+func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTiles int, quiet, raceDetect bool) error {
 	switch id {
 	case "table1":
 		res, err := harness.RunTable1Context(ctx, tscale)
@@ -106,6 +107,8 @@ func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTi
 		return harness.WriteMemory(ctx, os.Stdout)
 	case "sched":
 		return harness.WriteSched(ctx, os.Stdout)
+	case "perf":
+		return harness.WritePerf(ctx, os.Stdout, jsonOut, raceDetect)
 	}
 	e, ok := harness.FigureByID(id)
 	if !ok {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dpflow/internal/cnc"
+	"dpflow/internal/determinacy"
 )
 
 // Target is one workload the chaos runner can drive: a benchmark run plus
@@ -39,6 +40,12 @@ type Runner struct {
 	// under a Recoverable fault; set it at least as high as the fault's
 	// injection budget to make recovery certain.
 	Retry int
+	// Discipline installs a fresh dataflow-discipline checker
+	// (determinacy.DisciplineChecker) on every graph of the run. Any
+	// write-once or get-count violation the checker records fails the run
+	// even when the result verified — injected faults must never be able
+	// to break the discipline, only to fail or stall the run.
+	Discipline bool
 }
 
 // Result reports one driven run.
@@ -70,6 +77,14 @@ type Result struct {
 	PeakLiveItems      int64
 	ItemsFreed         int64
 	BackpressureStalls int64
+	// Violations are the dataflow-discipline findings across every graph
+	// the run built (always empty unless Runner.Discipline is set; expected
+	// empty even then — the runtimes must keep the discipline under every
+	// fault).
+	Violations []error
+	// Discipline is the checker activity of the last graph, evidence the
+	// checking was live (Puts > 0) rather than vacuously clean.
+	Discipline determinacy.DisciplineStats
 }
 
 // Drive runs target once under fault with the given seed and classifies
@@ -90,8 +105,14 @@ func (r *Runner) Drive(target Target, fault Fault, seed int64) Result {
 	var probe *Probe
 	var wd *Watchdog
 	var graph *cnc.Graph
+	var checkers []*determinacy.DisciplineChecker
 	tune := func(g *cnc.Graph) {
 		graph = g
+		if r.Discipline {
+			dc := determinacy.NewDisciplineChecker()
+			g.WithDisciplineCheck(dc)
+			checkers = append(checkers, dc)
+		}
 		probe = fault.Arm(g, rng)
 		if r.Retry > 0 && fault.Recoverable() {
 			g.SetRetry(r.Retry)
@@ -130,6 +151,12 @@ func (r *Runner) Drive(target Target, fault Fault, seed int64) Result {
 		res.ItemsFreed = stats.ItemsFreed
 		res.BackpressureStalls = stats.BackpressureStalls
 	}
+	for _, dc := range checkers {
+		res.Violations = append(res.Violations, dc.Violations()...)
+	}
+	if n := len(checkers); n > 0 {
+		res.Discipline = checkers[n-1].Stats()
+	}
 
 	switch {
 	case err != nil:
@@ -150,6 +177,13 @@ func (r *Runner) Drive(target Target, fault Fault, seed int64) Result {
 			res.Err = fmt.Errorf("chaos: %s under fault %s (seed %d): run verified but leaked %d of %d items (freed %d)",
 				target.Name, fault.Name(), seed, stats.LiveItems, stats.ItemsPut, stats.ItemsFreed)
 		}
+	}
+	// The dataflow discipline rides along the same way: faults may fail or
+	// stall a run, but a verified run that broke write-once or overdrew a
+	// get-count is a determinism bug regardless of what was injected.
+	if res.Err == nil && len(res.Violations) > 0 {
+		res.Err = fmt.Errorf("chaos: %s under fault %s (seed %d): run verified but broke dataflow discipline (%d violations): %w",
+			target.Name, fault.Name(), seed, len(res.Violations), res.Violations[0])
 	}
 	return res
 }

@@ -60,6 +60,7 @@ func TestChaosSweep(t *testing.T) {
 		Timeout:     60 * time.Second,
 		StallWindow: 2 * time.Second,
 		Retry:       times, // >= the fault budget: recoverable faults must be absorbed
+		Discipline:  true,  // every run is discipline-checked; zero violations expected
 	}
 	for _, b := range bench.All() {
 		for _, mkFault := range []func() chaos.Fault{
@@ -82,6 +83,14 @@ func TestChaosSweep(t *testing.T) {
 						t.Fatalf("seed %d %s: hard deadline fired (stalled=%v blocked=%v)",
 							seed, target.Name, res.Stalled, res.Blocked)
 					}
+					// Faults may fail runs, but they must never be able to
+					// break the dataflow discipline: no injected error,
+					// panic, delay, or drop may manufacture a double put or
+					// a get-count overdraw.
+					if len(res.Violations) > 0 {
+						t.Fatalf("seed %d %s: fault produced discipline violations: %v",
+							seed, target.Name, res.Violations)
+					}
 					if res.Err == nil {
 						// Completed and verified against the serial
 						// reference — the leak-freedom claim must hold
@@ -94,6 +103,9 @@ func TestChaosSweep(t *testing.T) {
 						}
 						if res.ItemsFreed == 0 {
 							t.Fatalf("seed %d %s: verified run freed no items; get-counts not wired", seed, target.Name)
+						}
+						if res.Discipline.Puts == 0 {
+							t.Fatalf("seed %d %s: discipline checker saw no puts; checking is vacuous", seed, target.Name)
 						}
 						continue
 					}

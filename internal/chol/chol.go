@@ -23,6 +23,7 @@ import (
 
 	"dpflow/internal/cnc"
 	"dpflow/internal/core"
+	"dpflow/internal/determinacy"
 	"dpflow/internal/forkjoin"
 	"dpflow/internal/gep"
 	"dpflow/internal/matrix"
@@ -198,6 +199,7 @@ func ForkJoinContext(ctx context.Context, a *matrix.Dense, base int, pool *forkj
 	err := pool.RunContext(ctx, func(fjc *forkjoin.Ctx) {
 		var g forkjoin.Group
 		for k := 0; k < tiles; k++ {
+			declareRace(fjc, k, k)
 			done := span()
 			err := potrf(a, k, bs)
 			done()
@@ -207,7 +209,8 @@ func ForkJoinContext(ctx context.Context, a *matrix.Dense, base int, pool *forkj
 			}
 			for i := k + 1; i < tiles; i++ {
 				i := i
-				fjc.Spawn(&g, func(*forkjoin.Ctx) {
+				fjc.Spawn(&g, func(c *forkjoin.Ctx) {
+					declareRace(c, i, k, [2]int{k, k})
 					done := span()
 					trsm(a, i, k, bs)
 					done()
@@ -217,7 +220,8 @@ func ForkJoinContext(ctx context.Context, a *matrix.Dense, base int, pool *forkj
 			for j := k + 1; j < tiles; j++ {
 				for i := j; i < tiles; i++ {
 					i, j := i, j
-					fjc.Spawn(&g, func(*forkjoin.Ctx) {
+					fjc.Spawn(&g, func(c *forkjoin.Ctx) {
+						declareRace(c, i, j, [2]int{i, k}, [2]int{j, k})
 						done := span()
 						update(a, i, j, k, bs)
 						done()
@@ -231,6 +235,23 @@ func ForkJoinContext(ctx context.Context, a *matrix.Dense, base int, pool *forkj
 		return err
 	}
 	return firstErr
+}
+
+// declareRace reports one tile kernel's access set — written tile (wi, wj)
+// plus the read tiles — to the pool's race detector when the run is
+// race-checked. Reads equal to the written tile are implied and skipped.
+func declareRace(c *forkjoin.Ctx, wi, wj int, reads ...[2]int) {
+	f := c.Race()
+	if f == nil {
+		return
+	}
+	w := determinacy.TileCell(wi, wj)
+	f.Write(w)
+	for _, r := range reads {
+		if cell := determinacy.TileCell(r[0], r[1]); cell != w {
+			f.Read(cell)
+		}
+	}
 }
 
 // traceFn normalises an optional trace hook into an always-callable span

@@ -81,6 +81,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"dpflow/internal/determinacy"
 )
 
 // Stats is a snapshot of runtime activity, useful both for tests and for
@@ -148,10 +150,11 @@ type Graph struct {
 	finished  atomic.Bool
 	cancelled atomic.Bool
 
-	// hooks and retry are write-before-Run configuration; the runtime reads
-	// them without synchronisation once running.
-	hooks *Hooks
-	retry int
+	// hooks, retry and discipline are write-before-Run configuration; the
+	// runtime reads them without synchronisation once running.
+	hooks      *Hooks
+	retry      int
+	discipline *determinacy.DisciplineChecker
 
 	// acct tracks live items/bytes and implements the WithMemoryLimit
 	// backpressure (see accountant.go).
@@ -215,6 +218,23 @@ func NewGraph(name string, workers int) *Graph {
 // SetStealPolicy selects the victim order idle workers use when stealing
 // (StealRandom by default). Write-before-Run configuration, like SetHooks.
 func (g *Graph) SetStealPolicy(p StealPolicy) { g.queue.policy = p }
+
+// WithDisciplineCheck installs a dataflow-discipline checker: every item
+// put, get and release is attributed to the step instance (or environment)
+// that issued it, double puts report both writers and whether their values
+// differ, get-count overdraws name the over-reading step alongside the
+// steps that consumed the budget, and the checker's Fingerprint backs the
+// post-run determinism audit (chaos.DeterminismAudit). Off (nil, the
+// default) the only cost is a nil check per operation. Write-before-Run
+// configuration, like SetHooks.
+func (g *Graph) WithDisciplineCheck(dc *determinacy.DisciplineChecker) *Graph {
+	g.discipline = dc
+	return g
+}
+
+// DisciplineChecker returns the checker installed by WithDisciplineCheck,
+// or nil.
+func (g *Graph) DisciplineChecker() *determinacy.DisciplineChecker { return g.discipline }
 
 // Name returns the graph's name.
 func (g *Graph) Name() string { return g.name }
@@ -316,7 +336,13 @@ func (g *Graph) RunContext(ctx context.Context, env func()) error {
 	// graph cannot quiesce before the initial puts are complete.
 	g.outstanding.Add(1)
 	if env != nil {
-		env()
+		if dc := g.discipline; dc != nil {
+			exit := dc.Enter("env")
+			env()
+			exit()
+		} else {
+			env()
+		}
 	}
 	g.taskDone()
 

@@ -72,12 +72,23 @@ type itemStore interface {
 type UseAfterFreeError struct {
 	Collection string
 	Key        any
+	// Overdraw carries the discipline checker's attribution — which steps
+	// consumed the get-count budget and which step over-read — when the
+	// graph ran with WithDisciplineCheck; nil otherwise.
+	Overdraw error
 }
 
 func (e *UseAfterFreeError) Error() string {
-	return fmt.Sprintf("cnc: use-after-free: item %s[%v] accessed after its get-count reached zero",
+	msg := fmt.Sprintf("cnc: use-after-free: item %s[%v] accessed after its get-count reached zero",
 		e.Collection, e.Key)
+	if e.Overdraw != nil {
+		msg += "; " + e.Overdraw.Error()
+	}
+	return msg
 }
+
+// Unwrap exposes the overdraw attribution to errors.As/Is.
+func (e *UseAfterFreeError) Unwrap() error { return e.Overdraw }
 
 // StepCollection is a named computation prescribed by one or more tag
 // collections.
@@ -297,6 +308,13 @@ func (sc *StepCollection[T]) execute(tag T) {
 		return
 	}
 	g.stats.started.Add(1)
+	if dc := g.discipline; dc != nil {
+		// Attribute every put/get/release the body issues — including those
+		// of nested inline runs, which push their own label — to this
+		// instance.
+		exit := dc.Enter(fmt.Sprintf("%s@%v", sc.meta.name, tag))
+		defer exit()
+	}
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -681,14 +699,23 @@ func (ic *ItemCollection[K, V]) Put(k K, v V) {
 	if _, wasFreed := sh.freed[k]; wasFreed {
 		sh.mu.Unlock()
 		ic.g.acct.refund(size)
-		ic.g.fail(fmt.Errorf("cnc: single-assignment violation: item %s[%v] re-put after its get-count freed it: %w",
-			ic.name, k, &UseAfterFreeError{Collection: ic.name, Key: k}))
+		err := fmt.Errorf("cnc: single-assignment violation: item %s[%v] re-put after its get-count freed it: %w",
+			ic.name, k, &UseAfterFreeError{Collection: ic.name, Key: k})
+		if dc := ic.g.discipline; dc != nil {
+			err = fmt.Errorf("%v; %w", dc.DoublePut(ic.name, k, fmt.Sprint(v)), err)
+		}
+		ic.g.fail(err)
 		return
 	}
 	if _, dup := sh.items[k]; dup {
 		sh.mu.Unlock()
 		ic.g.acct.refund(size)
-		ic.g.fail(fmt.Errorf("cnc: single-assignment violation: item %s[%v] put twice", ic.name, k))
+		var err error = fmt.Errorf("cnc: single-assignment violation: item %s[%v] put twice", ic.name, k)
+		if dc := ic.g.discipline; dc != nil {
+			// The checker names both writers and whether the values differ.
+			err = dc.DoublePut(ic.name, k, fmt.Sprint(v))
+		}
+		ic.g.fail(err)
 		return
 	}
 	sh.items[k] = v
@@ -717,6 +744,13 @@ func (ic *ItemCollection[K, V]) Put(k K, v V) {
 	sh.mu.Unlock()
 	ic.g.stats.itemsPut.Add(1)
 	ic.puts.Add(1)
+	if dc := ic.g.discipline; dc != nil {
+		declared := -1
+		if ic.getCount != nil {
+			declared = ic.getCount(k)
+		}
+		dc.RecordPut(ic.name, k, declared, fmt.Sprint(v))
+	}
 	if freeNow {
 		ic.g.acct.free(size)
 	}
@@ -746,8 +780,12 @@ func (ic *ItemCollection[K, V]) release(key any) {
 	sh.mu.Lock()
 	if _, wasFreed := sh.freed[k]; wasFreed {
 		sh.mu.Unlock()
-		ic.g.fail(fmt.Errorf("cnc: over-release of item %s[%v]: get-count reached zero before its last declared reader (declared count too low)",
-			ic.name, k))
+		err := fmt.Errorf("cnc: over-release of item %s[%v]: get-count reached zero before its last declared reader (declared count too low)",
+			ic.name, k)
+		if dc := ic.g.discipline; dc != nil {
+			err = fmt.Errorf("%v; %w", dc.Overdraw(ic.name, k, "release"), err)
+		}
+		ic.g.fail(err)
 		return
 	}
 	rem, counted := sh.remaining[k]
@@ -761,6 +799,9 @@ func (ic *ItemCollection[K, V]) release(key any) {
 		sh.mu.Unlock()
 		ic.g.fail(fmt.Errorf("cnc: release of item %s[%v] that was never put", ic.name, k))
 		return
+	}
+	if dc := ic.g.discipline; dc != nil {
+		dc.RecordRelease(ic.name, k)
 	}
 	if rem--; rem > 0 {
 		sh.remaining[k] = rem
@@ -824,11 +865,17 @@ func (ic *ItemCollection[K, V]) Get(k K) V {
 	sh.mu.Lock()
 	if v, ok := sh.items[k]; ok {
 		sh.mu.Unlock()
+		if dc := ic.g.discipline; dc != nil {
+			dc.RecordGet(ic.name, k)
+		}
 		return v
 	}
 	if _, wasFreed := sh.freed[k]; wasFreed {
 		sh.mu.Unlock()
 		err := &UseAfterFreeError{Collection: ic.name, Key: k}
+		if dc := ic.g.discipline; dc != nil {
+			err.Overdraw = dc.Overdraw(ic.name, k, "get")
+		}
 		ic.g.fail(err)
 		panic(err) // unwinds the step like a failed Get, but is never retried
 	}
@@ -864,12 +911,21 @@ func (ic *ItemCollection[K, V]) TryGet(k K) (V, bool) {
 	if !ok {
 		if _, wasFreed := sh.freed[k]; wasFreed {
 			sh.mu.Unlock()
-			ic.g.fail(&UseAfterFreeError{Collection: ic.name, Key: k})
+			err := &UseAfterFreeError{Collection: ic.name, Key: k}
+			if dc := ic.g.discipline; dc != nil {
+				err.Overdraw = dc.Overdraw(ic.name, k, "get")
+			}
+			ic.g.fail(err)
 			var zero V
 			return zero, false
 		}
 	}
 	sh.mu.Unlock()
+	if ok {
+		if dc := ic.g.discipline; dc != nil {
+			dc.RecordGet(ic.name, k)
+		}
+	}
 	return v, ok
 }
 
@@ -906,7 +962,11 @@ func (ic *ItemCollection[K, V]) subscribe(key any, label string, notify func()) 
 		// the get-count missed this consumer. Fail deterministically and
 		// report the dependency as satisfied so the countdown completes and
 		// the graph quiesces instead of parking forever.
-		ic.g.fail(&UseAfterFreeError{Collection: ic.name, Key: k})
+		err := &UseAfterFreeError{Collection: ic.name, Key: k}
+		if dc := ic.g.discipline; dc != nil {
+			err.Overdraw = dc.Overdraw(ic.name, k, "get")
+		}
+		ic.g.fail(err)
 		return false
 	}
 	sh.waiters[k] = append(sh.waiters[k], waiter{label: label, notify: notify})

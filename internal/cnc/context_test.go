@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"dpflow/internal/determinacy"
 )
 
 // A cancelled RunContext must return ctx.Err() promptly — well under any
@@ -155,6 +157,75 @@ func TestWithRetryAbsorbsTransientFailures(t *testing.T) {
 	}
 	if got := g.Stats().Retries; got != 20 { // tags 0,3,...,27: two retries each
 		t.Fatalf("Stats.Retries = %d, want 20", got)
+	}
+}
+
+// Cancellation arriving mid-retry must behave like any other cancellation:
+// the run returns ctx.Err() promptly, no worker goroutine leaks, and the
+// abandoned retries must not have touched the get-count accounting — a
+// failed attempt releases nothing, so cancelling between attempts can never
+// double-decrement a count or free an item early.
+func TestWithRetryCancellationMidRetry(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	dc := determinacy.NewDisciplineChecker()
+	g := NewGraph("retry-cancel", 4).WithDisciplineCheck(dc)
+	in := NewItemCollection[int, int](g, "in")
+	in.WithGetCount(func(int) int { return 1 })
+	tags := NewTagCollection[int](g, "tg", false)
+	retrying := make(chan struct{})
+	var once sync.Once
+	var attempts atomic.Int64
+	step := NewStepCollection(g, "s", func(i int) error {
+		in.Get(0)
+		if attempts.Add(1) >= 2 {
+			once.Do(func() { close(retrying) }) // first retry is in flight
+		}
+		return errors.New("failing every attempt")
+	}).WithRetry(1 << 30) // budget never exhausts: only cancellation ends the run
+	step.WithGets(func(i int) []Dep { return []Dep{in.Key(0)} })
+	tags.Prescribe(step)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- g.RunContext(ctx, func() {
+			in.Put(0, 42)
+			tags.Put(0)
+		})
+	}()
+	<-retrying
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled mid-retry run did not return")
+	}
+
+	st := g.Stats()
+	if st.Retries == 0 {
+		t.Fatal("run was cancelled before any retry; the scenario is vacuous")
+	}
+	// No attempt succeeded, so the declared get must never have been
+	// released: the item is still live, nothing freed, and the discipline
+	// ledger saw zero releases and no overdraw.
+	if st.LiveItems != 1 || st.ItemsFreed != 0 {
+		t.Fatalf("LiveItems = %d, ItemsFreed = %d; failed attempts touched the get-count accounting",
+			st.LiveItems, st.ItemsFreed)
+	}
+	if ds := dc.Stats(); ds.Releases != 0 || ds.Violations != 0 {
+		t.Fatalf("discipline stats %+v: abandoned retries released or overdrew", ds)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before run, %d after", before, now)
 	}
 }
 

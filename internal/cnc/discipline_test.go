@@ -1,0 +1,180 @@
+package cnc
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"dpflow/internal/determinacy"
+)
+
+// TestDisciplineDoublePutNamesBothSteps seeds the canonical write-once
+// violation — two step instances put the same item with differing values —
+// and checks the run fails with the checker's report naming both writers
+// and the value conflict.
+func TestDisciplineDoublePutNamesBothSteps(t *testing.T) {
+	dc := determinacy.NewDisciplineChecker()
+	g := NewGraph("double-put", 2).WithDisciplineCheck(dc)
+	out := NewItemCollection[int, int](g, "out")
+	tags := NewTagCollection[int](g, "t", false)
+	step := NewStepCollection(g, "w", func(i int) error {
+		out.Put(0, i) // both instances write out[0], with different values
+		return nil
+	})
+	tags.Prescribe(step)
+	err := g.RunContext(context.Background(), func() {
+		tags.Put(1)
+		tags.Put(2)
+	})
+	if err == nil {
+		t.Fatal("double put did not fail the graph")
+	}
+	var dpe *determinacy.DoublePutError
+	if !errors.As(err, &dpe) {
+		t.Fatalf("err = %v (%T), want a *DoublePutError in the chain", err, err)
+	}
+	if !dpe.Differs {
+		t.Fatal("Differs = false: the seeded values conflict")
+	}
+	// Which instance got there first is schedule-dependent; both must be
+	// named, attributed as step@tag.
+	writers := dpe.FirstPutBy + " " + dpe.SecondPutBy
+	if !strings.Contains(writers, "w@1") || !strings.Contains(writers, "w@2") {
+		t.Fatalf("writers = %q, want both w@1 and w@2", writers)
+	}
+	if dc.Err() == nil || len(dc.Violations()) == 0 {
+		t.Fatal("checker recorded no violation")
+	}
+}
+
+// TestDisciplineOverdrawNamesOverReader seeds a get-count overdraw: out[0]
+// declares one consumer but two step instances declare a get on it. The
+// second access (on one worker, strictly after the first freed the item)
+// must fail the run with an overdraw report naming the over-reader and the
+// instance that consumed the budget.
+func TestDisciplineOverdrawNamesOverReader(t *testing.T) {
+	dc := determinacy.NewDisciplineChecker()
+	g := NewGraph("overdraw", 1).WithDisciplineCheck(dc)
+	in := NewItemCollection[int, int](g, "in")
+	in.WithGetCount(func(int) int { return 1 }) // actual declared readers: 2
+	tags := NewTagCollection[int](g, "t", false)
+	step := NewStepCollection(g, "r", func(i int) error {
+		in.Get(0)
+		return nil
+	})
+	step.WithGets(func(i int) []Dep { return []Dep{in.Key(0)} })
+	tags.Prescribe(step)
+	err := g.RunContext(context.Background(), func() {
+		in.Put(0, 99)
+		tags.Put(1)
+		tags.Put(2)
+	})
+	if err == nil {
+		t.Fatal("over-read of a freed item did not fail the graph")
+	}
+	var ode *determinacy.OverdrawError
+	if !errors.As(err, &ode) {
+		t.Fatalf("err = %v (%T), want an *OverdrawError in the chain", err, err)
+	}
+	if ode.Declared != 1 {
+		t.Errorf("Declared = %d, want 1", ode.Declared)
+	}
+	if len(ode.Consumers) != 1 || !strings.HasPrefix(ode.Consumers[0], "r@") {
+		t.Errorf("Consumers = %v, want the one r@ instance that used the budget", ode.Consumers)
+	}
+	if !strings.HasPrefix(ode.By, "r@") || ode.By == ode.Consumers[0] {
+		t.Errorf("By = %q, want the other r@ instance", ode.By)
+	}
+	// The pre-existing use-after-free surface stays intact alongside the
+	// attribution.
+	var uafe *UseAfterFreeError
+	if !errors.As(err, &uafe) {
+		t.Fatalf("err = %v, want UseAfterFreeError preserved in the chain", err)
+	}
+}
+
+// TestDisciplineEnvironmentAttribution checks puts issued by the
+// environment closure are attributed to "env", not left unattributed.
+func TestDisciplineEnvironmentAttribution(t *testing.T) {
+	dc := determinacy.NewDisciplineChecker()
+	g := NewGraph("env-attr", 1).WithDisciplineCheck(dc)
+	out := NewItemCollection[int, int](g, "out")
+	if err := g.RunContext(context.Background(), func() {
+		out.Put(0, 1)
+		out.Put(0, 2) // double put from the environment
+	}); err == nil {
+		t.Fatal("double put did not fail the graph")
+	}
+	v := dc.Violations()
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly the env double put", v)
+	}
+	var dpe *determinacy.DoublePutError
+	if !errors.As(v[0], &dpe) {
+		t.Fatalf("violation = %T, want *DoublePutError", v[0])
+	}
+	if dpe.FirstPutBy != "env" || dpe.SecondPutBy != "env" {
+		t.Fatalf("writers = %q/%q, want env/env", dpe.FirstPutBy, dpe.SecondPutBy)
+	}
+}
+
+// TestDisciplineOffPreservesErrors pins the compatibility contract: without
+// a checker the single-assignment error text is unchanged and carries no
+// attribution machinery.
+func TestDisciplineOffPreservesErrors(t *testing.T) {
+	g := NewGraph("plain", 1)
+	out := NewItemCollection[int, int](g, "out")
+	err := g.RunContext(context.Background(), func() {
+		out.Put(0, 1)
+		out.Put(0, 2)
+	})
+	if err == nil || !strings.Contains(err.Error(), "put twice") {
+		t.Fatalf("err = %v, want the plain put-twice report", err)
+	}
+	var dpe *determinacy.DoublePutError
+	if errors.As(err, &dpe) {
+		t.Fatal("checker-off error carries a DoublePutError")
+	}
+}
+
+// TestDisciplineCleanRunStats checks a discipline-checked clean run records
+// activity and no violations, and that Fingerprint covers freed items (the
+// GC-independence the determinism audit relies on).
+func TestDisciplineCleanRunStats(t *testing.T) {
+	dc := determinacy.NewDisciplineChecker()
+	g := NewGraph("clean", 2).WithDisciplineCheck(dc)
+	in := NewItemCollection[int, int](g, "in")
+	in.WithGetCount(func(int) int { return 1 })
+	out := NewItemCollection[int, int](g, "out")
+	tags := NewTagCollection[int](g, "t", false)
+	step := NewStepCollection(g, "s", func(i int) error {
+		out.Put(i, 10*in.Get(i))
+		return nil
+	})
+	step.WithGets(func(i int) []Dep { return []Dep{in.Key(i)} })
+	tags.Prescribe(step)
+	if err := g.RunContext(context.Background(), func() {
+		for i := 0; i < 4; i++ {
+			in.Put(i, i)
+			tags.Put(i)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Err(); err != nil {
+		t.Fatalf("clean run recorded violation: %v", err)
+	}
+	st := dc.Stats()
+	if st.Puts != 8 || st.Gets != 4 || st.Releases != 4 || st.Items != 8 || st.Violations != 0 {
+		t.Fatalf("stats = %+v, want 8 puts / 4 gets / 4 releases / 8 items / 0 violations", st)
+	}
+	// All four in[] items were freed by get-count GC, yet the fingerprint
+	// still holds them.
+	fp := dc.Fingerprint()
+	for i := 0; i < 4; i++ {
+		if _, ok := fp["in["+string(rune('0'+i))+"]"]; !ok {
+			t.Fatalf("fingerprint missing freed item in[%d]: %v", i, fp)
+		}
+	}
+}

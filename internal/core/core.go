@@ -95,6 +95,16 @@ func ModelOf(v Variant) Model {
 	return DataFlow
 }
 
+// IsCnC reports whether the variant runs on the CnC graph runtime (and so
+// accepts graph-level machinery like tune hooks and discipline checkers).
+func (v Variant) IsCnC() bool {
+	switch v {
+	case NativeCnC, TunerCnC, ManualCnC, NonBlockingCnC:
+		return true
+	}
+	return false
+}
+
 // BenchID identifies one of the study's DP benchmarks. The semantics of
 // each id — shapes, kernels, closed forms, runners — live with the
 // benchmark itself in internal/bench; this enum is only the shared name.

@@ -1,0 +1,189 @@
+package determinacy
+
+import (
+	"strings"
+	"testing"
+)
+
+// The unit tests drive Frames directly — Root/Fork/Join are exactly the
+// calls the fork-join pool makes on Run/Spawn/Wait, so a hand-built frame
+// tree is a faithful miniature of a pool run with a fixed schedule.
+
+func TestSiblingWritesRace(t *testing.T) {
+	d := NewDetector()
+	root := d.Root()
+	a, b := root.Fork(), root.Fork()
+	c := TileCell(1, 2)
+	a.Write(c)
+	b.Write(c)
+	err := d.Err()
+	if err == nil {
+		t.Fatal("unordered sibling writes not reported")
+	}
+	re, ok := err.(*RaceError)
+	if !ok {
+		t.Fatalf("Err() = %T, want *RaceError", err)
+	}
+	if re.Cell != "tile(1,2)" {
+		t.Errorf("Cell = %q, want tile(1,2)", re.Cell)
+	}
+	// Tasks are named by fork path: first and second spawn off the root.
+	if re.FirstTask != "root/1:1" || re.SecondTask != "root/2:1" {
+		t.Errorf("tasks = %q, %q; want root/1:1, root/2:1", re.FirstTask, re.SecondTask)
+	}
+}
+
+func TestSpawnOrdersParentBeforeChild(t *testing.T) {
+	d := NewDetector()
+	root := d.Root()
+	c := TileCell(0, 0)
+	root.Write(c) // before the spawn: ordered before the child
+	kid := root.Fork()
+	kid.Write(c)
+	if err := d.Err(); err != nil {
+		t.Fatalf("pre-spawn parent write vs child reported as race: %v", err)
+	}
+}
+
+func TestPostSpawnParentWriteRacesChild(t *testing.T) {
+	d := NewDetector()
+	root := d.Root()
+	c := TileCell(0, 0)
+	kid := root.Fork()
+	kid.Write(c)
+	root.Write(c) // after the spawn, before any join: concurrent with kid
+	if d.Err() == nil {
+		t.Fatal("post-spawn parent write vs unjoined child not reported")
+	}
+}
+
+func TestJoinOrdersChildBeforeParent(t *testing.T) {
+	d := NewDetector()
+	root := d.Root()
+	c := TileCell(3, 3)
+	kid := root.Fork()
+	kid.Write(c)
+	root.Join([]*Frame{kid})
+	root.Write(c) // after the join: ordered after the child
+	if err := d.Err(); err != nil {
+		t.Fatalf("joined child vs post-wait parent reported as race: %v", err)
+	}
+}
+
+func TestPhasedSiblingsNoRace(t *testing.T) {
+	// The benchmarks' shape: a batch of tasks, a join, a second batch
+	// touching the same tiles. Nothing in phase 2 races phase 1.
+	d := NewDetector()
+	root := d.Root()
+	c := TileCell(2, 5)
+	a, b := root.Fork(), root.Fork()
+	a.Write(c)
+	b.Read(TileCell(9, 9))
+	root.Join([]*Frame{a, b})
+	x, y := root.Fork(), root.Fork()
+	x.Read(c)
+	root.Join([]*Frame{x, y})
+	root.Write(c)
+	if err := d.Err(); err != nil {
+		t.Fatalf("phased accesses reported as race: %v", err)
+	}
+}
+
+func TestConcurrentReadsNoRaceThenWriteRaces(t *testing.T) {
+	d := NewDetector()
+	root := d.Root()
+	c := TileCell(0, 1)
+	a, b := root.Fork(), root.Fork()
+	a.Read(c)
+	b.Read(c)
+	if err := d.Err(); err != nil {
+		t.Fatalf("concurrent reads reported as race: %v", err)
+	}
+	w := root.Fork() // still unordered with a and b
+	w.Write(c)
+	races := d.Races()
+	if len(races) != 2 {
+		t.Fatalf("got %d races, want 2 (write vs each recorded reader): %v", len(races), races)
+	}
+	for _, r := range races {
+		if r.FirstOp != "read" || r.SecondOp != "write" {
+			t.Errorf("race ops = %s/%s, want read/write", r.FirstOp, r.SecondOp)
+		}
+	}
+}
+
+func TestDeepRecursionOrdering(t *testing.T) {
+	// Nested fork/join at depth: each level spawns two children writing
+	// distinct halves, joins, then the parent touches both. No races.
+	d := NewDetector()
+	var recurse func(f *Frame, lo, hi, depth int)
+	recurse = func(f *Frame, lo, hi, depth int) {
+		if depth == 0 || hi-lo < 2 {
+			for i := lo; i < hi; i++ {
+				f.Write(TileCell(i, 0))
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		a, b := f.Fork(), f.Fork()
+		recurse(a, lo, mid, depth-1)
+		recurse(b, mid, hi, depth-1)
+		f.Join([]*Frame{a, b})
+		for i := lo; i < hi; i++ {
+			f.Read(TileCell(i, 0))
+		}
+	}
+	root := d.Root()
+	recurse(root, 0, 16, 4)
+	if err := d.Err(); err != nil {
+		t.Fatalf("disjoint recursive writes reported as race: %v", err)
+	}
+	st := d.Stats()
+	if st.Accesses == 0 || st.Queries == 0 || st.Cells != 16 {
+		t.Fatalf("stats = %+v, want live accesses/queries and 16 cells", st)
+	}
+}
+
+func TestErrDeterministicMinimum(t *testing.T) {
+	d := NewDetector()
+	root := d.Root()
+	a, b := root.Fork(), root.Fork()
+	// Two independent races on different cells, detected in this order.
+	a.Write(TileCell(9, 9))
+	b.Write(TileCell(9, 9))
+	a.Write(TileCell(1, 1))
+	b.Write(TileCell(1, 1))
+	want := d.Races()[0].Error() // sorted: lexicographic minimum
+	if got := d.Err().Error(); got != want {
+		t.Fatalf("Err() = %q, want the message-order minimum %q", got, want)
+	}
+	if !strings.Contains(want, "tile(1,1)") {
+		t.Fatalf("minimum message %q should name tile(1,1)", want)
+	}
+}
+
+func TestRootResetsShadowStateAcrossRuns(t *testing.T) {
+	d := NewDetector()
+	r1 := d.Root()
+	r1.Fork().Write(TileCell(4, 4))
+	// Second run on the same detector: old shadow entries must not be
+	// compared against the new run's unrelated timestamps.
+	r2 := d.Root()
+	r2.Fork().Write(TileCell(4, 4))
+	if err := d.Err(); err != nil {
+		t.Fatalf("cross-run accesses reported as race: %v", err)
+	}
+}
+
+func TestRaceCapBounded(t *testing.T) {
+	d := NewDetector()
+	root := d.Root()
+	a, b := root.Fork(), root.Fork()
+	for i := 0; i < 400; i++ {
+		a.Write(TileCell(i, i))
+		b.Write(TileCell(i, i))
+	}
+	if n := len(d.Races()); n != 256 {
+		t.Fatalf("recorded %d races, want the 256 cap", n)
+	}
+}

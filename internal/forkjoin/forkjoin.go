@@ -24,6 +24,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dpflow/internal/determinacy"
 )
 
 // Task is a unit of work. The Ctx identifies the worker executing the task
@@ -100,6 +102,7 @@ type Stats struct {
 type Pool struct {
 	workers []*worker
 	policy  StealPolicy
+	race    *determinacy.Detector
 
 	done     atomic.Bool
 	sleepers atomic.Int32
@@ -129,6 +132,7 @@ type worker struct {
 type Ctx struct {
 	w  *worker
 	rs *runState
+	fr *determinacy.Frame
 }
 
 // WorkerID returns the index of the worker executing the current task, in
@@ -137,6 +141,13 @@ func (c *Ctx) WorkerID() int { return c.w.id }
 
 // Pool returns the pool the current task runs on.
 func (c *Ctx) Pool() *Pool { return c.w.pool }
+
+// Race returns the current task's race-detection frame, or nil when the
+// pool runs without detection. Drivers declare their base-case cell
+// accesses through it:
+//
+//	if f := c.Race(); f != nil { f.Write(cell); f.Read(dep) }
+func (c *Ctx) Race() *determinacy.Frame { return c.fr }
 
 // NewPool creates and starts a pool.
 func NewPool(cfg Config) *Pool {
@@ -163,6 +174,20 @@ func NewPool(cfg Config) *Pool {
 
 // Workers returns the number of workers in the pool.
 func (p *Pool) Workers() int { return len(p.workers) }
+
+// WithRaceDetection enables DePa-style determinacy-race detection: every
+// Spawn and Wait maintains fork/join timestamps, and tasks may declare
+// shadow-cell accesses through Ctx.Race. Set it before Run; the detector's
+// shadow state is reset at each run's root, so a pool may run repeatedly,
+// but concurrent runs must not share a detector. Off (nil) the only cost
+// is a nil check per spawn and wait.
+func (p *Pool) WithRaceDetection(d *determinacy.Detector) *Pool {
+	p.race = d
+	return p
+}
+
+// RaceDetector returns the detector installed by WithRaceDetection, or nil.
+func (p *Pool) RaceDetector() *determinacy.Detector { return p.race }
 
 // Stats returns a snapshot of the pool's activity counters.
 func (p *Pool) Stats() Stats {
@@ -220,13 +245,17 @@ func (p *Pool) RunContext(ctx context.Context, f Task) error {
 			}
 		}()
 	}
+	var rootFr *determinacy.Frame
+	if p.race != nil {
+		rootFr = p.race.Root()
+	}
 	done := make(chan any, 1)
 	root := func(c *Ctx) {
 		defer func() { done <- recover() }()
 		if rs.cancelled.Load() {
 			panic(runCancelled{})
 		}
-		f(&Ctx{w: c.w, rs: rs})
+		f(&Ctx{w: c.w, rs: rs, fr: rootFr})
 	}
 	p.spawned.Add(1)
 	w := p.workers[0]
@@ -253,6 +282,12 @@ type Group struct {
 	seq     atomic.Uint64
 	panicMu sync.Mutex
 	panics  []childPanic
+
+	// Race-detection bookkeeping: the frames of children spawned on this
+	// group since the last Wait, joined (ordered before the waiter's next
+	// strand segment) when Wait completes. Touched only under detection.
+	detMu   sync.Mutex
+	detKids []*determinacy.Frame
 }
 
 // childPanic records one child's panic together with its spawn sequence
@@ -270,6 +305,13 @@ func (c *Ctx) Spawn(g *Group, f Task) {
 	g.pending.Add(1)
 	w := c.w
 	rs := c.rs
+	var childFr *determinacy.Frame
+	if c.fr != nil {
+		childFr = c.fr.Fork()
+		g.detMu.Lock()
+		g.detKids = append(g.detKids, childFr)
+		g.detMu.Unlock()
+	}
 	w.pool.spawned.Add(1)
 	w.push(func(ctx *Ctx) {
 		defer func() {
@@ -285,7 +327,7 @@ func (c *Ctx) Spawn(g *Group, f Task) {
 		if rs != nil && rs.cancelled.Load() {
 			return // cancelled run: drain without executing
 		}
-		f(&Ctx{w: ctx.w, rs: rs})
+		f(&Ctx{w: ctx.w, rs: rs, fr: childFr})
 	})
 	if w.pool.sleepers.Load() > 0 {
 		w.pool.wakeOne()
@@ -316,6 +358,13 @@ func (c *Ctx) Wait(g *Group) {
 	}
 	if rs := c.rs; rs != nil && rs.cancelled.Load() {
 		panic(runCancelled{})
+	}
+	if c.fr != nil {
+		g.detMu.Lock()
+		kids := g.detKids
+		g.detKids = nil
+		g.detMu.Unlock()
+		c.fr.Join(kids)
 	}
 	g.panicMu.Lock()
 	defer g.panicMu.Unlock()

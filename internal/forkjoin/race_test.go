@@ -1,0 +1,152 @@
+package forkjoin_test
+
+import (
+	"strings"
+	"testing"
+
+	"dpflow/internal/determinacy"
+	"dpflow/internal/forkjoin"
+)
+
+// TestRaceDetectionCleanProgram runs a well-synchronised fork-join program
+// under detection: spawned writers touch disjoint cells, a Wait joins them,
+// then the parent reads everything. No race may be reported, and the
+// detector must show it actually checked accesses.
+func TestRaceDetectionCleanProgram(t *testing.T) {
+	p := forkjoin.NewPool(forkjoin.Config{Workers: 4, Seed: 1})
+	defer p.Close()
+	d := determinacy.NewDetector()
+	p.WithRaceDetection(d)
+
+	p.Run(func(c *forkjoin.Ctx) {
+		var g forkjoin.Group
+		for i := 0; i < 8; i++ {
+			i := i
+			c.Spawn(&g, func(cc *forkjoin.Ctx) {
+				cc.Race().Write(determinacy.TileCell(i, 0))
+			})
+		}
+		c.Wait(&g)
+		f := c.Race()
+		for i := 0; i < 8; i++ {
+			f.Read(determinacy.TileCell(i, 0))
+		}
+	})
+	if err := d.Err(); err != nil {
+		t.Fatalf("clean program reported race: %v", err)
+	}
+	st := d.Stats()
+	if st.Accesses != 16 || st.Tasks != 9 || st.Cells != 8 {
+		t.Fatalf("stats = %+v, want 16 accesses / 9 tasks / 8 cells", st)
+	}
+}
+
+// TestRaceDetectionSeededRace runs the canonical broken program — two
+// spawned tasks write the same cell with no Wait between them — and checks
+// the detector reports it, naming both tasks by fork path.
+func TestRaceDetectionSeededRace(t *testing.T) {
+	p := forkjoin.NewPool(forkjoin.Config{Workers: 4, Seed: 1})
+	defer p.Close()
+	d := determinacy.NewDetector()
+	p.WithRaceDetection(d)
+
+	cell := determinacy.TileCell(2, 3)
+	p.Run(func(c *forkjoin.Ctx) {
+		var g forkjoin.Group
+		c.Spawn(&g, func(cc *forkjoin.Ctx) { cc.Race().Write(cell) })
+		c.Spawn(&g, func(cc *forkjoin.Ctx) { cc.Race().Write(cell) })
+		c.Wait(&g)
+	})
+	err := d.Err()
+	if err == nil {
+		t.Fatal("seeded sibling write-write race not detected")
+	}
+	re, ok := err.(*determinacy.RaceError)
+	if !ok {
+		t.Fatalf("Err() = %T, want *RaceError", err)
+	}
+	if re.Cell != "tile(2,3)" {
+		t.Errorf("Cell = %q, want tile(2,3)", re.Cell)
+	}
+	// Whatever order the schedule ran the writers in, the reported pair is
+	// the two spawns off the root, named by spawn epoch.
+	tasks := []string{re.FirstTask, re.SecondTask}
+	for _, task := range tasks {
+		if !strings.HasPrefix(task, "root/") {
+			t.Errorf("task %q not named by fork path", task)
+		}
+	}
+	if tasks[0] == tasks[1] {
+		t.Errorf("race names the same task twice: %v", tasks)
+	}
+}
+
+// TestRaceDetectionDeterministicReport runs the same seeded race many
+// times: the schedule varies (different steal seeds, either writer may
+// execute first), but the canonicalised report must be byte-identical on
+// every run.
+func TestRaceDetectionDeterministicReport(t *testing.T) {
+	cell := determinacy.TileCell(0, 0)
+	want := "determinacy: race on tile(0,0): write by task root/1:1 is unordered with write by task root/2:1"
+	for run := 0; run < 20; run++ {
+		p := forkjoin.NewPool(forkjoin.Config{Workers: 4, Seed: int64(run)})
+		d := determinacy.NewDetector()
+		p.WithRaceDetection(d)
+		p.Run(func(c *forkjoin.Ctx) {
+			var g forkjoin.Group
+			c.Spawn(&g, func(cc *forkjoin.Ctx) { cc.Race().Write(cell) })
+			c.Spawn(&g, func(cc *forkjoin.Ctx) { cc.Race().Write(cell) })
+			c.Wait(&g)
+		})
+		p.Close()
+		err := d.Err()
+		if err == nil {
+			t.Fatalf("run %d: race not detected", run)
+		}
+		if err.Error() != want {
+			t.Fatalf("run %d reported %q, want %q", run, err.Error(), want)
+		}
+	}
+}
+
+// TestRaceDetectionPoolReuse checks the detector resets shadow state between
+// sequential runs on one pool: the same cells written in two runs are not a
+// cross-run race.
+func TestRaceDetectionPoolReuse(t *testing.T) {
+	p := forkjoin.NewPool(forkjoin.Config{Workers: 2, Seed: 1})
+	defer p.Close()
+	d := determinacy.NewDetector()
+	p.WithRaceDetection(d)
+	for run := 0; run < 3; run++ {
+		p.Run(func(c *forkjoin.Ctx) {
+			var g forkjoin.Group
+			c.Spawn(&g, func(cc *forkjoin.Ctx) { cc.Race().Write(determinacy.TileCell(1, 1)) })
+			c.Wait(&g)
+		})
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("sequential pool reuse reported race: %v", err)
+	}
+}
+
+// TestNoDetectionZeroOverheadPath checks the off-by-default contract:
+// without WithRaceDetection, Ctx.Race returns nil and nothing is tracked.
+func TestNoDetectionZeroOverheadPath(t *testing.T) {
+	p := forkjoin.NewPool(forkjoin.Config{Workers: 2, Seed: 1})
+	defer p.Close()
+	p.Run(func(c *forkjoin.Ctx) {
+		if c.Race() != nil {
+			t.Error("Ctx.Race() non-nil without WithRaceDetection")
+		}
+		var g forkjoin.Group
+		c.Spawn(&g, func(cc *forkjoin.Ctx) {
+			if cc.Race() != nil {
+				t.Error("child Ctx.Race() non-nil without WithRaceDetection")
+			}
+		})
+		c.Wait(&g)
+	})
+	if p.RaceDetector() != nil {
+		t.Error("RaceDetector() non-nil by default")
+	}
+}

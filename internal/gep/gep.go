@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"dpflow/internal/core"
+	"dpflow/internal/determinacy"
 	"dpflow/internal/forkjoin"
 	"dpflow/internal/matrix"
 )
@@ -200,8 +201,33 @@ type fjRec struct {
 	alg  Algorithm
 }
 
+// declareRace reports the tile-granularity access set of one base-case
+// kernel to the pool's race detector when the run is race-checked: the
+// update of tile (i0,j0) at phase k0 reads tiles (i0,k0), (k0,j0) and
+// (k0,k0) — the GEP data flow of the paper's Figure 2. Every base tile has
+// side s, so block indices are exact cell ids. Without detection the cost
+// is the one nil check.
+func declareRace(c *forkjoin.Ctx, i0, j0, k0, s int) {
+	f := c.Race()
+	if f == nil {
+		return
+	}
+	w := determinacy.TileCell(i0/s, j0/s)
+	f.Write(w)
+	for _, rd := range [...]uint64{
+		determinacy.TileCell(i0/s, k0/s),
+		determinacy.TileCell(k0/s, j0/s),
+		determinacy.TileCell(k0/s, k0/s),
+	} {
+		if rd != w {
+			f.Read(rd)
+		}
+	}
+}
+
 func (r *fjRec) funcA(ctx *forkjoin.Ctx, d, s int) {
 	if s <= r.base {
+		declareRace(ctx, d, d, d, s)
 		r.alg.Kernel(r.x, d, d, d, s)
 		return
 	}
@@ -223,6 +249,7 @@ func (r *fjRec) funcA(ctx *forkjoin.Ctx, d, s int) {
 
 func (r *fjRec) funcB(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 	if s <= r.base {
+		declareRace(ctx, i0, j0, k0, s)
 		r.alg.Kernel(r.x, i0, j0, k0, s)
 		return
 	}
@@ -246,6 +273,7 @@ func (r *fjRec) funcB(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 
 func (r *fjRec) funcC(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 	if s <= r.base {
+		declareRace(ctx, i0, j0, k0, s)
 		r.alg.Kernel(r.x, i0, j0, k0, s)
 		return
 	}
@@ -269,6 +297,7 @@ func (r *fjRec) funcC(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 
 func (r *fjRec) funcD(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 	if s <= r.base {
+		declareRace(ctx, i0, j0, k0, s)
 		r.alg.Kernel(r.x, i0, j0, k0, s)
 		return
 	}

@@ -166,6 +166,7 @@ func (rc *rwayFJ) stop(s int) bool { return s <= rc.base || s%rc.r != 0 }
 
 func (rc *rwayFJ) funcA(ctx *forkjoin.Ctx, d, s int) {
 	if rc.stop(s) {
+		declareRace(ctx, d, d, d, s)
 		rc.alg.Kernel(rc.x, d, d, d, s)
 		return
 	}
@@ -199,6 +200,7 @@ func (rc *rwayFJ) funcA(ctx *forkjoin.Ctx, d, s int) {
 
 func (rc *rwayFJ) funcB(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 	if rc.stop(s) {
+		declareRace(ctx, i0, j0, k0, s)
 		rc.alg.Kernel(rc.x, i0, j0, k0, s)
 		return
 	}
@@ -226,6 +228,7 @@ func (rc *rwayFJ) funcB(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 
 func (rc *rwayFJ) funcC(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 	if rc.stop(s) {
+		declareRace(ctx, i0, j0, k0, s)
 		rc.alg.Kernel(rc.x, i0, j0, k0, s)
 		return
 	}
@@ -253,6 +256,7 @@ func (rc *rwayFJ) funcC(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 
 func (rc *rwayFJ) funcD(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 	if rc.stop(s) {
+		declareRace(ctx, i0, j0, k0, s)
 		rc.alg.Kernel(rc.x, i0, j0, k0, s)
 		return
 	}

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"dpflow/internal/bench"
+	"dpflow/internal/cnc"
+	"dpflow/internal/core"
+	"dpflow/internal/determinacy"
+	"dpflow/internal/forkjoin"
+)
+
+// Perf-baseline geometry: one mid-size problem per benchmark, large enough
+// that kernel time dominates flag parsing and pool startup, small enough
+// that the full matrix (4 benchmarks × 5 variants × perfReps) stays inside
+// a CI smoke budget. The committed BENCH_seed.json snapshot is generated
+// from exactly this configuration, so regressions diff like-for-like.
+const (
+	perfN       = 512
+	perfBase    = 64
+	perfWorkers = 8
+	perfSeed    = 3
+	perfReps    = 3
+)
+
+// perfVariants is the measured execution matrix: the serial reference, the
+// fork-join model, and the three CnC schedules.
+var perfVariants = []core.Variant{
+	core.SerialRDP, core.OMPTasking, core.NativeCnC, core.TunerCnC, core.ManualCnC,
+}
+
+// PerfDetector is the detector-activity half of a race-checked perf row:
+// evidence of how much checking the run actually did, alongside the firing
+// counts that must stay zero.
+type PerfDetector struct {
+	// Fork-join rows (determinacy.DetectorStats):
+	Tasks    uint64 `json:"tasks,omitempty"`
+	Accesses uint64 `json:"accesses,omitempty"`
+	Queries  uint64 `json:"queries,omitempty"`
+	Cells    int    `json:"cells,omitempty"`
+	Races    int    `json:"races"`
+	// CnC rows (determinacy.DisciplineStats):
+	Puts       uint64 `json:"puts,omitempty"`
+	Gets       uint64 `json:"gets,omitempty"`
+	Releases   uint64 `json:"releases,omitempty"`
+	Violations int    `json:"violations"`
+}
+
+// PerfRow is one measured (benchmark, variant) cell.
+type PerfRow struct {
+	Bench    string        `json:"bench"`
+	Variant  string        `json:"variant"`
+	Seconds  float64       `json:"seconds"` // best of perfReps verified runs
+	Detector *PerfDetector `json:"detector,omitempty"`
+}
+
+// PerfReport is the JSON schema of `dpbench -exp perf -json`, committed as
+// BENCH_seed.json and uploaded fresh by CI for regression diffing.
+type PerfReport struct {
+	Schema      string    `json:"schema"`
+	N           int       `json:"n"`
+	Base        int       `json:"base"`
+	Workers     int       `json:"workers"`
+	Seed        int64     `json:"seed"`
+	Reps        int       `json:"reps"`
+	RaceChecked bool      `json:"raceChecked"`
+	GoMaxProcs  int       `json:"gomaxprocs"`
+	Rows        []PerfRow `json:"rows"`
+}
+
+// runPerfOnce executes one verified run of (b, v) and returns its wall time
+// plus, when raceDetect is set, the detector snapshot. Detection failures
+// (a race or discipline violation on a production schedule) are errors.
+func runPerfOnce(ctx context.Context, b bench.Benchmark, v core.Variant, raceDetect bool) (time.Duration, *PerfDetector, error) {
+	in, err := b.NewInstance(perfN, perfBase, perfSeed)
+	if err != nil {
+		return 0, nil, err
+	}
+	opts := bench.RunOpts{Workers: perfWorkers}
+
+	var det *determinacy.Detector
+	var disc *determinacy.DisciplineChecker
+	var pool *forkjoin.Pool
+	if v == core.OMPTasking {
+		pool = forkjoin.NewPool(forkjoin.Config{Workers: perfWorkers, Seed: perfSeed})
+		defer pool.Close()
+		if raceDetect {
+			det = determinacy.NewDetector()
+			pool.WithRaceDetection(det)
+		}
+		opts.Pool = pool
+	} else if raceDetect && v.IsCnC() {
+		opts.Tune = func(g *cnc.Graph) {
+			disc = determinacy.NewDisciplineChecker()
+			g.WithDisciplineCheck(disc)
+		}
+	}
+
+	start := time.Now()
+	if _, err := in.Run(ctx, v, opts); err != nil {
+		return 0, nil, err
+	}
+	wall := time.Since(start)
+	if err := in.Verify(); err != nil {
+		return 0, nil, err
+	}
+
+	var pd *PerfDetector
+	if det != nil {
+		if err := det.Err(); err != nil {
+			return 0, nil, fmt.Errorf("race detected on production schedule: %w", err)
+		}
+		st := det.Stats()
+		pd = &PerfDetector{Tasks: st.Tasks, Accesses: st.Accesses, Queries: st.Queries, Cells: st.Cells, Races: st.Races}
+	}
+	if disc != nil {
+		if err := disc.Err(); err != nil {
+			return 0, nil, fmt.Errorf("discipline violation on production schedule: %w", err)
+		}
+		st := disc.Stats()
+		pd = &PerfDetector{Puts: st.Puts, Gets: st.Gets, Releases: st.Releases, Violations: st.Violations}
+	}
+	return wall, pd, nil
+}
+
+// RunPerf measures the perf-baseline matrix: every registered benchmark ×
+// perfVariants, best-of-perfReps verified wall times. With raceDetect the
+// fork-join rows run under determinacy-race detection and the CnC rows
+// under discipline checking, the per-row detector stats are included, and
+// any detection fails the sweep.
+func RunPerf(ctx context.Context, raceDetect bool) (*PerfReport, error) {
+	rep := &PerfReport{
+		Schema: "dpflow-perf/v1", N: perfN, Base: perfBase, Workers: perfWorkers,
+		Seed: perfSeed, Reps: perfReps, RaceChecked: raceDetect, GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, b := range bench.All() {
+		for _, v := range perfVariants {
+			row := PerfRow{Bench: b.Name(), Variant: v.String()}
+			for rep := 0; rep < perfReps; rep++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				wall, pd, err := runPerfOnce(ctx, b, v, raceDetect)
+				if err != nil {
+					return nil, fmt.Errorf("perf: %s %s: %w", b.Name(), v, err)
+				}
+				if s := wall.Seconds(); row.Seconds == 0 || s < row.Seconds {
+					row.Seconds = s
+				}
+				row.Detector = pd // stats are schedule-stable; keep the last
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// WritePerf runs the perf baseline and renders it as JSON (the committed
+// snapshot format) or an aligned table.
+func WritePerf(ctx context.Context, w io.Writer, jsonOut, raceDetect bool) error {
+	rep, err := RunPerf(ctx, raceDetect)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(w, "# perf: baseline matrix n=%d base=%d workers=%d reps=%d raceDetect=%v\n",
+		rep.N, rep.Base, rep.Workers, rep.Reps, rep.RaceChecked)
+	fmt.Fprintf(w, "%8s %16s %12s %12s\n", "bench", "variant", "seconds", "detector")
+	for _, r := range rep.Rows {
+		detail := "-"
+		if r.Detector != nil {
+			if r.Detector.Accesses > 0 {
+				detail = fmt.Sprintf("acc=%d races=%d", r.Detector.Accesses, r.Detector.Races)
+			} else {
+				detail = fmt.Sprintf("puts=%d viol=%d", r.Detector.Puts, r.Detector.Violations)
+			}
+		}
+		fmt.Fprintf(w, "%8s %16s %12.6f %12s\n", r.Bench, r.Variant, r.Seconds, detail)
+	}
+	return nil
+}

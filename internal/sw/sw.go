@@ -19,6 +19,7 @@ import (
 
 	"dpflow/internal/cnc"
 	"dpflow/internal/core"
+	"dpflow/internal/determinacy"
 	"dpflow/internal/forkjoin"
 	"dpflow/internal/gep"
 	"dpflow/internal/kernels"
@@ -118,8 +119,30 @@ func (p *Problem) ForkJoinContext(ctx context.Context, h *matrix.Dense, base int
 	return kernels.MaxScore(h), nil
 }
 
+// declareRace reports the wavefront access set of one base tile to the
+// pool's race detector when the run is race-checked: tile (ti, tj) is
+// written and its west, north and north-west neighbours are read (the SW
+// kernel reads their boundary row/column out of the shared table).
+func declareRace(c *forkjoin.Ctx, ti, tj int) {
+	f := c.Race()
+	if f == nil {
+		return
+	}
+	f.Write(determinacy.TileCell(ti, tj))
+	if ti > 0 {
+		f.Read(determinacy.TileCell(ti-1, tj))
+	}
+	if tj > 0 {
+		f.Read(determinacy.TileCell(ti, tj-1))
+	}
+	if ti > 0 && tj > 0 {
+		f.Read(determinacy.TileCell(ti-1, tj-1))
+	}
+}
+
 func (p *Problem) fjRecurse(ctx *forkjoin.Ctx, h *matrix.Dense, i0, j0, s, base int) {
 	if s <= base {
+		declareRace(ctx, i0/s, j0/s)
 		p.kernel(h, 1+i0, 1+j0, s)
 		return
 	}
@@ -342,7 +365,8 @@ func (p *Problem) ForkJoinWavefront(h *matrix.Dense, base int, pool *forkjoin.Po
 			}
 			for i := lo; i <= hi; i++ {
 				ti, tj := i, d-i
-				ctx.Spawn(&g, func(*forkjoin.Ctx) {
+				ctx.Spawn(&g, func(c *forkjoin.Ctx) {
+					declareRace(c, ti, tj)
 					p.kernel(h, 1+ti*bs, 1+tj*bs, bs)
 				})
 			}
