@@ -40,6 +40,10 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		quiet   = flag.Bool("quiet", false, "suppress progress lines")
 		raceDet = flag.Bool("race-detect", false, "perf: run fork-join rows under determinacy-race detection and CnC rows under discipline checking, and report detector stats")
+
+		baseline = flag.String("baseline", "BENCH_seed.json", "perfdiff: baseline perf snapshot to diff against")
+		current  = flag.String("current", "", "perfdiff: current perf snapshot (empty = measure fresh)")
+		tol      = flag.Float64("tol", 0.10, "perfdiff: fail on any cell regressing by more than this fraction")
 	)
 	flag.Parse()
 
@@ -64,10 +68,17 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = harness.IDs()
+		// perfdiff is a gate against a committed snapshot, not a measurement;
+		// "all" runs the measurements only.
+		ids = ids[:0]
+		for _, id := range harness.IDs() {
+			if id != "perfdiff" {
+				ids = append(ids, id)
+			}
+		}
 	}
 	for _, id := range ids {
-		if err := run(ctx, id, *csv, *jsonF, *scale, *tscale, *tiles, *quiet, *raceDet); err != nil {
+		if err := run(ctx, id, *csv, *jsonF, *scale, *tscale, *tiles, *quiet, *raceDet, *baseline, *current, *tol); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				fmt.Fprintln(os.Stderr, "dpbench: timeout exceeded during", id)
 			} else {
@@ -78,7 +89,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTiles int, quiet, raceDetect bool) error {
+func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTiles int, quiet, raceDetect bool, baseline, current string, tol float64) error {
 	switch id {
 	case "table1":
 		res, err := harness.RunTable1Context(ctx, tscale)
@@ -109,6 +120,8 @@ func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTi
 		return harness.WriteSched(ctx, os.Stdout)
 	case "perf":
 		return harness.WritePerf(ctx, os.Stdout, jsonOut, raceDetect)
+	case "perfdiff":
+		return harness.WritePerfDiff(ctx, os.Stdout, baseline, current, tol)
 	}
 	e, ok := harness.FigureByID(id)
 	if !ok {

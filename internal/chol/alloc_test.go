@@ -1,0 +1,49 @@
+package chol
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+)
+
+// Full-run allocation budgets (ISSUE 7), the Cholesky counterpart of the
+// gates in internal/gep: pooled dispatch keeps a complete tiled
+// factorisation's allocation count at graph-construction-plus-boxed-keys
+// scale. Budgets are ~2× current measurements at n=128/base=16 (8×8
+// tiles); see internal/gep/alloc_test.go for the rationale.
+func TestRunAllocBudget(t *testing.T) {
+	const n, base, workers = 128, 16, 4
+	budget := map[core.Variant]float64{
+		core.NativeCnC:  4200, // measured ~2.1k
+		core.TunerCnC:   2500, // measured ~1.2k
+		core.ManualCnC:  3500, // measured ~1.7k
+		core.OMPTasking: 100,  // measured ~11
+	}
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: workers})
+	defer pool.Close()
+	src := NewSPD(n, rand.New(rand.NewSource(1)))
+
+	for _, v := range core.ParallelVariants {
+		v := v
+		run := func() {
+			a := src.Clone()
+			if v == core.OMPTasking {
+				if err := ForkJoin(a, base, pool); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if _, err := RunCnC(a, base, workers, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the pools and the runtime
+		allocs := testing.AllocsPerRun(3, run)
+		t.Logf("CH/%s: %.0f allocs/run (budget %.0f)", v, allocs, budget[v])
+		if allocs > budget[v] {
+			t.Errorf("CH/%s: %.0f allocs/run exceeds budget %.0f — a pooled dispatch path regressed", v, allocs, budget[v])
+		}
+	}
+}

@@ -195,6 +195,7 @@ func ForkJoinContext(ctx context.Context, a *matrix.Dense, base int, pool *forkj
 	bs := gep.BaseSize(a.Rows(), base)
 	tiles := a.Rows() / bs
 	span := traceFn(trace)
+	r := &fjChol{a: a, bs: bs, span: span}
 	var firstErr error
 	err := pool.RunContext(ctx, func(fjc *forkjoin.Ctx) {
 		var g forkjoin.Group
@@ -208,24 +209,12 @@ func ForkJoinContext(ctx context.Context, a *matrix.Dense, base int, pool *forkj
 				return
 			}
 			for i := k + 1; i < tiles; i++ {
-				i := i
-				fjc.Spawn(&g, func(c *forkjoin.Ctx) {
-					declareRace(c, i, k, [2]int{k, k})
-					done := span()
-					trsm(a, i, k, bs)
-					done()
-				})
+				fjc.SpawnCall(&g, cholCallTrsm, r, [4]int{i, k})
 			}
 			fjc.Wait(&g)
 			for j := k + 1; j < tiles; j++ {
 				for i := j; i < tiles; i++ {
-					i, j := i, j
-					fjc.Spawn(&g, func(c *forkjoin.Ctx) {
-						declareRace(c, i, j, [2]int{i, k}, [2]int{j, k})
-						done := span()
-						update(a, i, j, k, bs)
-						done()
-					})
+					fjc.SpawnCall(&g, cholCallUpdate, r, [4]int{i, j, k})
 				}
 			}
 			fjc.Wait(&g)
@@ -235,6 +224,33 @@ func ForkJoinContext(ctx context.Context, a *matrix.Dense, base int, pool *forkj
 		return err
 	}
 	return firstErr
+}
+
+// fjChol bundles the per-run state of the fork-join schedule so the TRSM
+// and UPDATE batches — the O(tiles²) and O(tiles³) spawn sites — go through
+// the closure-free SpawnCall trampolines.
+type fjChol struct {
+	a    *matrix.Dense
+	bs   int
+	span func() func()
+}
+
+func cholCallTrsm(c *forkjoin.Ctx, recv any, t [4]int) {
+	r := recv.(*fjChol)
+	i, k := t[0], t[1]
+	declareRace(c, i, k, [2]int{k, k})
+	done := r.span()
+	trsm(r.a, i, k, r.bs)
+	done()
+}
+
+func cholCallUpdate(c *forkjoin.Ctx, recv any, t [4]int) {
+	r := recv.(*fjChol)
+	i, j, k := t[0], t[1], t[2]
+	declareRace(c, i, j, [2]int{i, k}, [2]int{j, k})
+	done := r.span()
+	update(r.a, i, j, k, r.bs)
+	done()
 }
 
 // declareRace reports one tile kernel's access set — written tile (wi, wj)
@@ -473,16 +489,21 @@ func RunCnCConfigured(ctx context.Context, a *matrix.Dense, base int, variant co
 	}
 
 	err := g.RunContext(ctx, func() {
+		// One burst per elimination phase: each phase's O(tiles²) tags hit
+		// the queue in one batched push and wakeup pass. Under a memory
+		// limit the throttled path defers tags individually as before.
 		for k := 0; k < tiles; k++ {
-			tags.PutThrottled(Tag{KindPotrf, k, k, k})
+			bu := g.NewBurst()
+			tags.PutThrottledInto(Tag{KindPotrf, k, k, k}, bu)
 			for i := k + 1; i < tiles; i++ {
-				tags.PutThrottled(Tag{KindTrsm, i, k, k})
+				tags.PutThrottledInto(Tag{KindTrsm, i, k, k}, bu)
 			}
 			for j := k + 1; j < tiles; j++ {
 				for i := j; i < tiles; i++ {
-					tags.PutThrottled(Tag{KindUpdate, i, j, k})
+					tags.PutThrottledInto(Tag{KindUpdate, i, j, k}, bu)
 				}
 			}
+			bu.Flush()
 		}
 	})
 	// Puts, not Len: with get-counts active Len is the *live* census and

@@ -1,0 +1,126 @@
+package cnc
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// These are the dispatch-layer allocation gates: with the step-task
+// envelopes, dependency latches, burst buffers and []Dep scratch space all
+// pooled, the hot put→dispatch→execute cycle must not allocate in steady
+// state. Tags are ints and dependency keys are small ints (< 256), whose
+// interface conversions use the runtime's static boxes — the same shapes the
+// real drivers use pointers and pooled envelopes for. Every gate warms the
+// pools first; only the warm cycle is measured.
+
+// TestInlineDispatchSteadyStateAllocs gates the tuned prescheduled path:
+// a put whose declared dependency is already present runs the step inline
+// on the putting goroutine — tag put, latch acquire/recycle, dependency
+// probe and step execution, all without a single heap allocation.
+func TestInlineDispatchSteadyStateAllocs(t *testing.T) {
+	g := NewGraph("alloc-inline", 1)
+	items := NewItemCollection[int, int](g, "in")
+	tags := NewTagCollection[int](g, "tags", false)
+	var ran atomic.Int64
+	step := NewStepCollection(g, "noop", func(int) error {
+		ran.Add(1)
+		return nil
+	})
+	step.WithDepsAppend(TunedPrescheduled, func(tag int, buf []Dep) []Dep {
+		return append(buf, items.Key(7))
+	})
+	tags.Prescribe(step)
+
+	var allocs float64
+	err := g.Run(func() {
+		items.Put(7, 1)
+		for i := 0; i < 64; i++ { // warm the latch and scratch pools
+			tags.Put(1)
+		}
+		allocs = testing.AllocsPerRun(100, func() { tags.Put(1) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state inline put/execute cycle allocates %v objects per run, want 0", allocs)
+	}
+	if ran.Load() == 0 {
+		t.Fatal("step never ran — the gate measured nothing")
+	}
+}
+
+// TestQueueDispatchSteadyStateAllocs gates the untuned dispatch path end to
+// end: put → pooled envelope → lane push → parked-worker wakeup → worker
+// executes and recycles the envelope → worker re-parks. The channel
+// handshake serialises the cycle so the measurement window contains exactly
+// one full round trip.
+func TestQueueDispatchSteadyStateAllocs(t *testing.T) {
+	g := NewGraph("alloc-queue", 1)
+	tags := NewTagCollection[int](g, "tags", false)
+	done := make(chan struct{}, 1)
+	step := NewStepCollection(g, "noop", func(int) error {
+		done <- struct{}{}
+		return nil
+	})
+	tags.Prescribe(step)
+
+	cycle := func() {
+		tags.Put(1)
+		<-done
+	}
+	var allocs float64
+	err := g.Run(func() {
+		for i := 0; i < 64; i++ { // warm envelope pool, lane rings, parked set
+			cycle()
+		}
+		allocs = testing.AllocsPerRun(100, cycle)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state put→worker→execute cycle allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// TestBurstDispatchSteadyStateAllocs gates the batched path: a burst of
+// puts appended through PutInto, flushed as one pushBatch plus one
+// wakeBatch pass, with the burst buffer itself recycled through the pool.
+func TestBurstDispatchSteadyStateAllocs(t *testing.T) {
+	const burst = 8
+	g := NewGraph("alloc-burst", 1)
+	tags := NewTagCollection[int](g, "tags", false)
+	var pending atomic.Int64
+	done := make(chan struct{}, 1)
+	step := NewStepCollection(g, "noop", func(int) error {
+		if pending.Add(-1) == 0 {
+			done <- struct{}{}
+		}
+		return nil
+	})
+	tags.Prescribe(step)
+
+	cycle := func() {
+		pending.Store(burst)
+		bu := g.NewBurst()
+		for i := 0; i < burst; i++ {
+			tags.PutInto(i, bu)
+		}
+		bu.Flush()
+		<-done
+	}
+	var allocs float64
+	err := g.Run(func() {
+		for i := 0; i < 32; i++ { // warm burst pool, rings, parked set
+			cycle()
+		}
+		allocs = testing.AllocsPerRun(100, cycle)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state burst flush cycle allocates %v objects per run, want 0", allocs)
+	}
+}

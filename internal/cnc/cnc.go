@@ -165,6 +165,13 @@ type Graph struct {
 	quiesceCond *sync.Cond
 	parked      atomic.Int64
 
+	// burstPool recycles Burst batch buffers (NewBurst/Flush); depsPool
+	// recycles the []Dep scratch buffers the tuned dispatch paths hand to
+	// WithDepsAppend callbacks. Both exist so the steady state of a run
+	// performs no allocation in the dispatch layer.
+	burstPool sync.Pool
+	depsPool  sync.Pool
+
 	failMu sync.Mutex
 	err    error
 
@@ -327,7 +334,7 @@ func (g *Graph) RunContext(ctx context.Context, env func()) error {
 				// Cancellation is checked per dispatched unit inside
 				// StepCollection.execute, which also covers inline and
 				// pinned dispatch paths that never pass through here.
-				w()
+				w.run()
 			}
 		}(i)
 	}
@@ -375,7 +382,7 @@ func (g *Graph) fail(err error) {
 }
 
 // schedule enqueues a runnable step instance on the global queue.
-func (g *Graph) schedule(run func()) {
+func (g *Graph) schedule(run runnable) {
 	g.outstanding.Add(1)
 	g.queue.push(run)
 }
@@ -383,7 +390,7 @@ func (g *Graph) schedule(run func()) {
 // scheduleOn enqueues a runnable step instance pinned to one worker (the
 // compute_on placement). Out-of-range workers wrap around so tuners can
 // use plain tile arithmetic.
-func (g *Graph) scheduleOn(worker int, run func()) {
+func (g *Graph) scheduleOn(worker int, run runnable) {
 	g.outstanding.Add(1)
 	w := worker % g.workers
 	if w < 0 {
@@ -391,6 +398,58 @@ func (g *Graph) scheduleOn(worker int, run func()) {
 	}
 	g.stats.pinned.Add(1)
 	g.queue.pushLocal(w, run)
+}
+
+// Burst accumulates tag puts so their dispatches hit the queue — and wake
+// parked workers — once per burst instead of once per tag. Obtain one with
+// NewBurst, put through TagCollection.PutInto / PutThrottledInto, and call
+// Flush when the burst is complete. A Burst is single-use and not safe for
+// concurrent use: Flush hands it back to an internal pool, so it must not
+// be touched afterwards. The runtime itself bursts the waiter wakeups of
+// every item put and the child-tag fan-out of the recursive DAG builders.
+//
+// Outstanding-work accounting happens at append time (each PutInto holds
+// the graph open exactly like a plain Put), so a burst in flight can never
+// let the graph quiesce early; dropping a burst without Flush leaks those
+// holds and hangs the run — always Flush.
+type Burst struct {
+	g  *Graph
+	rs []runnable
+}
+
+// NewBurst returns an empty burst bound to the graph. Bursts are pooled:
+// the steady state of a run allocates none.
+func (g *Graph) NewBurst() *Burst {
+	bu, _ := g.burstPool.Get().(*Burst)
+	if bu == nil {
+		bu = &Burst{}
+	}
+	bu.g = g
+	return bu
+}
+
+// Flush pushes every accumulated dispatch in one batch, waking parked
+// workers once for the whole burst, and recycles the Burst. Flushing an
+// empty burst is a cheap no-op; using the Burst after Flush is a bug.
+func (bu *Burst) Flush() {
+	g := bu.g
+	if g == nil {
+		return // already flushed
+	}
+	if len(bu.rs) > 0 {
+		g.queue.pushBatch(bu.rs)
+	}
+	clear(bu.rs)
+	bu.rs = bu.rs[:0]
+	bu.g = nil
+	g.burstPool.Put(bu)
+}
+
+// add appends one dispatch to the burst, taking the outstanding-work hold
+// immediately.
+func (bu *Burst) add(g *Graph, run runnable) {
+	g.outstanding.Add(1)
+	bu.rs = append(bu.rs, run)
 }
 
 // taskDone retires one unit of outstanding work and signals quiescence when

@@ -46,9 +46,10 @@ func (d Dep) String() string { return fmt.Sprintf("%s[%v]", d.store.collName(), 
 // scheduling and get-count release.
 type itemStore interface {
 	collName() string
-	// subscribe registers notify to fire once when key becomes present.
-	// It returns false — without registering — when key is already present.
-	subscribe(key any, label string, notify func()) bool
+	// subscribe registers notify to fire once when key becomes present,
+	// labelled (lazily, through who) for deadlock reports. It returns
+	// false — without registering — when key is already present.
+	subscribe(key any, who waitLabeler, notify func(*Burst)) bool
 	// release decrements key's get-count (no-op on collections without
 	// one), freeing the item at zero.
 	release(key any)
@@ -97,14 +98,25 @@ type StepCollection[T comparable] struct {
 	meta *stepMeta
 	fn   StepFunc[T]
 
-	deps      func(T) []Dep
-	gets      func(T) []Dep
+	// depsApp and getsApp are the append-form dependency and read-set
+	// declarations (WithDepsAppend / WithGetsAppend); the slice-returning
+	// WithDeps / WithGets wrap their callbacks into this form so the
+	// runtime has a single internal representation that composes with
+	// pooled scratch buffers.
+	depsApp   func(T, []Dep) []Dep
+	getsApp   func(T, []Dep) []Dep
 	mode      TuningMode
 	computeOn func(T) int
 
 	retry    int
 	retryMu  sync.Mutex
 	attempts map[T]int
+
+	// taskPool recycles dispatch envelopes (stepTask) and latchPool the
+	// dependency-countdown latches (depLatch), so both the untuned and the
+	// tuned dispatch paths allocate nothing in steady state.
+	taskPool  sync.Pool
+	latchPool sync.Pool
 }
 
 // retryUnset marks a step collection that has not called WithRetry, so the
@@ -127,7 +139,18 @@ func NewStepCollection[T comparable](g *Graph, name string, fn StepFunc[T]) *Ste
 // available. The declaration must cover every Get the step performs;
 // undeclared Gets fall back to the speculative abort path.
 func (sc *StepCollection[T]) WithDeps(mode TuningMode, deps func(T) []Dep) *StepCollection[T] {
-	sc.deps = deps
+	return sc.WithDepsAppend(mode, func(tag T, buf []Dep) []Dep {
+		return append(buf, deps(tag)...)
+	})
+}
+
+// WithDepsAppend is the allocation-free form of WithDeps: instead of
+// returning a fresh slice, the callback appends the tag's dependencies to a
+// runtime-pooled scratch buffer and returns it (the usual append idiom).
+// The buffer is only valid for the duration of the call — the callback must
+// not retain it.
+func (sc *StepCollection[T]) WithDepsAppend(mode TuningMode, deps func(T, []Dep) []Dep) *StepCollection[T] {
+	sc.depsApp = deps
 	sc.mode = mode
 	return sc
 }
@@ -150,7 +173,16 @@ func (sc *StepCollection[T]) WithDeps(mode TuningMode, deps func(T) []Dep) *Step
 // TryGet-miss-and-re-put-own-tag pattern retires a successful instance per
 // poll, so non-blocking step collections must not declare gets.
 func (sc *StepCollection[T]) WithGets(fn func(T) []Dep) *StepCollection[T] {
-	sc.gets = fn
+	return sc.WithGetsAppend(func(tag T, buf []Dep) []Dep {
+		return append(buf, fn(tag)...)
+	})
+}
+
+// WithGetsAppend is the allocation-free form of WithGets: the callback
+// appends the tag's read set to a runtime-pooled scratch buffer and returns
+// it. The buffer is only valid for the duration of the call.
+func (sc *StepCollection[T]) WithGetsAppend(fn func(T, []Dep) []Dep) *StepCollection[T] {
+	sc.getsApp = fn
 	sc.g.structMu.Lock()
 	sc.meta.releases = true
 	sc.g.structMu.Unlock()
@@ -161,15 +193,21 @@ func (sc *StepCollection[T]) WithGets(fn func(T) []Dep) *StepCollection[T] {
 // already readable — the admission probe for memory-throttled tag puts.
 // Steps without a WithGets declaration are always ready.
 func (sc *StepCollection[T]) readyFor(tag T) bool {
-	if sc.gets == nil {
+	if sc.getsApp == nil {
 		return true
 	}
-	for _, d := range sc.gets(tag) {
+	bufp := sc.g.takeDeps()
+	ds := sc.getsApp(tag, *bufp)
+	ready := true
+	for _, d := range ds {
 		if !d.store.has(d.key) {
-			return false
+			ready = false
+			break
 		}
 	}
-	return true
+	*bufp = ds
+	sc.g.putDeps(bufp)
+	return ready
 }
 
 // freeableFor reports how many accounted bytes the instance for tag would
@@ -177,14 +215,34 @@ func (sc *StepCollection[T]) readyFor(tag T) bool {
 // read is the last (remaining get-count 1). Admission uses it to tell
 // memory-releasing steps apart from memory-growing ones.
 func (sc *StepCollection[T]) freeableFor(tag T) int64 {
-	if sc.gets == nil {
+	if sc.getsApp == nil {
 		return 0
 	}
+	bufp := sc.g.takeDeps()
+	ds := sc.getsApp(tag, *bufp)
 	var n int64
-	for _, d := range sc.gets(tag) {
+	for _, d := range ds {
 		n += d.store.freeableBytes(d.key)
 	}
+	*bufp = ds
+	sc.g.putDeps(bufp)
 	return n
+}
+
+// takeDeps and putDeps manage the pooled []Dep scratch buffers handed to
+// WithDepsAppend/WithGetsAppend callbacks.
+func (g *Graph) takeDeps() *[]Dep {
+	p, _ := g.depsPool.Get().(*[]Dep)
+	if p == nil {
+		p = new([]Dep)
+	}
+	return p
+}
+
+func (g *Graph) putDeps(p *[]Dep) {
+	clear(*p)
+	*p = (*p)[:0]
+	g.depsPool.Put(p)
 }
 
 // WithRetry allows every instance of the step to be re-executed up to n
@@ -246,55 +304,131 @@ type Named interface{ CollectionName() string }
 // CollectionName returns the step collection's name.
 func (sc *StepCollection[T]) CollectionName() string { return sc.meta.name }
 
+// stepTask is the pooled dispatch envelope: one queued execution attempt of
+// a step instance. Storing *stepTask in the queue's runnable interface is
+// allocation-free (the value is pointer-shaped), and run recycles the
+// envelope before executing, so the untuned dispatch path allocates nothing
+// in steady state.
+type stepTask[T comparable] struct {
+	sc  *StepCollection[T]
+	tag T
+}
+
+func (t *stepTask[T]) run() {
+	sc, tag := t.sc, t.tag
+	t.sc = nil
+	var zero T
+	t.tag = zero
+	sc.taskPool.Put(t)
+	sc.execute(tag)
+}
+
+func (sc *StepCollection[T]) newTask(tag T) *stepTask[T] {
+	t, _ := sc.taskPool.Get().(*stepTask[T])
+	if t == nil {
+		t = &stepTask[T]{}
+	}
+	t.sc = sc
+	t.tag = tag
+	return t
+}
+
 // dispatch schedules one runnable execution attempt, honouring compute_on
 // placement.
 func (sc *StepCollection[T]) dispatch(tag T) {
 	if sc.computeOn != nil {
-		sc.g.scheduleOn(sc.computeOn(tag), func() { sc.execute(tag) })
+		sc.g.scheduleOn(sc.computeOn(tag), sc.newTask(tag))
 		return
 	}
-	sc.g.schedule(func() { sc.execute(tag) })
+	sc.g.schedule(sc.newTask(tag))
+}
+
+// dispatchInto appends the execution attempt to bu when one is open, so the
+// queue push and the worker wakeup are paid once per burst; otherwise (or
+// for pinned steps, whose lane is fixed) it dispatches immediately.
+func (sc *StepCollection[T]) dispatchInto(tag T, bu *Burst) {
+	if bu == nil || bu.g == nil || sc.computeOn != nil {
+		sc.dispatch(tag)
+		return
+	}
+	bu.add(sc.g, sc.newTask(tag))
+}
+
+// depLatch is the pooled dependency-countdown latch of one tuned step
+// instance: the +1 sentinel guarantees the release runs at most once and
+// only after every subscribe call has been issued. notify is the pre-bound
+// external-arrival closure, created once per latch allocation and reused
+// across pool generations, so steady-state instance launches allocate
+// nothing. The latch recycles itself on the final arrival; any waiter still
+// registered on an item shard implies a pending arrival (remaining ≥ 1), so
+// a latch reachable from a wait list is always live — which is what makes
+// the lazy waitLabel safe for concurrent deadlock reports.
+type depLatch[T comparable] struct {
+	sc        *StepCollection[T]
+	tag       T
+	remaining atomic.Int64
+	notify    func(*Burst)
+}
+
+func (l *depLatch[T]) waitLabel() string {
+	return fmt.Sprintf("%s@%v", l.sc.meta.name, l.tag)
+}
+
+func (l *depLatch[T]) arrive(inline bool, bu *Burst) {
+	if l.remaining.Add(-1) != 0 {
+		return
+	}
+	sc, tag := l.sc, l.tag
+	l.sc = nil
+	var zero T
+	l.tag = zero
+	sc.latchPool.Put(l)
+	g := sc.g
+	g.parked.Add(-1)
+	if inline && sc.mode == TunedPrescheduled && sc.computeOn == nil {
+		g.stats.inline.Add(1)
+		g.outstanding.Add(1)
+		sc.execute(tag)
+		return
+	}
+	g.stats.triggered.Add(1)
+	sc.dispatchInto(tag, bu)
+}
+
+func (sc *StepCollection[T]) newLatch(tag T) *depLatch[T] {
+	l, _ := sc.latchPool.Get().(*depLatch[T])
+	if l == nil {
+		l = &depLatch[T]{}
+		l.notify = func(bu *Burst) { l.arrive(false, bu) }
+	}
+	l.sc = sc
+	l.tag = tag
+	l.remaining.Store(1)
+	return l
 }
 
 // instance launches the step instance for tag according to the collection's
-// tuning mode.
-func (sc *StepCollection[T]) instance(tag T) {
+// tuning mode. A non-nil bu batches the resulting dispatch (if any) with
+// the rest of the burst.
+func (sc *StepCollection[T]) instance(tag T, bu *Burst) {
 	g := sc.g
-	if sc.deps == nil {
-		sc.dispatch(tag)
+	if sc.depsApp == nil {
+		sc.dispatchInto(tag, bu)
 		return
 	}
-	deps := sc.deps(tag)
-	label := fmt.Sprintf("%s@%v", sc.meta.name, tag)
-
-	// Countdown latch: the +1 sentinel guarantees the release runs at most
-	// once and only after every subscribe call has been issued.
-	var remaining atomic.Int64
-	remaining.Store(1)
+	bufp := g.takeDeps()
+	deps := sc.depsApp(tag, *bufp)
+	l := sc.newLatch(tag)
 	g.parked.Add(1)
-	release := func(inline bool) {
-		g.parked.Add(-1)
-		if inline && sc.mode == TunedPrescheduled && sc.computeOn == nil {
-			g.stats.inline.Add(1)
-			g.outstanding.Add(1)
-			sc.execute(tag)
-			return
-		}
-		g.stats.triggered.Add(1)
-		sc.dispatch(tag)
-	}
-	arrive := func(inline bool) {
-		if remaining.Add(-1) == 0 {
-			release(inline)
-		}
-	}
 	for _, d := range deps {
-		remaining.Add(1)
-		if !d.store.subscribe(d.key, label, func() { arrive(false) }) {
-			remaining.Add(-1) // already present
+		l.remaining.Add(1)
+		if !d.store.subscribe(d.key, l, l.notify) {
+			l.remaining.Add(-1) // already present
 		}
 	}
-	arrive(true) // retire the sentinel; runs inline when no dep was missing
+	*bufp = deps
+	g.putDeps(bufp)
+	l.arrive(true, bu) // retire the sentinel; runs inline when no dep was missing
 }
 
 // execute runs one (possibly speculative) execution attempt of the instance.
@@ -322,12 +456,13 @@ func (sc *StepCollection[T]) execute(tag T) {
 		}
 		if rs, ok := r.(*retrySignal); ok {
 			// Failed blocking Get: park this instance on the item's wait
-			// list; Put will re-schedule it from scratch.
+			// list; Put will re-schedule it from scratch (batched with the
+			// put's other wakeups when it passes a burst).
 			g.stats.aborts.Add(1)
 			label := fmt.Sprintf("%s@%v", sc.meta.name, tag)
-			rs.park(label, func() {
+			rs.park(label, func(bu *Burst) {
 				g.stats.requeues.Add(1)
-				sc.dispatch(tag)
+				sc.dispatchInto(tag, bu)
 			})
 			return
 		}
@@ -352,10 +487,14 @@ func (sc *StepCollection[T]) execute(tag T) {
 	}
 	// Successful completion: release the declared read set exactly once,
 	// however many aborted or retried attempts preceded this one.
-	if sc.gets != nil {
-		for _, d := range sc.gets(tag) {
+	if sc.getsApp != nil {
+		bufp := g.takeDeps()
+		ds := sc.getsApp(tag, *bufp)
+		for _, d := range ds {
 			d.store.release(d.key)
 		}
+		*bufp = ds
+		g.putDeps(bufp)
 	}
 	g.stats.done.Add(1)
 }
@@ -406,17 +545,21 @@ type TagCollection[T comparable] struct {
 
 	tagBytes func(T) int
 
-	mu         sync.Mutex
-	prescribed []prescribable[T]
-	memoize    bool
-	seen       map[T]struct{}
+	// prescribed is a copy-on-write snapshot (Prescribe replaces it under
+	// mu) so the hot Put path reads it with one atomic load instead of a
+	// lock round-trip.
+	prescribed atomic.Pointer[[]prescribable[T]]
+
+	mu      sync.Mutex
+	memoize bool
+	seen    map[T]struct{}
 }
 
 // prescribable is the tag collection's view of a prescribed step
 // collection: instance creation plus the memory-throttling admission
 // probes.
 type prescribable[T comparable] interface {
-	instance(T)
+	instance(T, *Burst)
 	readyFor(T) bool
 	freeableFor(T) int64
 }
@@ -446,13 +589,37 @@ func (tc *TagCollection[T]) Prescribe(sc *StepCollection[T]) {
 	sc.meta.prescribedBy = append(sc.meta.prescribedBy, tc.name)
 	tc.g.structMu.Unlock()
 	tc.mu.Lock()
-	tc.prescribed = append(tc.prescribed, sc)
+	var cur []prescribable[T]
+	if p := tc.prescribed.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]prescribable[T], len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = sc
+	tc.prescribed.Store(&next)
 	tc.mu.Unlock()
+}
+
+func (tc *TagCollection[T]) prescribedList() []prescribable[T] {
+	if p := tc.prescribed.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Put puts a tag, creating an instance of every prescribed step collection.
 // It may be called from the environment function or from inside steps.
-func (tc *TagCollection[T]) Put(tag T) {
+func (tc *TagCollection[T]) Put(tag T) { tc.putInto(tag, nil) }
+
+// PutInto is Put with batched dispatch: instances whose dependencies are
+// already satisfied are appended to bu instead of being pushed (and waking
+// a worker) one at a time; they hit the queue when the burst flushes. The
+// semantics are otherwise exactly Put's — memoization, hooks and statistics
+// all apply, and outstanding-work accounting happens immediately, so the
+// graph cannot quiesce while the burst is open.
+func (tc *TagCollection[T]) PutInto(tag T, bu *Burst) { tc.putInto(tag, bu) }
+
+func (tc *TagCollection[T]) putInto(tag T, bu *Burst) {
 	tc.g.checkRunning()
 	if h := tc.g.hooks; h != nil && h.DropTag != nil && h.DropTag(tc.name, tag) {
 		return // injected fault: the tag is lost before memoization sees it
@@ -467,11 +634,8 @@ func (tc *TagCollection[T]) Put(tag T) {
 		tc.mu.Unlock()
 	}
 	tc.g.stats.tagsPut.Add(1)
-	tc.mu.Lock()
-	pres := tc.prescribed
-	tc.mu.Unlock()
-	for _, sc := range pres {
-		sc.instance(tag)
+	for _, sc := range tc.prescribedList() {
+		sc.instance(tag, bu)
 	}
 }
 
@@ -501,9 +665,18 @@ func (tc *TagCollection[T]) WithTagBytes(fn func(T) int) *TagCollection[T] {
 // behaviour when the budget can never clear. Best used with unmemoized
 // collections: a deduplicated tag's reservation is never converted and
 // would over-throttle later puts.
-func (tc *TagCollection[T]) PutThrottled(tag T) {
+func (tc *TagCollection[T]) PutThrottled(tag T) { tc.putThrottledInto(tag, nil) }
+
+// PutThrottledInto is PutThrottled with batched dispatch: tags admitted
+// immediately (no memory limit, or zero declared cost, or budget available)
+// go through bu like PutInto; a deferred tag is admitted later through the
+// unbatched path, since its admission time is not under the putter's
+// control.
+func (tc *TagCollection[T]) PutThrottledInto(tag T, bu *Burst) { tc.putThrottledInto(tag, bu) }
+
+func (tc *TagCollection[T]) putThrottledInto(tag T, bu *Burst) {
 	if !tc.g.acct.limited() {
-		tc.Put(tag)
+		tc.putInto(tag, bu)
 		return
 	}
 	tc.g.checkRunning()
@@ -513,7 +686,7 @@ func (tc *TagCollection[T]) PutThrottled(tag T) {
 	}
 	if cost == 0 {
 		// Control-only tags occupy no budget and are never deferred.
-		tc.Put(tag)
+		tc.putInto(tag, bu)
 		return
 	}
 	tc.g.acct.enqueue(cost,
@@ -525,10 +698,7 @@ func (tc *TagCollection[T]) PutThrottled(tag T) {
 // readyFor reports whether every prescribed step's declared gets for tag
 // are already readable.
 func (tc *TagCollection[T]) readyFor(tag T) bool {
-	tc.mu.Lock()
-	pres := tc.prescribed
-	tc.mu.Unlock()
-	for _, sc := range pres {
+	for _, sc := range tc.prescribedList() {
 		if !sc.readyFor(tag) {
 			return false
 		}
@@ -539,24 +709,32 @@ func (tc *TagCollection[T]) readyFor(tag T) bool {
 // freeableFor reports the accounted bytes the prescribed steps for tag
 // would free on completion.
 func (tc *TagCollection[T]) freeableFor(tag T) int64 {
-	tc.mu.Lock()
-	pres := tc.prescribed
-	tc.mu.Unlock()
 	var n int64
-	for _, sc := range pres {
+	for _, sc := range tc.prescribedList() {
 		n += sc.freeableFor(tag)
 	}
 	return n
 }
 
 // PutRange puts the tags mk(lo), mk(lo+1), …, mk(hi-1) — the Intel CnC
-// tag-range pattern for prescribing dense index spaces in one call. Each
-// put is throttled (PutThrottled), so a tag-range environment honours the
-// graph's memory limit.
+// tag-range pattern for prescribing dense index spaces in one call. When
+// the graph has no memory limit (or the collection declares no tag cost)
+// the whole range is dispatched as one burst: a single batched queue push
+// and one wakeup pass instead of hi-lo of each. Under an active memory
+// limit with declared tag bytes, each put is throttled individually so the
+// range honours the budget exactly as before.
 func (tc *TagCollection[T]) PutRange(lo, hi int, mk func(int) T) {
-	for i := lo; i < hi; i++ {
-		tc.PutThrottled(mk(i))
+	if tc.g.acct.limited() && tc.tagBytes != nil {
+		for i := lo; i < hi; i++ {
+			tc.PutThrottled(mk(i))
+		}
+		return
 	}
+	bu := tc.g.NewBurst()
+	for i := lo; i < hi; i++ {
+		tc.putInto(mk(i), bu)
+	}
+	bu.Flush()
 }
 
 // itemShards is the stripe count of an ItemCollection's key space (a power
@@ -594,10 +772,26 @@ type ItemCollection[K comparable, V any] struct {
 	shards   [itemShards]itemShard[K, V]
 }
 
+// waiter is one parked consumer of a missing item: a tuned dependency latch
+// or a speculatively-aborted instance. The label is materialised lazily
+// through waitLabeler — deadlock reports and Blocked snapshots are the only
+// readers, so the common case (the item arrives) never pays the
+// fmt.Sprintf. notify takes the burst of the Put that woke it (nil when
+// unbatched) so a put that satisfies many waiters re-dispatches them with
+// one queue push.
 type waiter struct {
-	label  string
-	notify func()
+	who    waitLabeler
+	notify func(*Burst)
 }
+
+// waitLabeler names a parked instance for deadlock reports. It is
+// implemented by depLatch (lazily) and by fixedLabel for the speculative
+// abort path, whose label is already materialised when it parks.
+type waitLabeler interface{ waitLabel() string }
+
+type fixedLabel string
+
+func (s fixedLabel) waitLabel() string { return string(s) }
 
 // NewItemCollection registers an item collection on g.
 func NewItemCollection[K comparable, V any](g *Graph, name string) *ItemCollection[K, V] {
@@ -754,8 +948,21 @@ func (ic *ItemCollection[K, V]) Put(k K, v V) {
 	if freeNow {
 		ic.g.acct.free(size)
 	}
-	for _, w := range ws {
-		w.notify()
+	if len(ws) > 0 {
+		// Coalesce the wakeups: every waiter this put satisfies lands on
+		// the queue in one batch with a single signalling pass, instead of
+		// one push + one worker wake per waiter. (A lone waiter skips the
+		// burst — a direct push is exactly as cheap.)
+		var bu *Burst
+		if len(ws) > 1 {
+			bu = ic.g.NewBurst()
+		}
+		for _, w := range ws {
+			w.notify(bu)
+		}
+		if bu != nil {
+			bu.Flush()
+		}
 	}
 	// A new item can make deferred throttled tags runnable.
 	if ic.g.acct.pendingN.Load() > 0 {
@@ -881,19 +1088,19 @@ func (ic *ItemCollection[K, V]) Get(k K) V {
 	}
 	sh.mu.Unlock()
 	panic(&retrySignal{
-		park: func(label string, requeue func()) {
+		park: func(label string, requeue func(*Burst)) {
 			sh.mu.Lock()
 			if _, ok := sh.items[k]; ok {
 				// The item arrived between TryGet and parking: requeue
 				// immediately instead of waiting.
 				sh.mu.Unlock()
-				requeue()
+				requeue(nil)
 				return
 			}
 			ic.g.parked.Add(1)
-			sh.waiters[k] = append(sh.waiters[k], waiter{label: label, notify: func() {
+			sh.waiters[k] = append(sh.waiters[k], waiter{who: fixedLabel(label), notify: func(bu *Burst) {
 				ic.g.parked.Add(-1)
-				requeue()
+				requeue(bu)
 			}})
 			sh.mu.Unlock()
 		},
@@ -943,7 +1150,7 @@ func (ic *ItemCollection[K, V]) Len() int {
 }
 
 // subscribe implements itemStore for tuned scheduling.
-func (ic *ItemCollection[K, V]) subscribe(key any, label string, notify func()) bool {
+func (ic *ItemCollection[K, V]) subscribe(key any, who waitLabeler, notify func(*Burst)) bool {
 	k, ok := key.(K)
 	if !ok {
 		// Fail the graph but treat the dependency as satisfied so the
@@ -969,7 +1176,7 @@ func (ic *ItemCollection[K, V]) subscribe(key any, label string, notify func()) 
 		ic.g.fail(err)
 		return false
 	}
-	sh.waiters[k] = append(sh.waiters[k], waiter{label: label, notify: notify})
+	sh.waiters[k] = append(sh.waiters[k], waiter{who: who, notify: notify})
 	return true
 }
 
@@ -981,7 +1188,7 @@ func (ic *ItemCollection[K, V]) blockedInstances() []string {
 		sh.mu.Lock()
 		for k, ws := range sh.waiters {
 			for _, w := range ws {
-				out = append(out, fmt.Sprintf("%s <- %s[%v]", w.label, ic.name, k))
+				out = append(out, fmt.Sprintf("%s <- %s[%v]", w.who.waitLabel(), ic.name, k))
 			}
 		}
 		sh.mu.Unlock()
@@ -990,7 +1197,9 @@ func (ic *ItemCollection[K, V]) blockedInstances() []string {
 	return out
 }
 
-// retrySignal is the panic payload of a failed blocking Get.
+// retrySignal is the panic payload of a failed blocking Get. The requeue
+// callback receives the burst of the Put that woke the instance (nil for an
+// immediate requeue) so re-dispatches batch with the put's other wakeups.
 type retrySignal struct {
-	park func(label string, requeue func())
+	park func(label string, requeue func(*Burst))
 }

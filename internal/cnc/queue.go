@@ -30,25 +30,39 @@ func (p StealPolicy) String() string {
 	return "random"
 }
 
+// runnable is one unit of dispatched work. It is an interface rather than a
+// func() so the hot dispatch path can enqueue pooled step-task envelopes
+// (*stepTask) without allocating: storing a pointer in an interface is
+// allocation-free, while every func() closure capturing a tag is a fresh
+// heap object.
+type runnable interface{ run() }
+
+// funcTask adapts a plain func() to the runnable interface for the slow
+// paths (and tests) where a closure is fine. Func values are pointer-shaped,
+// so the interface conversion itself does not allocate.
+type funcTask func()
+
+func (f funcTask) run() { f() }
+
 // ring is a growable circular FIFO of work items. Unlike the seed's
 // re-sliced `q.items = q.items[1:]` queues it reuses its backing array:
 // steady-state push/pop allocates nothing and retains no dead heads
 // (regression-tested with testing.AllocsPerRun).
 type ring struct {
-	buf  []func()
+	buf  []runnable
 	head int // index of the oldest element
 	n    int
 }
 
 func (r *ring) len() int { return r.n }
 
-func (r *ring) pushBack(w func()) {
+func (r *ring) pushBack(w runnable) {
 	if r.n == len(r.buf) {
 		c := len(r.buf) * 2
 		if c == 0 {
 			c = 8
 		}
-		nb := make([]func(), c)
+		nb := make([]runnable, c)
 		for i := 0; i < r.n; i++ {
 			nb[i] = r.buf[(r.head+i)%len(r.buf)]
 		}
@@ -58,7 +72,7 @@ func (r *ring) pushBack(w func()) {
 	r.n++
 }
 
-func (r *ring) popFront() (func(), bool) {
+func (r *ring) popFront() (runnable, bool) {
 	if r.n == 0 {
 		return nil, false
 	}
@@ -138,7 +152,7 @@ func (q *workQueue) init(workers int, policy StealPolicy, seed int64) {
 
 // push enqueues stealable work on the next lane in round-robin order and
 // wakes at most one parked worker.
-func (q *workQueue) push(w func()) {
+func (q *workQueue) push(w runnable) {
 	t := int(q.nextPush.Add(1) % uint64(len(q.lanes)))
 	lane := q.lanes[t]
 	lane.mu.Lock()
@@ -147,9 +161,33 @@ func (q *workQueue) push(w func()) {
 	q.wakeAny(t)
 }
 
+// pushBatch enqueues a burst of stealable work, distributing it round-robin
+// across the lanes with one lock acquisition per lane, and then signals
+// parked workers once for the whole burst instead of once per item: at most
+// min(len(ws), parked) wake tokens are sent. This is the dispatch
+// amortisation behind TagCollection.PutRange and Burst — a GE elimination
+// phase that puts hundreds of tags pays a handful of lock/wake operations
+// rather than hundreds.
+func (q *workQueue) pushBatch(ws []runnable) {
+	if len(ws) == 0 {
+		return
+	}
+	n := len(q.lanes)
+	start := int((q.nextPush.Add(uint64(len(ws))) - uint64(len(ws))) % uint64(n))
+	for off := 0; off < n && off < len(ws); off++ {
+		lane := q.lanes[(start+off)%n]
+		lane.mu.Lock()
+		for i := off; i < len(ws); i += n {
+			lane.queue.pushBack(ws[i])
+		}
+		lane.mu.Unlock()
+	}
+	q.wakeBatch(len(ws))
+}
+
 // pushLocal enqueues pinned work for one worker and wakes that worker
 // specifically — nobody else can run it.
-func (q *workQueue) pushLocal(worker int, w func()) {
+func (q *workQueue) pushLocal(worker int, w runnable) {
 	lane := q.lanes[worker]
 	lane.mu.Lock()
 	lane.pinned.pushBack(w)
@@ -177,6 +215,34 @@ func (q *workQueue) wakeAny(preferred int) {
 	q.parkMu.Unlock()
 	if chosen >= 0 {
 		q.sendWake(chosen)
+	}
+}
+
+// wakeBatch wakes up to n parked workers in one parkMu pass — the burst
+// analogue of wakeAny. Most recently parked workers are woken first (their
+// stacks are warmest). The same lost-wakeup argument as wakeAny applies:
+// pushBatch completes every enqueue before calling here, so a worker that
+// parks between the enqueue and the wake either re-probes and finds the
+// work or is in the parked set and receives a token.
+func (q *workQueue) wakeBatch(n int) {
+	if n <= 0 || q.nParked.Load() == 0 {
+		return
+	}
+	var buf [64]int
+	if n > len(buf) {
+		n = len(buf)
+	}
+	m := 0
+	q.parkMu.Lock()
+	for m < n && len(q.parked) > 0 {
+		id := q.parked[len(q.parked)-1]
+		q.removeParkedLocked(id)
+		buf[m] = id
+		m++
+	}
+	q.parkMu.Unlock()
+	for i := 0; i < m; i++ {
+		q.sendWake(buf[i])
 	}
 }
 
@@ -218,7 +284,7 @@ func (q *workQueue) removeParkedLocked(worker int) {
 // take attempts to acquire one unit of work without blocking: the
 // worker's own pinned FIFO first (preserving the ComputeOn ordering
 // guarantee), then its own general queue, then a steal sweep.
-func (q *workQueue) take(worker int) (func(), bool) {
+func (q *workQueue) take(worker int) (runnable, bool) {
 	lane := q.lanes[worker]
 	lane.mu.Lock()
 	if w, ok := lane.pinned.popFront(); ok {
@@ -238,7 +304,7 @@ func (q *workQueue) take(worker int) (func(), bool) {
 
 // steal probes the other lanes once each, in policy order, taking the
 // oldest stealable item of the first non-empty victim.
-func (q *workQueue) steal(worker int) func() {
+func (q *workQueue) steal(worker int) runnable {
 	n := len(q.lanes)
 	if n == 1 {
 		return nil
@@ -271,7 +337,7 @@ func (q *workQueue) steal(worker int) func() {
 // pop returns the next unit for the given worker, blocking until work
 // arrives or the queue closes. On close it keeps returning remaining work
 // (pinned first, then anything stealable) until none is left.
-func (q *workQueue) pop(worker int) (func(), bool) {
+func (q *workQueue) pop(worker int) (runnable, bool) {
 	lane := q.lanes[worker]
 	for {
 		if w, ok := q.take(worker); ok {

@@ -84,7 +84,7 @@ func BenchmarkItemStoreParallel(b *testing.B) {
 func BenchmarkQueuePushTake(b *testing.B) {
 	var q workQueue
 	q.init(1, StealRandom, 1)
-	f := func() {}
+	f := funcTask(func() {})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.push(f)

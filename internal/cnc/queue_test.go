@@ -14,7 +14,7 @@ func TestQueuePinnedBeforeGlobalOrder(t *testing.T) {
 	var q workQueue
 	q.init(1, StealRandom, 1)
 	var order []int
-	rec := func(i int) func() { return func() { order = append(order, i) } }
+	rec := func(i int) runnable { return funcTask(func() { order = append(order, i) }) }
 	q.pushLocal(0, rec(1))
 	q.push(rec(99))
 	q.pushLocal(0, rec(2))
@@ -24,7 +24,7 @@ func TestQueuePinnedBeforeGlobalOrder(t *testing.T) {
 		if !ok {
 			t.Fatalf("pop %d: queue reported closed", i)
 		}
-		w()
+		w.run()
 	}
 	want := []int{1, 2, 3, 99}
 	for i := range want {
@@ -39,7 +39,7 @@ func TestQueuePinnedBeforeGlobalOrder(t *testing.T) {
 func TestQueuePinnedNotStealable(t *testing.T) {
 	var q workQueue
 	q.init(4, StealRandom, 1)
-	q.pushLocal(2, func() {})
+	q.pushLocal(2, funcTask(func() {}))
 	for _, w := range []int{0, 1, 3} {
 		if _, ok := q.take(w); ok {
 			t.Fatalf("worker %d took work pinned to worker 2", w)
@@ -56,7 +56,7 @@ func TestQueueStealCounters(t *testing.T) {
 	var q workQueue
 	q.init(2, StealSequential, 1)
 	q.nextPush.Store(1) // next push lands on lane (1+1)%2 = 0
-	q.push(func() {})
+	q.push(funcTask(func() {}))
 	if _, ok := q.take(1); !ok {
 		t.Fatal("worker 1 failed to steal from worker 0's lane")
 	}
@@ -80,14 +80,14 @@ func TestQueueQuiesceOneWorker(t *testing.T) {
 	const n = 100
 	got := 0
 	for i := 0; i < n; i++ {
-		q.push(func() { got++ })
+		q.push(funcTask(func() { got++ }))
 	}
 	for i := 0; i < n; i++ {
 		w, ok := q.pop(0)
 		if !ok {
 			t.Fatalf("pop %d: queue reported closed early", i)
 		}
-		w()
+		w.run()
 	}
 	q.close()
 	if _, ok := q.pop(0); ok {
@@ -141,11 +141,11 @@ func TestQueueNoLostWakeup(t *testing.T) {
 			if !ok {
 				return
 			}
-			w()
+			w.run()
 		}
 	}()
 	for i := 0; i < rounds; i++ {
-		q.push(func() { ran <- struct{}{} })
+		q.push(funcTask(func() { ran <- struct{}{} }))
 		select {
 		case <-ran:
 		case <-time.After(10 * time.Second):
@@ -180,7 +180,7 @@ func TestQueueConcurrentStress(t *testing.T) {
 					return
 				}
 				current[id].Add(1)
-				w()
+				w.run()
 				current[id].Add(-1)
 			}
 		}(i)
@@ -194,14 +194,14 @@ func TestQueueConcurrentStress(t *testing.T) {
 			for i := 0; i < perPusher; i++ {
 				if i%3 == 0 {
 					target := (p + i) % workers
-					q.pushLocal(target, func() {
+					q.pushLocal(target, funcTask(func() {
 						if current[target].Load() == 0 {
 							pinnedWrong.Add(1)
 						}
 						executed.Add(1)
-					})
+					}))
 				} else {
-					q.push(func() { executed.Add(1) })
+					q.push(funcTask(func() { executed.Add(1) }))
 				}
 			}
 		}(p)
@@ -231,7 +231,7 @@ func TestQueueConcurrentStress(t *testing.T) {
 // must not allocate, and drained slots must not retain their closures.
 func TestRingReusesBacking(t *testing.T) {
 	var r ring
-	f := func() {}
+	f := funcTask(func() {})
 	for i := 0; i < 8; i++ { // warm up to capacity 8
 		r.pushBack(f)
 	}
@@ -263,7 +263,7 @@ func TestRingReusesBacking(t *testing.T) {
 func TestQueueSteadyStateAllocs(t *testing.T) {
 	var q workQueue
 	q.init(2, StealRandom, 1)
-	f := func() {}
+	f := funcTask(func() {})
 	q.pushLocal(0, f)
 	q.take(0)
 	allocs := testing.AllocsPerRun(100, func() {

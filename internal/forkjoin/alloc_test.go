@@ -1,0 +1,30 @@
+package forkjoin
+
+import "testing"
+
+func nopCall(*Ctx, any, [4]int) {}
+
+// TestSpawnCallSteadyStateAllocs is the fork-join half of the dispatch
+// allocation gates: with spawn frames and task contexts pooled and the
+// child expressed as a package-level call (no closure), a warm
+// SpawnCall→Wait cycle — frame acquire, deque push, owner pop, execute,
+// frame and Ctx recycle — performs zero heap allocations.
+func TestSpawnCallSteadyStateAllocs(t *testing.T) {
+	p := NewPool(Config{Workers: 1})
+	defer p.Close()
+	var allocs float64
+	p.Run(func(c *Ctx) {
+		var g Group
+		for i := 0; i < 64; i++ { // warm the frame and Ctx pools, grow the deque
+			c.SpawnCall(&g, nopCall, nil, [4]int{i})
+		}
+		c.Wait(&g)
+		allocs = testing.AllocsPerRun(100, func() {
+			c.SpawnCall(&g, nopCall, nil, [4]int{1, 2, 3, 4})
+			c.Wait(&g)
+		})
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state SpawnCall/Wait cycle allocates %v objects per run, want 0", allocs)
+	}
+}

@@ -109,6 +109,13 @@ type Pool struct {
 	idleMu   sync.Mutex
 	idleCond *sync.Cond
 
+	// framePool recycles spawn frames and ctxPool the task contexts, so a
+	// steady-state run (spawn → steal → execute → retire) allocates
+	// nothing beyond deque growth. Frames migrate between workers when
+	// stolen, so both pools are pool-wide rather than per-worker.
+	framePool sync.Pool
+	ctxPool   sync.Pool
+
 	spawned  atomic.Uint64
 	executed atomic.Uint64
 	steals   atomic.Uint64
@@ -118,11 +125,84 @@ type Pool struct {
 	wg sync.WaitGroup
 }
 
+// frame is one pooled spawned task: the body (either a Task closure or the
+// allocation-free SpawnCall triple), the group it joins, and the run and
+// race-detection state it inherits. Frames live from Spawn to execute and
+// are recycled before the body runs.
+type frame struct {
+	f    Task
+	call func(*Ctx, any, [4]int)
+	recv any
+	args [4]int
+
+	g   *Group
+	rs  *runState
+	fr  *determinacy.Frame
+	seq uint64
+}
+
+func (p *Pool) newFrame() *frame {
+	fr, _ := p.framePool.Get().(*frame)
+	if fr == nil {
+		fr = &frame{}
+	}
+	return fr
+}
+
+// fring is a growable circular deque of frames: the owner pushes and pops
+// at the back (LIFO, preserving locality), thieves take from the front
+// (FIFO, the oldest and typically largest sub-computations). Unlike the
+// seed's `dq = dq[1:]` slice deque it reuses its backing array — steady
+// state allocates nothing and retains no dead heads.
+type fring struct {
+	buf  []*frame
+	head int // index of the oldest element
+	n    int
+}
+
+func (r *fring) pushBack(fr *frame) {
+	if r.n == len(r.buf) {
+		c := len(r.buf) * 2
+		if c == 0 {
+			c = 8
+		}
+		nb := make([]*frame, c)
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = nb, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = fr
+	r.n++
+}
+
+func (r *fring) popBack() *frame {
+	if r.n == 0 {
+		return nil
+	}
+	r.n--
+	i := (r.head + r.n) % len(r.buf)
+	fr := r.buf[i]
+	r.buf[i] = nil
+	return fr
+}
+
+func (r *fring) popFront() *frame {
+	if r.n == 0 {
+		return nil
+	}
+	fr := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return fr
+}
+
 type worker struct {
 	pool *Pool
 	id   int
 	mu   sync.Mutex
-	dq   []Task
+	dq   fring
 	rng  *rand.Rand
 }
 
@@ -255,11 +335,15 @@ func (p *Pool) RunContext(ctx context.Context, f Task) error {
 		if rs.cancelled.Load() {
 			panic(runCancelled{})
 		}
-		f(&Ctx{w: c.w, rs: rs, fr: rootFr})
+		f(c)
 	}
 	p.spawned.Add(1)
+	fr := p.newFrame()
+	fr.f = root
+	fr.rs = rs
+	fr.fr = rootFr
 	w := p.workers[0]
-	w.push(root)
+	w.push(fr)
 	p.wakeOne()
 	r := <-done
 	close(finished)
@@ -299,36 +383,47 @@ type childPanic struct {
 }
 
 // Spawn pushes f onto the current worker's deque as a child task of g.
-// It is the analogue of "#pragma omp task".
+// It is the analogue of "#pragma omp task". The Task closure is the only
+// allocation on this path (the spawn frame itself is pooled); spawn sites
+// hot enough to care use SpawnCall instead.
 func (c *Ctx) Spawn(g *Group, f Task) {
-	seq := g.seq.Add(1)
+	fr := c.w.pool.newFrame()
+	fr.f = f
+	c.spawn(g, fr)
+}
+
+// SpawnCall is the allocation-free form of Spawn: instead of a closure, the
+// child is a package-level function invoked as call(ctx, recv, args). recv
+// is typically a pointer to the long-lived state the child works on (a
+// driver struct, a matrix) — pointer-shaped values convert to any without
+// allocating — and args carries up to four integers of task coordinates
+// (tile indices, extents). With both the frame and the Ctx pooled, a
+// SpawnCall spawn-execute cycle performs zero heap allocations in steady
+// state.
+func (c *Ctx) SpawnCall(g *Group, call func(*Ctx, any, [4]int), recv any, args [4]int) {
+	fr := c.w.pool.newFrame()
+	fr.call = call
+	fr.recv = recv
+	fr.args = args
+	c.spawn(g, fr)
+}
+
+// spawn fills in the inherited state of fr and pushes it.
+func (c *Ctx) spawn(g *Group, fr *frame) {
+	fr.seq = g.seq.Add(1)
 	g.pending.Add(1)
 	w := c.w
-	rs := c.rs
-	var childFr *determinacy.Frame
+	fr.g = g
+	fr.rs = c.rs
 	if c.fr != nil {
-		childFr = c.fr.Fork()
+		childFr := c.fr.Fork()
 		g.detMu.Lock()
 		g.detKids = append(g.detKids, childFr)
 		g.detMu.Unlock()
+		fr.fr = childFr
 	}
 	w.pool.spawned.Add(1)
-	w.push(func(ctx *Ctx) {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, unwound := r.(runCancelled); !unwound {
-					g.panicMu.Lock()
-					g.panics = append(g.panics, childPanic{seq: seq, val: r})
-					g.panicMu.Unlock()
-				}
-			}
-			g.pending.Add(-1)
-		}()
-		if rs != nil && rs.cancelled.Load() {
-			return // cancelled run: drain without executing
-		}
-		f(&Ctx{w: ctx.w, rs: rs, fr: childFr})
-	})
+	w.push(fr)
 	if w.pool.sleepers.Load() > 0 {
 		w.pool.wakeOne()
 	}
@@ -386,44 +481,31 @@ func (c *Ctx) Wait(g *Group) {
 	}
 }
 
-func (w *worker) push(t Task) {
+func (w *worker) push(fr *frame) {
 	w.mu.Lock()
-	w.dq = append(w.dq, t)
+	w.dq.pushBack(fr)
 	w.mu.Unlock()
 }
 
 // pop removes the newest task (bottom of the deque): owner-side LIFO.
-func (w *worker) pop() Task {
+func (w *worker) pop() *frame {
 	w.mu.Lock()
-	n := len(w.dq)
-	if n == 0 {
-		w.mu.Unlock()
-		return nil
-	}
-	t := w.dq[n-1]
-	w.dq[n-1] = nil
-	w.dq = w.dq[:n-1]
+	fr := w.dq.popBack()
 	w.mu.Unlock()
-	return t
+	return fr
 }
 
 // stealFrom removes the oldest task (top of the deque): thief-side FIFO.
-func (w *worker) stealFrom() Task {
+func (w *worker) stealFrom() *frame {
 	w.mu.Lock()
-	if len(w.dq) == 0 {
-		w.mu.Unlock()
-		return nil
-	}
-	t := w.dq[0]
-	w.dq[0] = nil
-	w.dq = w.dq[1:]
+	fr := w.dq.popFront()
 	w.mu.Unlock()
-	return t
+	return fr
 }
 
 // steal probes the other workers once each, in policy order, and returns a
 // stolen task or nil.
-func (w *worker) steal() Task {
+func (w *worker) steal() *frame {
 	p := w.pool
 	n := len(p.workers)
 	if n == 1 {
@@ -441,18 +523,62 @@ func (w *worker) steal() Task {
 		if v == w {
 			continue
 		}
-		if t := v.stealFrom(); t != nil {
+		if fr := v.stealFrom(); fr != nil {
 			p.steals.Add(1)
-			return t
+			return fr
 		}
 		p.failed.Add(1)
 	}
 	return nil
 }
 
-func (w *worker) execute(t Task) {
-	t(&Ctx{w: w})
+func (w *worker) execute(fr *frame) {
+	w.runFrame(fr)
 	w.pool.executed.Add(1)
+}
+
+// runFrame copies the frame's state out, recycles the frame, and runs the
+// body with a pooled Ctx. The group bookkeeping (panic capture, pending
+// retirement) that Spawn used to wrap in a per-spawn closure lives here
+// instead, so the only per-task heap traffic left is whatever the body's
+// own closure captured — and none at all through SpawnCall.
+func (w *worker) runFrame(fr *frame) {
+	p := w.pool
+	f, call, recv, args := fr.f, fr.call, fr.recv, fr.args
+	g, rs, childFr, seq := fr.g, fr.rs, fr.fr, fr.seq
+	*fr = frame{}
+	p.framePool.Put(fr)
+
+	c, _ := p.ctxPool.Get().(*Ctx)
+	if c == nil {
+		c = &Ctx{}
+	}
+	c.w, c.rs, c.fr = w, rs, childFr
+	defer func() {
+		c.w, c.rs, c.fr = nil, nil, nil
+		p.ctxPool.Put(c)
+		if g == nil {
+			// Root task: its own wrapper recovers and reports, and there is
+			// no group to retire.
+			return
+		}
+		if r := recover(); r != nil {
+			if _, unwound := r.(runCancelled); !unwound {
+				g.panicMu.Lock()
+				g.panics = append(g.panics, childPanic{seq: seq, val: r})
+				g.panicMu.Unlock()
+			}
+		}
+		g.pending.Add(-1)
+	}()
+	if g != nil && rs != nil && rs.cancelled.Load() {
+		return // cancelled run: drain without executing
+	}
+	if call != nil {
+		call(c, recv, args)
+		return
+	}
+	f(c)
 }
 
 func (w *worker) loop() {
@@ -485,7 +611,7 @@ func (w *worker) loop() {
 func (p *Pool) anyWork() bool {
 	for _, w := range p.workers {
 		w.mu.Lock()
-		n := len(w.dq)
+		n := w.dq.n
 		w.mu.Unlock()
 		if n > 0 {
 			return true

@@ -1,0 +1,69 @@
+package gep
+
+import (
+	"testing"
+
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+	"dpflow/internal/matrix"
+)
+
+// Full-run allocation budgets (ISSUE 7): with dispatch envelopes, dependency
+// latches, burst buffers and spawn frames pooled, a complete run's
+// allocation bill is dominated by one-time graph construction plus the
+// boxed struct keys of the tuned variants' declared dependencies — not by
+// per-task scheduling traffic. The budgets below are ~2× current
+// measurements at n=128/base=16 (8×8 tiles), so a pooling regression — one
+// stray allocation per task cycle moves the total by hundreds — trips the
+// gate while normal variance does not.
+func TestRunAllocBudget(t *testing.T) {
+	const n, base, workers = 128, 16, 4
+	budget := map[string]float64{
+		"GE/" + core.NativeCnC.String():  11000, // measured ~5.5k
+		"GE/" + core.TunerCnC.String():   6000,  // measured ~2.8k
+		"GE/" + core.ManualCnC.String():  7500,  // measured ~3.7k
+		"GE/" + core.OMPTasking.String(): 200,   // measured ~48
+		"FW/" + core.NativeCnC.String():  31000, // measured ~15.5k
+		"FW/" + core.TunerCnC.String():   21000, // measured ~10.6k
+		"FW/" + core.ManualCnC.String():  23000, // measured ~11.6k
+		"FW/" + core.OMPTasking.String(): 300,   // measured ~83
+	}
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: workers})
+	defer pool.Close()
+
+	type runCase struct {
+		name string
+		run  func()
+	}
+	var cases []runCase
+	mk := func(name string, alg Algorithm, input func() *matrix.Dense) {
+		for _, v := range core.ParallelVariants {
+			v := v
+			cases = append(cases, runCase{name + "/" + v.String(), func() {
+				x := input()
+				if v == core.OMPTasking {
+					if err := alg.ForkJoin(x, base, pool); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				if _, err := alg.RunCnC(x, base, workers, v); err != nil {
+					t.Fatal(err)
+				}
+			}})
+		}
+	}
+	mk("GE", geAlg, func() *matrix.Dense { return geInput(n, 1) })
+	mk("FW", fwAlg, func() *matrix.Dense { return fwInput(n, 1) })
+
+	for _, c := range cases {
+		c.run() // warm the pools and the runtime
+		allocs := testing.AllocsPerRun(3, c.run)
+		t.Logf("%s: %.0f allocs/run (budget %.0f)", c.name, allocs, budget[c.name])
+		if max, ok := budget[c.name]; !ok {
+			t.Errorf("%s: no budget declared", c.name)
+		} else if allocs > max {
+			t.Errorf("%s: %.0f allocs/run exceeds budget %.0f — a pooled dispatch path regressed", c.name, allocs, max)
+		}
+	}
+}

@@ -264,15 +264,20 @@ func (d *dataflow) expandAll() {
 		if d.alg.Shape == Triangular {
 			lo = k // tiles with i < k or j < k are no-ops under Σ_GE
 		}
+		// One burst per elimination phase: the k-th phase's t² tags reach
+		// the queue in a single batched push and wakeup pass instead of t²
+		// individual ones. Throttled: under a memory limit the environment's
+		// sprint pauses whenever its admitted tiles would overrun the
+		// budget, resuming as earlier phases retire (deferred tags bypass
+		// the burst — their admission time is not under our control).
+		bu := d.g.NewBurst()
 		for i := lo; i < t; i++ {
 			for j := lo; j < t; j++ {
 				f := Classify(i, j, k)
-				// Throttled: under a memory limit the environment's sprint
-				// pauses whenever its admitted tiles would overrun the
-				// budget, resuming as earlier phases retire.
-				d.tags[f].PutThrottled(Tag{i, j, k, d.bs})
+				d.tags[f].PutThrottledInto(Tag{i, j, k, d.bs}, bu)
 			}
 		}
+		bu.Flush()
 	}
 }
 
@@ -391,16 +396,18 @@ func (d *dataflow) executeA(t Tag) error {
 	if t.S > d.base {
 		h := t.S / 2
 		i := 2 * t.I
-		d.tags[FuncA].PutThrottled(Tag{i, i, i, h})
-		d.tags[FuncB].PutThrottled(Tag{i, i + 1, i, h})
-		d.tags[FuncC].PutThrottled(Tag{i + 1, i, i, h})
-		d.tags[FuncD].PutThrottled(Tag{i + 1, i + 1, i, h})
-		d.tags[FuncA].PutThrottled(Tag{i + 1, i + 1, i + 1, h})
+		bu := d.g.NewBurst()
+		d.tags[FuncA].PutThrottledInto(Tag{i, i, i, h}, bu)
+		d.tags[FuncB].PutThrottledInto(Tag{i, i + 1, i, h}, bu)
+		d.tags[FuncC].PutThrottledInto(Tag{i + 1, i, i, h}, bu)
+		d.tags[FuncD].PutThrottledInto(Tag{i + 1, i + 1, i, h}, bu)
+		d.tags[FuncA].PutThrottledInto(Tag{i + 1, i + 1, i + 1, h}, bu)
 		if d.alg.Shape == Cube {
-			d.tags[FuncB].PutThrottled(Tag{i + 1, i, i + 1, h})
-			d.tags[FuncC].PutThrottled(Tag{i, i + 1, i + 1, h})
-			d.tags[FuncD].PutThrottled(Tag{i, i, i + 1, h})
+			d.tags[FuncB].PutThrottledInto(Tag{i + 1, i, i + 1, h}, bu)
+			d.tags[FuncC].PutThrottledInto(Tag{i, i + 1, i + 1, h}, bu)
+			d.tags[FuncD].PutThrottledInto(Tag{i, i, i + 1, h}, bu)
 		}
+		bu.Flush()
 		return nil
 	}
 	if !d.awaitPrev(t) || !d.awaitAnti(t) {
@@ -415,16 +422,18 @@ func (d *dataflow) executeB(t Tag) error {
 	if t.S > d.base {
 		h := t.S / 2
 		i, j, k := 2*t.I, 2*t.J, 2*t.K
-		d.tags[FuncB].PutThrottled(Tag{i, j, k, h})
-		d.tags[FuncB].PutThrottled(Tag{i, j + 1, k, h})
-		d.tags[FuncD].PutThrottled(Tag{i + 1, j, k, h})
-		d.tags[FuncD].PutThrottled(Tag{i + 1, j + 1, k, h})
-		d.tags[FuncB].PutThrottled(Tag{i + 1, j, k + 1, h})
-		d.tags[FuncB].PutThrottled(Tag{i + 1, j + 1, k + 1, h})
+		bu := d.g.NewBurst()
+		d.tags[FuncB].PutThrottledInto(Tag{i, j, k, h}, bu)
+		d.tags[FuncB].PutThrottledInto(Tag{i, j + 1, k, h}, bu)
+		d.tags[FuncD].PutThrottledInto(Tag{i + 1, j, k, h}, bu)
+		d.tags[FuncD].PutThrottledInto(Tag{i + 1, j + 1, k, h}, bu)
+		d.tags[FuncB].PutThrottledInto(Tag{i + 1, j, k + 1, h}, bu)
+		d.tags[FuncB].PutThrottledInto(Tag{i + 1, j + 1, k + 1, h}, bu)
 		if d.alg.Shape == Cube {
-			d.tags[FuncD].PutThrottled(Tag{i, j, k + 1, h})
-			d.tags[FuncD].PutThrottled(Tag{i, j + 1, k + 1, h})
+			d.tags[FuncD].PutThrottledInto(Tag{i, j, k + 1, h}, bu)
+			d.tags[FuncD].PutThrottledInto(Tag{i, j + 1, k + 1, h}, bu)
 		}
+		bu.Flush()
 		return nil
 	}
 	if !d.await(FuncA, ItemKey{t.K, t.K, t.K}) || !d.awaitPrev(t) || !d.awaitAnti(t) {
@@ -439,16 +448,18 @@ func (d *dataflow) executeC(t Tag) error {
 	if t.S > d.base {
 		h := t.S / 2
 		i, j, k := 2*t.I, 2*t.J, 2*t.K
-		d.tags[FuncC].PutThrottled(Tag{i, j, k, h})
-		d.tags[FuncC].PutThrottled(Tag{i + 1, j, k, h})
-		d.tags[FuncD].PutThrottled(Tag{i, j + 1, k, h})
-		d.tags[FuncD].PutThrottled(Tag{i + 1, j + 1, k, h})
-		d.tags[FuncC].PutThrottled(Tag{i, j + 1, k + 1, h})
-		d.tags[FuncC].PutThrottled(Tag{i + 1, j + 1, k + 1, h})
+		bu := d.g.NewBurst()
+		d.tags[FuncC].PutThrottledInto(Tag{i, j, k, h}, bu)
+		d.tags[FuncC].PutThrottledInto(Tag{i + 1, j, k, h}, bu)
+		d.tags[FuncD].PutThrottledInto(Tag{i, j + 1, k, h}, bu)
+		d.tags[FuncD].PutThrottledInto(Tag{i + 1, j + 1, k, h}, bu)
+		d.tags[FuncC].PutThrottledInto(Tag{i, j + 1, k + 1, h}, bu)
+		d.tags[FuncC].PutThrottledInto(Tag{i + 1, j + 1, k + 1, h}, bu)
 		if d.alg.Shape == Cube {
-			d.tags[FuncD].PutThrottled(Tag{i, j, k + 1, h})
-			d.tags[FuncD].PutThrottled(Tag{i + 1, j, k + 1, h})
+			d.tags[FuncD].PutThrottledInto(Tag{i, j, k + 1, h}, bu)
+			d.tags[FuncD].PutThrottledInto(Tag{i + 1, j, k + 1, h}, bu)
 		}
+		bu.Flush()
 		return nil
 	}
 	if !d.await(FuncA, ItemKey{t.K, t.K, t.K}) || !d.awaitPrev(t) || !d.awaitAnti(t) {
@@ -466,13 +477,15 @@ func (d *dataflow) executeC(t Tag) error {
 func (d *dataflow) executeD(t Tag) error {
 	if t.S > d.base {
 		h := t.S / 2
+		bu := d.g.NewBurst()
 		for kk := 0; kk < 2; kk++ {
 			for ii := 0; ii < 2; ii++ {
 				for jj := 0; jj < 2; jj++ {
-					d.tags[FuncD].PutThrottled(Tag{2*t.I + ii, 2*t.J + jj, 2*t.K + kk, h})
+					d.tags[FuncD].PutThrottledInto(Tag{2*t.I + ii, 2*t.J + jj, 2*t.K + kk, h}, bu)
 				}
 			}
 		}
+		bu.Flush()
 		return nil
 	}
 	ok := d.awaitPrev(t) &&

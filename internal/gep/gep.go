@@ -201,6 +201,14 @@ type fjRec struct {
 	alg  Algorithm
 }
 
+// Spawn trampolines: package-level functions invoked through
+// forkjoin.SpawnCall with the recursion state as receiver and the tile
+// coordinates as plain integers, so the O(n³/b³) interior spawns of the
+// recursion allocate no closures (see forkjoin.Ctx.SpawnCall).
+func fjCallB(c *forkjoin.Ctx, recv any, a [4]int) { recv.(*fjRec).funcB(c, a[0], a[1], a[2], a[3]) }
+func fjCallC(c *forkjoin.Ctx, recv any, a [4]int) { recv.(*fjRec).funcC(c, a[0], a[1], a[2], a[3]) }
+func fjCallD(c *forkjoin.Ctx, recv any, a [4]int) { recv.(*fjRec).funcD(c, a[0], a[1], a[2], a[3]) }
+
 // declareRace reports the tile-granularity access set of one base-case
 // kernel to the pool's race detector when the run is race-checked: the
 // update of tile (i0,j0) at phase k0 reads tiles (i0,k0), (k0,j0) and
@@ -234,14 +242,14 @@ func (r *fjRec) funcA(ctx *forkjoin.Ctx, d, s int) {
 	h := s / 2
 	r.funcA(ctx, d, h)
 	var g forkjoin.Group
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcB(c, d, d+h, d, h) })
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcC(c, d+h, d, d, h) })
+	ctx.SpawnCall(&g, fjCallB, r, [4]int{d, d + h, d, h})
+	ctx.SpawnCall(&g, fjCallC, r, [4]int{d + h, d, d, h})
 	ctx.Wait(&g) // artificial dependency: D waits for both B and C subtrees
 	r.funcD(ctx, d+h, d+h, d, h)
 	r.funcA(ctx, d+h, h)
 	if r.alg.Shape == Cube {
-		ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcB(c, d+h, d, d+h, h) })
-		ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcC(c, d, d+h, d+h, h) })
+		ctx.SpawnCall(&g, fjCallB, r, [4]int{d + h, d, d + h, h})
+		ctx.SpawnCall(&g, fjCallC, r, [4]int{d, d + h, d + h, h})
 		ctx.Wait(&g)
 		r.funcD(ctx, d, d, d+h, h)
 	}
@@ -255,18 +263,18 @@ func (r *fjRec) funcB(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 	}
 	h := s / 2
 	var g forkjoin.Group
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcB(c, i0, j0, k0, h) })
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcB(c, i0, j0+h, k0, h) })
+	ctx.SpawnCall(&g, fjCallB, r, [4]int{i0, j0, k0, h})
+	ctx.SpawnCall(&g, fjCallB, r, [4]int{i0, j0 + h, k0, h})
 	ctx.Wait(&g)
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0+h, j0, k0, h) })
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0+h, j0+h, k0, h) })
+	ctx.SpawnCall(&g, fjCallD, r, [4]int{i0 + h, j0, k0, h})
+	ctx.SpawnCall(&g, fjCallD, r, [4]int{i0 + h, j0 + h, k0, h})
 	ctx.Wait(&g)
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcB(c, i0+h, j0, k0+h, h) })
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcB(c, i0+h, j0+h, k0+h, h) })
+	ctx.SpawnCall(&g, fjCallB, r, [4]int{i0 + h, j0, k0 + h, h})
+	ctx.SpawnCall(&g, fjCallB, r, [4]int{i0 + h, j0 + h, k0 + h, h})
 	ctx.Wait(&g)
 	if r.alg.Shape == Cube {
-		ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0, j0, k0+h, h) })
-		ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0, j0+h, k0+h, h) })
+		ctx.SpawnCall(&g, fjCallD, r, [4]int{i0, j0, k0 + h, h})
+		ctx.SpawnCall(&g, fjCallD, r, [4]int{i0, j0 + h, k0 + h, h})
 		ctx.Wait(&g)
 	}
 }
@@ -279,18 +287,18 @@ func (r *fjRec) funcC(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 	}
 	h := s / 2
 	var g forkjoin.Group
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcC(c, i0, j0, k0, h) })
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcC(c, i0+h, j0, k0, h) })
+	ctx.SpawnCall(&g, fjCallC, r, [4]int{i0, j0, k0, h})
+	ctx.SpawnCall(&g, fjCallC, r, [4]int{i0 + h, j0, k0, h})
 	ctx.Wait(&g)
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0, j0+h, k0, h) })
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0+h, j0+h, k0, h) })
+	ctx.SpawnCall(&g, fjCallD, r, [4]int{i0, j0 + h, k0, h})
+	ctx.SpawnCall(&g, fjCallD, r, [4]int{i0 + h, j0 + h, k0, h})
 	ctx.Wait(&g)
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcC(c, i0, j0+h, k0+h, h) })
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcC(c, i0+h, j0+h, k0+h, h) })
+	ctx.SpawnCall(&g, fjCallC, r, [4]int{i0, j0 + h, k0 + h, h})
+	ctx.SpawnCall(&g, fjCallC, r, [4]int{i0 + h, j0 + h, k0 + h, h})
 	ctx.Wait(&g)
 	if r.alg.Shape == Cube {
-		ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0, j0, k0+h, h) })
-		ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0+h, j0, k0+h, h) })
+		ctx.SpawnCall(&g, fjCallD, r, [4]int{i0, j0, k0 + h, h})
+		ctx.SpawnCall(&g, fjCallD, r, [4]int{i0 + h, j0, k0 + h, h})
 		ctx.Wait(&g)
 	}
 }
@@ -307,10 +315,10 @@ func (r *fjRec) funcD(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 		// The taskwait between the two kk rounds is the textbook artificial
 		// dependency: D(X00|kk=1) truly depends only on D(X00|kk=0), yet it
 		// must wait for all four kk=0 quadrants.
-		ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0, j0, k0+kk, h) })
-		ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0, j0+h, k0+kk, h) })
-		ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0+h, j0, k0+kk, h) })
-		ctx.Spawn(&g, func(c *forkjoin.Ctx) { r.funcD(c, i0+h, j0+h, k0+kk, h) })
+		ctx.SpawnCall(&g, fjCallD, r, [4]int{i0, j0, k0 + kk, h})
+		ctx.SpawnCall(&g, fjCallD, r, [4]int{i0, j0 + h, k0 + kk, h})
+		ctx.SpawnCall(&g, fjCallD, r, [4]int{i0 + h, j0, k0 + kk, h})
+		ctx.SpawnCall(&g, fjCallD, r, [4]int{i0 + h, j0 + h, k0 + kk, h})
 		ctx.Wait(&g)
 	}
 }

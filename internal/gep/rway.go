@@ -162,6 +162,12 @@ type rwayFJ struct {
 	alg  Algorithm
 }
 
+// Spawn trampolines (see fjCallB in gep.go): closure-free spawn bodies for
+// the r-way recursion's inner loops, whose spawn count grows as r².
+func rwayCallB(c *forkjoin.Ctx, recv any, a [4]int) { recv.(*rwayFJ).funcB(c, a[0], a[1], a[2], a[3]) }
+func rwayCallC(c *forkjoin.Ctx, recv any, a [4]int) { recv.(*rwayFJ).funcC(c, a[0], a[1], a[2], a[3]) }
+func rwayCallD(c *forkjoin.Ctx, recv any, a [4]int) { recv.(*rwayFJ).funcD(c, a[0], a[1], a[2], a[3]) }
+
 func (rc *rwayFJ) stop(s int) bool { return s <= rc.base || s%rc.r != 0 }
 
 func (rc *rwayFJ) funcA(ctx *forkjoin.Ctx, d, s int) {
@@ -181,8 +187,8 @@ func (rc *rwayFJ) funcA(ctx *forkjoin.Ctx, d, s int) {
 				continue
 			}
 			xd := d + x*h
-			ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcB(c, kd, xd, kd, h) })
-			ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcC(c, xd, kd, kd, h) })
+			ctx.SpawnCall(&g, rwayCallB, rc, [4]int{kd, xd, kd, h})
+			ctx.SpawnCall(&g, rwayCallC, rc, [4]int{xd, kd, kd, h})
 		}
 		ctx.Wait(&g)
 		for i := 0; i < r; i++ {
@@ -191,7 +197,7 @@ func (rc *rwayFJ) funcA(ctx *forkjoin.Ctx, d, s int) {
 					continue
 				}
 				id, jd := d+i*h, d+j*h
-				ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcD(c, id, jd, kd, h) })
+				ctx.SpawnCall(&g, rwayCallD, rc, [4]int{id, jd, kd, h})
 			}
 		}
 		ctx.Wait(&g)
@@ -210,7 +216,7 @@ func (rc *rwayFJ) funcB(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 	for k := 0; k < r; k++ {
 		for j := 0; j < r; j++ {
 			ib, jb, kb := i0+k*h, j0+j*h, k0+k*h
-			ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcB(c, ib, jb, kb, h) })
+			ctx.SpawnCall(&g, rwayCallB, rc, [4]int{ib, jb, kb, h})
 		}
 		ctx.Wait(&g)
 		for i := 0; i < r; i++ {
@@ -219,7 +225,7 @@ func (rc *rwayFJ) funcB(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 			}
 			for j := 0; j < r; j++ {
 				id, jd, kd := i0+i*h, j0+j*h, k0+k*h
-				ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcD(c, id, jd, kd, h) })
+				ctx.SpawnCall(&g, rwayCallD, rc, [4]int{id, jd, kd, h})
 			}
 		}
 		ctx.Wait(&g)
@@ -238,7 +244,7 @@ func (rc *rwayFJ) funcC(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 	for k := 0; k < r; k++ {
 		for i := 0; i < r; i++ {
 			ic, jc, kc := i0+i*h, j0+k*h, k0+k*h
-			ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcC(c, ic, jc, kc, h) })
+			ctx.SpawnCall(&g, rwayCallC, rc, [4]int{ic, jc, kc, h})
 		}
 		ctx.Wait(&g)
 		for j := 0; j < r; j++ {
@@ -247,7 +253,7 @@ func (rc *rwayFJ) funcC(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 			}
 			for i := 0; i < r; i++ {
 				id, jd, kd := i0+i*h, j0+j*h, k0+k*h
-				ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcD(c, id, jd, kd, h) })
+				ctx.SpawnCall(&g, rwayCallD, rc, [4]int{id, jd, kd, h})
 			}
 		}
 		ctx.Wait(&g)
@@ -266,7 +272,7 @@ func (rc *rwayFJ) funcD(ctx *forkjoin.Ctx, i0, j0, k0, s int) {
 		for i := 0; i < r; i++ {
 			for j := 0; j < r; j++ {
 				id, jd, kd := i0+i*h, j0+j*h, k0+k*h
-				ctx.Spawn(&g, func(c *forkjoin.Ctx) { rc.funcD(c, id, jd, kd, h) })
+				ctx.SpawnCall(&g, rwayCallD, rc, [4]int{id, jd, kd, h})
 			}
 		}
 		ctx.Wait(&g)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -15,18 +16,24 @@ import (
 	"dpflow/internal/forkjoin"
 )
 
-// Perf-baseline geometry: one mid-size problem per benchmark, large enough
-// that kernel time dominates flag parsing and pool startup, small enough
-// that the full matrix (4 benchmarks × 5 variants × perfReps) stays inside
-// a CI smoke budget. The committed BENCH_seed.json snapshot is generated
-// from exactly this configuration, so regressions diff like-for-like.
+// Perf-baseline geometry: one mid-size problem per benchmark, measured at
+// two base-case sizes — the left arm of the paper's U-curve (base 16, where
+// per-task scheduling overhead dominates) and near its bottom (base 64,
+// where kernel time dominates). Large enough that kernel time dominates
+// flag parsing and pool startup, small enough that the full matrix
+// (4 benchmarks × 5 variants × 2 bases × perfReps) stays inside a CI smoke
+// budget. The committed BENCH_seed.json snapshot is generated from exactly
+// this configuration, so regressions diff like-for-like.
 const (
 	perfN       = 512
-	perfBase    = 64
 	perfWorkers = 8
 	perfSeed    = 3
 	perfReps    = 3
 )
+
+// perfBases are the measured base-case sizes: 16 exercises the scheduler
+// (the U-curve's left arm), 64 exercises the kernels (near the bottom).
+var perfBases = []int{16, 64}
 
 // perfVariants is the measured execution matrix: the serial reference, the
 // fork-join model, and the three CnC schedules.
@@ -51,20 +58,28 @@ type PerfDetector struct {
 	Violations int    `json:"violations"`
 }
 
-// PerfRow is one measured (benchmark, variant) cell.
+// PerfRow is one measured (benchmark, variant, base) cell.
 type PerfRow struct {
 	Bench    string        `json:"bench"`
 	Variant  string        `json:"variant"`
+	Base     int           `json:"base"`
 	Seconds  float64       `json:"seconds"` // best of perfReps verified runs
 	Detector *PerfDetector `json:"detector,omitempty"`
 }
 
 // PerfReport is the JSON schema of `dpbench -exp perf -json`, committed as
-// BENCH_seed.json and uploaded fresh by CI for regression diffing.
+// BENCH_seed.json and appended per-PR (BENCH_pr7.json, ...) so the perf
+// trajectory of the repo is diffable commit to commit.
+//
+// Schema history: dpflow-perf/v1 measured a single base (top-level "base")
+// at whatever GOMAXPROCS the host happened to have; v2 measures a matrix of
+// bases (per-row "base") with GOMAXPROCS pinned to the worker count for the
+// duration of the sweep, so the recorded gomaxprocs always equals workers
+// and two v2 reports with equal headers are directly comparable.
 type PerfReport struct {
 	Schema      string    `json:"schema"`
 	N           int       `json:"n"`
-	Base        int       `json:"base"`
+	Bases       []int     `json:"bases"`
 	Workers     int       `json:"workers"`
 	Seed        int64     `json:"seed"`
 	Reps        int       `json:"reps"`
@@ -73,11 +88,15 @@ type PerfReport struct {
 	Rows        []PerfRow `json:"rows"`
 }
 
-// runPerfOnce executes one verified run of (b, v) and returns its wall time
-// plus, when raceDetect is set, the detector snapshot. Detection failures
-// (a race or discipline violation on a production schedule) are errors.
-func runPerfOnce(ctx context.Context, b bench.Benchmark, v core.Variant, raceDetect bool) (time.Duration, *PerfDetector, error) {
-	in, err := b.NewInstance(perfN, perfBase, perfSeed)
+// PerfSchema is the current perf-report schema identifier.
+const PerfSchema = "dpflow-perf/v2"
+
+// runPerfOnce executes one verified run of (b, v, base) and returns its
+// wall time plus, when raceDetect is set, the detector snapshot. Detection
+// failures (a race or discipline violation on a production schedule) are
+// errors.
+func runPerfOnce(ctx context.Context, b bench.Benchmark, v core.Variant, base int, raceDetect bool) (time.Duration, *PerfDetector, error) {
+	in, err := b.NewInstance(perfN, base, perfSeed)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -129,32 +148,42 @@ func runPerfOnce(ctx context.Context, b bench.Benchmark, v core.Variant, raceDet
 }
 
 // RunPerf measures the perf-baseline matrix: every registered benchmark ×
-// perfVariants, best-of-perfReps verified wall times. With raceDetect the
+// perfVariants × perfBases, best-of-perfReps verified wall times. GOMAXPROCS
+// is pinned to perfWorkers for the duration of the sweep (and restored
+// after), so the recorded parallelism always matches the configured worker
+// count regardless of host shape — the comparability fix for the v1 seed,
+// which was recorded at GOMAXPROCS=1 with workers=8. With raceDetect the
 // fork-join rows run under determinacy-race detection and the CnC rows
 // under discipline checking, the per-row detector stats are included, and
 // any detection fails the sweep.
 func RunPerf(ctx context.Context, raceDetect bool) (*PerfReport, error) {
+	prev := runtime.GOMAXPROCS(perfWorkers)
+	defer runtime.GOMAXPROCS(prev)
+
 	rep := &PerfReport{
-		Schema: "dpflow-perf/v1", N: perfN, Base: perfBase, Workers: perfWorkers,
-		Seed: perfSeed, Reps: perfReps, RaceChecked: raceDetect, GoMaxProcs: runtime.GOMAXPROCS(0),
+		Schema: PerfSchema, N: perfN, Bases: append([]int(nil), perfBases...),
+		Workers: perfWorkers, Seed: perfSeed, Reps: perfReps,
+		RaceChecked: raceDetect, GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, b := range bench.All() {
 		for _, v := range perfVariants {
-			row := PerfRow{Bench: b.Name(), Variant: v.String()}
-			for rep := 0; rep < perfReps; rep++ {
-				if err := ctx.Err(); err != nil {
-					return nil, err
+			for _, base := range perfBases {
+				row := PerfRow{Bench: b.Name(), Variant: v.String(), Base: base}
+				for r := 0; r < perfReps; r++ {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					wall, pd, err := runPerfOnce(ctx, b, v, base, raceDetect)
+					if err != nil {
+						return nil, fmt.Errorf("perf: %s %s base=%d: %w", b.Name(), v, base, err)
+					}
+					if s := wall.Seconds(); row.Seconds == 0 || s < row.Seconds {
+						row.Seconds = s
+					}
+					row.Detector = pd // stats are schedule-stable; keep the last
 				}
-				wall, pd, err := runPerfOnce(ctx, b, v, raceDetect)
-				if err != nil {
-					return nil, fmt.Errorf("perf: %s %s: %w", b.Name(), v, err)
-				}
-				if s := wall.Seconds(); row.Seconds == 0 || s < row.Seconds {
-					row.Seconds = s
-				}
-				row.Detector = pd // stats are schedule-stable; keep the last
+				rep.Rows = append(rep.Rows, row)
 			}
-			rep.Rows = append(rep.Rows, row)
 		}
 	}
 	return rep, nil
@@ -172,9 +201,9 @@ func WritePerf(ctx context.Context, w io.Writer, jsonOut, raceDetect bool) error
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
 	}
-	fmt.Fprintf(w, "# perf: baseline matrix n=%d base=%d workers=%d reps=%d raceDetect=%v\n",
-		rep.N, rep.Base, rep.Workers, rep.Reps, rep.RaceChecked)
-	fmt.Fprintf(w, "%8s %16s %12s %12s\n", "bench", "variant", "seconds", "detector")
+	fmt.Fprintf(w, "# perf: baseline matrix n=%d bases=%v workers=%d reps=%d raceDetect=%v\n",
+		rep.N, rep.Bases, rep.Workers, rep.Reps, rep.RaceChecked)
+	fmt.Fprintf(w, "%8s %16s %6s %12s %12s\n", "bench", "variant", "base", "seconds", "detector")
 	for _, r := range rep.Rows {
 		detail := "-"
 		if r.Detector != nil {
@@ -184,7 +213,137 @@ func WritePerf(ctx context.Context, w io.Writer, jsonOut, raceDetect bool) error
 				detail = fmt.Sprintf("puts=%d viol=%d", r.Detector.Puts, r.Detector.Violations)
 			}
 		}
-		fmt.Fprintf(w, "%8s %16s %12.6f %12s\n", r.Bench, r.Variant, r.Seconds, detail)
+		fmt.Fprintf(w, "%8s %16s %6d %12.6f %12s\n", r.Bench, r.Variant, r.Base, r.Seconds, detail)
+	}
+	return nil
+}
+
+// LoadPerfReport reads a committed perf snapshot (BENCH_*.json). Reports
+// with a schema other than PerfSchema are refused: v1 snapshots were
+// recorded at an unpinned GOMAXPROCS and a single base, so no like-for-like
+// comparison against them is possible.
+func LoadPerfReport(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != PerfSchema {
+		return nil, fmt.Errorf("%s: schema %q is not %q; cross-schema perf comparisons are refused (regenerate the snapshot with `dpbench -exp perf -json`)", path, rep.Schema, PerfSchema)
+	}
+	return &rep, nil
+}
+
+// PerfDelta is one compared (benchmark, variant, base) cell.
+type PerfDelta struct {
+	Bench    string
+	Variant  string
+	Base     int
+	Baseline float64 // seconds
+	Current  float64 // seconds
+	Ratio    float64 // Current / Baseline; <1 is an improvement
+}
+
+func (d PerfDelta) key() string {
+	return fmt.Sprintf("%s/%s/b%d", d.Bench, d.Variant, d.Base)
+}
+
+// ComparePerf diffs a current perf report against a baseline cell by cell.
+// It refuses cross-config comparisons: both reports must agree on schema,
+// problem size, worker count, pinned GOMAXPROCS, seed, and rep count, so a
+// delta can only ever mean the code changed, not the measurement. Returns
+// every cell present in both reports (cells unique to one side are an
+// error: a benchmark or base silently disappearing from the matrix must
+// not pass as "no regression").
+func ComparePerf(baseline, current *PerfReport) ([]PerfDelta, error) {
+	type cfg struct {
+		schema  string
+		n       int
+		workers int
+		gomax   int
+		seed    int64
+		reps    int
+	}
+	bc := cfg{baseline.Schema, baseline.N, baseline.Workers, baseline.GoMaxProcs, baseline.Seed, baseline.Reps}
+	cc := cfg{current.Schema, current.N, current.Workers, current.GoMaxProcs, current.Seed, current.Reps}
+	if bc != cc {
+		return nil, fmt.Errorf("perf configs differ (baseline %+v vs current %+v): cross-config comparisons are refused", bc, cc)
+	}
+
+	type cell struct {
+		bench, variant string
+		base           int
+	}
+	base := make(map[cell]float64, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		base[cell{r.Bench, r.Variant, r.Base}] = r.Seconds
+	}
+	var deltas []PerfDelta
+	seen := make(map[cell]bool, len(current.Rows))
+	for _, r := range current.Rows {
+		c := cell{r.Bench, r.Variant, r.Base}
+		seen[c] = true
+		bs, ok := base[c]
+		if !ok {
+			return nil, fmt.Errorf("cell %s/%s/b%d present in current but missing from baseline", r.Bench, r.Variant, r.Base)
+		}
+		deltas = append(deltas, PerfDelta{
+			Bench: r.Bench, Variant: r.Variant, Base: r.Base,
+			Baseline: bs, Current: r.Seconds, Ratio: r.Seconds / bs,
+		})
+	}
+	for c := range base {
+		if !seen[c] {
+			return nil, fmt.Errorf("cell %s/%s/b%d present in baseline but missing from current", c.bench, c.variant, c.base)
+		}
+	}
+	return deltas, nil
+}
+
+// WritePerfDiff loads the baseline snapshot, obtains a current report
+// (loaded from currentPath when given, measured fresh otherwise), renders
+// the per-cell deltas, and returns an error if any cell regressed by more
+// than tol (e.g. 0.10 = fail on >10% slowdown). This is the CI
+// perf-trajectory gate.
+func WritePerfDiff(ctx context.Context, w io.Writer, baselinePath, currentPath string, tol float64) error {
+	baseline, err := LoadPerfReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	var current *PerfReport
+	if currentPath != "" {
+		if current, err = LoadPerfReport(currentPath); err != nil {
+			return err
+		}
+	} else if current, err = RunPerf(ctx, false); err != nil {
+		return err
+	}
+	deltas, err := ComparePerf(baseline, current)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "# perfdiff: %s vs current (tol %.0f%%)\n", baselinePath, tol*100)
+	fmt.Fprintf(w, "%8s %16s %6s %12s %12s %8s\n", "bench", "variant", "base", "baseline", "current", "ratio")
+	var regressed []PerfDelta
+	for _, d := range deltas {
+		mark := ""
+		if d.Ratio > 1+tol {
+			mark = "  REGRESSED"
+			regressed = append(regressed, d)
+		}
+		fmt.Fprintf(w, "%8s %16s %6d %12.6f %12.6f %8.3f%s\n",
+			d.Bench, d.Variant, d.Base, d.Baseline, d.Current, d.Ratio, mark)
+	}
+	if len(regressed) > 0 {
+		msg := fmt.Sprintf("%d cell(s) regressed by more than %.0f%%:", len(regressed), tol*100)
+		for _, d := range regressed {
+			msg += fmt.Sprintf(" %s(%.1f%%)", d.key(), (d.Ratio-1)*100)
+		}
+		return fmt.Errorf("%s", msg)
 	}
 	return nil
 }

@@ -78,6 +78,15 @@ func (m *Dense) Set(i, j int, v float64) { m.data[i*m.stride+j] = v }
 // has length Cols.
 func (m *Dense) Row(i int) []float64 { return m.data[i*m.stride : i*m.stride+m.cols] }
 
+// RowSeg returns the [j0, j1) segment of row i as a slice aliasing the
+// matrix storage. The register-blocked kernels use it to hand the compiler
+// exact-length slices: ranging over one segment and indexing the others at
+// the same (re-sliced) length eliminates bounds checks from the stride-1
+// inner loops.
+func (m *Dense) RowSeg(i, j0, j1 int) []float64 {
+	return m.data[i*m.stride+j0 : i*m.stride+j1]
+}
+
 // Data returns the backing slice when the matrix is contiguous (stride ==
 // cols). It panics for non-contiguous tile views, where a flat slice would
 // silently interleave out-of-tile elements.

@@ -238,10 +238,14 @@ func (p *Problem) RunCnCContext(ctx context.Context, m *matrix.Dense, base, work
 	}
 
 	err := g.RunContext(ctx, func() {
+		// One burst per anti-diagonal: each diagonal's tags reach the queue
+		// in a single batched push and wakeup pass.
 		for gap := 0; gap < tiles; gap++ {
+			bu := g.NewBurst()
 			for i := 0; i+gap < tiles; i++ {
-				tags.Put(Tile{i, i + gap})
+				tags.PutInto(Tile{i, i + gap}, bu)
 			}
+			bu.Flush()
 		}
 	})
 	stats := gep.CnCStats{Stats: g.Stats(), BaseTasks: out.Len()}

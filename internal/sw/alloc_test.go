@@ -1,0 +1,48 @@
+package sw
+
+import (
+	"testing"
+
+	"dpflow/internal/core"
+	"dpflow/internal/forkjoin"
+)
+
+// Full-run allocation budgets (ISSUE 7), the SW counterpart of the gates in
+// internal/gep: pooled dispatch keeps a complete wavefront run's allocation
+// count at graph-construction-plus-boxed-keys scale. Budgets are ~2×
+// current measurements at n=256/base=16 (16×16 tiles); see
+// internal/gep/alloc_test.go for the rationale.
+func TestRunAllocBudget(t *testing.T) {
+	const n, base, workers = 256, 16, 4
+	budget := map[core.Variant]float64{
+		core.NativeCnC:  10000, // measured ~5.1k
+		core.TunerCnC:   6000,  // measured ~3.1k
+		core.ManualCnC:  9000,  // measured ~4.4k
+		core.OMPTasking: 100,   // measured ~13
+	}
+	pool := forkjoin.NewPool(forkjoin.Config{Workers: workers})
+	defer pool.Close()
+	p := problem(n, 1)
+
+	for _, v := range core.ParallelVariants {
+		v := v
+		run := func() {
+			h := p.NewTable()
+			if v == core.OMPTasking {
+				if _, err := p.ForkJoinWavefront(h, base, pool); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if _, _, err := p.RunCnC(h, base, workers, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the pools and the runtime
+		allocs := testing.AllocsPerRun(3, run)
+		t.Logf("SW/%s: %.0f allocs/run (budget %.0f)", v, allocs, budget[v])
+		if allocs > budget[v] {
+			t.Errorf("SW/%s: %.0f allocs/run exceeds budget %.0f — a pooled dispatch path regressed", v, allocs, budget[v])
+		}
+	}
+}

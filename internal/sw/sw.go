@@ -113,7 +113,8 @@ func (p *Problem) ForkJoinContext(ctx context.Context, h *matrix.Dense, base int
 	if err := p.validate(h, base); err != nil {
 		return 0, err
 	}
-	if err := pool.RunContext(ctx, func(c *forkjoin.Ctx) { p.fjRecurse(c, h, 0, 0, p.N(), base) }); err != nil {
+	r := &fjSW{p: p, h: h, base: base}
+	if err := pool.RunContext(ctx, func(c *forkjoin.Ctx) { r.recurse(c, 0, 0, p.N()) }); err != nil {
 		return 0, err
 	}
 	return kernels.MaxScore(h), nil
@@ -140,19 +141,32 @@ func declareRace(c *forkjoin.Ctx, ti, tj int) {
 	}
 }
 
-func (p *Problem) fjRecurse(ctx *forkjoin.Ctx, h *matrix.Dense, i0, j0, s, base int) {
-	if s <= base {
+// fjSW is the per-run state of the recursive fork-join driver: the problem,
+// the table and the base-case threshold, bundled so spawns can go through
+// the closure-free SpawnCall trampoline.
+type fjSW struct {
+	p    *Problem
+	h    *matrix.Dense
+	base int
+}
+
+func swCallRecurse(c *forkjoin.Ctx, recv any, a [4]int) {
+	recv.(*fjSW).recurse(c, a[0], a[1], a[2])
+}
+
+func (r *fjSW) recurse(ctx *forkjoin.Ctx, i0, j0, s int) {
+	if s <= r.base {
 		declareRace(ctx, i0/s, j0/s)
-		p.kernel(h, 1+i0, 1+j0, s)
+		r.p.kernel(r.h, 1+i0, 1+j0, s)
 		return
 	}
 	half := s / 2
-	p.fjRecurse(ctx, h, i0, j0, half, base)
+	r.recurse(ctx, i0, j0, half)
 	var g forkjoin.Group
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { p.fjRecurse(c, h, i0, j0+half, half, base) })
-	ctx.Spawn(&g, func(c *forkjoin.Ctx) { p.fjRecurse(c, h, i0+half, j0, half, base) })
+	ctx.SpawnCall(&g, swCallRecurse, r, [4]int{i0, j0 + half, half})
+	ctx.SpawnCall(&g, swCallRecurse, r, [4]int{i0 + half, j0, half})
 	ctx.Wait(&g) // artificial dependency: X11 waits for both anti-diagonal halves
-	p.fjRecurse(ctx, h, i0+half, j0+half, half, base)
+	r.recurse(ctx, i0+half, j0+half, half)
 }
 
 // TileTag identifies a recursive block (I, J) of size S (in units of S), as
@@ -214,10 +228,12 @@ func (p *Problem) RunCnCContext(ctx context.Context, h *matrix.Dense, base, work
 	step := cnc.NewStepCollection(g, "swTile", func(t TileTag) error {
 		if t.S > base {
 			half := t.S / 2
-			tags.PutThrottled(TileTag{2 * t.I, 2 * t.J, half})
-			tags.PutThrottled(TileTag{2 * t.I, 2*t.J + 1, half})
-			tags.PutThrottled(TileTag{2*t.I + 1, 2 * t.J, half})
-			tags.PutThrottled(TileTag{2*t.I + 1, 2*t.J + 1, half})
+			bu := g.NewBurst()
+			tags.PutThrottledInto(TileTag{2 * t.I, 2 * t.J, half}, bu)
+			tags.PutThrottledInto(TileTag{2 * t.I, 2*t.J + 1, half}, bu)
+			tags.PutThrottledInto(TileTag{2*t.I + 1, 2 * t.J, half}, bu)
+			tags.PutThrottledInto(TileTag{2*t.I + 1, 2*t.J + 1, half}, bu)
+			bu.Flush()
 			return nil
 		}
 		if t.I > 0 && !await(TileKey{t.I - 1, t.J}) ||
@@ -292,10 +308,14 @@ func (p *Problem) RunCnCContext(ctx context.Context, h *matrix.Dense, base, work
 
 	err := g.RunContext(ctx, func() {
 		if variant == core.ManualCnC {
+			// One burst per anti-diagonal row: the whole grid's tags reach
+			// the queue in tiles batched pushes instead of tiles² singles.
 			for i := 0; i < tiles; i++ {
+				bu := g.NewBurst()
 				for j := 0; j < tiles; j++ {
-					tags.PutThrottled(TileTag{i, j, bs})
+					tags.PutThrottledInto(TileTag{i, j, bs}, bu)
 				}
+				bu.Flush()
 			}
 			return
 		}
@@ -352,6 +372,7 @@ func (p *Problem) ForkJoinWavefront(h *matrix.Dense, base int, pool *forkjoin.Po
 	}
 	bs := gep.BaseSize(p.N(), base)
 	tiles := p.N() / bs
+	r := &fjSW{p: p, h: h, base: bs}
 	pool.Run(func(ctx *forkjoin.Ctx) {
 		var g forkjoin.Group
 		for d := 0; d < 2*tiles-1; d++ {
@@ -364,14 +385,19 @@ func (p *Problem) ForkJoinWavefront(h *matrix.Dense, base int, pool *forkjoin.Po
 				hi = tiles - 1
 			}
 			for i := lo; i <= hi; i++ {
-				ti, tj := i, d-i
-				ctx.Spawn(&g, func(c *forkjoin.Ctx) {
-					declareRace(c, ti, tj)
-					p.kernel(h, 1+ti*bs, 1+tj*bs, bs)
-				})
+				ctx.SpawnCall(&g, swCallTile, r, [4]int{i, d - i})
 			}
 			ctx.Wait(&g) // barrier per wavefront
 		}
 	})
 	return kernels.MaxScore(h), nil
+}
+
+// swCallTile runs one base tile of the wavefront schedule; fjSW.base holds
+// the resolved tile side.
+func swCallTile(c *forkjoin.Ctx, recv any, a [4]int) {
+	r := recv.(*fjSW)
+	ti, tj := a[0], a[1]
+	declareRace(c, ti, tj)
+	r.p.kernel(r.h, 1+ti*r.base, 1+tj*r.base, r.base)
 }
