@@ -5,7 +5,8 @@
 // GC leak freedom plus backpressure under a live-set budget). The
 // benchmark-facing experiments iterate the internal/bench registry, so
 // every registered benchmark — GE, SW, FW-APSP, CH — appears in the
-// crossover verification, memory, and sched reports.
+// crossover verification, memory, sched, and dist (sharded multi-process
+// vs single-process) reports.
 //
 // Usage:
 //
@@ -25,10 +26,14 @@ import (
 	"os"
 	"os/signal"
 
+	"dpflow/internal/dist"
 	"dpflow/internal/harness"
 )
 
 func main() {
+	// The dist coordinator self-execs this binary as its shard workers
+	// (dpbench -exp dist); with the worker env set this call never returns.
+	dist.MaybeWorkerChild()
 	var (
 		exp     = flag.String("exp", "", "experiment id ("+harness.ValidIDList()+", or 'all')")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -118,6 +123,8 @@ func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTi
 		return harness.WriteMemory(ctx, os.Stdout)
 	case "sched":
 		return harness.WriteSched(ctx, os.Stdout)
+	case "dist":
+		return harness.WriteDist(ctx, os.Stdout)
 	case "perf":
 		return harness.WritePerf(ctx, os.Stdout, jsonOut, raceDetect)
 	case "perfdiff":

@@ -1,0 +1,41 @@
+// Command dpworker is a standalone shard worker for the distributed
+// runtime (internal/dist). The coordinator normally self-execs whatever
+// binary it lives in (dpbench does this), so dpworker exists for running a
+// shard by hand — debugging the wire protocol, or hosting a shard under a
+// separate supervisor:
+//
+//	DPFLOW_DIST_WORKER_SOCKET=/tmp/shard-0.sock dpworker
+//	dpworker -socket /tmp/shard-0.sock
+//
+// The worker serves its Unix socket until it is killed or its stdin
+// reaches EOF (the coordinator's orphan-prevention lifeline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dpflow/internal/dist"
+)
+
+func main() {
+	// Env form first: identical to every self-exec'd worker.
+	dist.MaybeWorkerChild()
+
+	socket := flag.String("socket", "", "unix socket path to serve (alternative to "+dist.EnvWorkerSocket+")")
+	flag.Parse()
+	if *socket == "" {
+		fmt.Fprintf(os.Stderr, "dpworker: -socket required (or set %s)\n", dist.EnvWorkerSocket)
+		os.Exit(2)
+	}
+	go func() {
+		_, _ = io.Copy(io.Discard, os.Stdin)
+		os.Exit(0)
+	}()
+	if err := dist.ServeWorker(*socket); err != nil {
+		fmt.Fprintln(os.Stderr, "dpworker:", err)
+		os.Exit(1)
+	}
+}

@@ -101,6 +101,34 @@ type Benchmark interface {
 	// locality lets the hardware prefetcher discount the benchmark's memory
 	// time (true for the GE family, false for SW's row streams).
 	PrefetchFriendly() bool
+
+	// Wire returns the benchmark's on-the-wire vocabulary for a tiles×tiles
+	// problem: sample values of every tag and item type its CnC graph puts,
+	// spanning the edge cases a serialisation layer must survive — the
+	// zero-value tag, zero-size tiles (S == 0), and max-coordinate tags and
+	// keys. The distributed runtime (internal/dist) registers these concrete
+	// types with its codec and the codec round-trip tests sweep them.
+	Wire(tiles int) WireVocab
+}
+
+// WireVocab is one benchmark's on-the-wire vocabulary: the concrete tag and
+// item types its CnC graph exchanges, as sample values. Every registered
+// benchmark must enumerate at least one sample of every type it puts so the
+// distributed codec can register and round-trip them.
+type WireVocab struct {
+	// Tags are sample control-tag values (one per tag collection at least),
+	// including the zero value and the maximum-coordinate tag.
+	Tags []any
+	// Items are sample (collection, key, value) triples, one per item
+	// collection at least, including zero-value and max-coordinate keys.
+	Items []WireItem
+}
+
+// WireItem is one sample item of a benchmark's vocabulary.
+type WireItem struct {
+	Coll string
+	Key  any
+	Val  any
 }
 
 var registry = map[core.BenchID]Benchmark{}

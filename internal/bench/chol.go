@@ -89,6 +89,26 @@ func (chBench) PrefetchFriendly() bool { return true }
 
 func (chBench) SpecGraph() *cnc.Graph { return chol.NewCnCGraph("CH") }
 
+// Wire enumerates Cholesky's vocabulary: the tasks tag collection exchanges
+// chol.Tag and tile_outputs exchanges chol.Key -> bool, over the three task
+// kinds (POTRF/TRSM/UPDATE). chol tags carry no size field, so the edge
+// cases are the zero value and the max-coordinate corner per kind.
+func (chBench) Wire(tiles int) WireVocab {
+	m := tiles - 1
+	if m < 0 {
+		m = 0
+	}
+	w := WireVocab{Tags: []any{chol.Tag{}}}
+	for kind := chol.KindPotrf; kind <= chol.KindUpdate; kind++ {
+		w.Tags = append(w.Tags, chol.Tag{Kind: kind, I: m, J: m, K: m})
+		w.Items = append(w.Items,
+			WireItem{Coll: "tile_outputs", Key: chol.Key{Kind: kind}, Val: false},
+			WireItem{Coll: "tile_outputs", Key: chol.Key{Kind: kind, I: m, J: m, K: m}, Val: true},
+		)
+	}
+	return w
+}
+
 // chInstance drives one SPD factorisation; all chol drivers apply
 // bit-identical per-element operations, so Verify demands exact equality
 // with the tiled serial reference.

@@ -73,4 +73,6 @@ func (fwBench) DepCount(kind dag.Kind) float64 {
 
 func (fwBench) PrefetchFriendly() bool { return true }
 
+func (fwBench) Wire(tiles int) WireVocab { return gepWire(tiles) }
+
 func (fwBench) SpecGraph() *cnc.Graph { return fw.Algorithm.NewCnCGraph("FW-APSP", core.NativeCnC) }

@@ -74,4 +74,6 @@ func (geBench) DepCount(kind dag.Kind) float64 {
 
 func (geBench) PrefetchFriendly() bool { return true }
 
+func (geBench) Wire(tiles int) WireVocab { return gepWire(tiles) }
+
 func (geBench) SpecGraph() *cnc.Graph { return ge.Algorithm.NewCnCGraph("GE", core.NativeCnC) }

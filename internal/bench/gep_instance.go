@@ -45,6 +45,35 @@ func (in *gepInstance) Run(ctx context.Context, v core.Variant, opts RunOpts) (g
 	}
 }
 
+// gepWire is the shared GE/FW vocabulary: the four funcX tag collections
+// exchange gep.Tag and the four funcX_outputs item collections exchange
+// gep.ItemKey -> bool, exactly as built by gep's dataflow graph. The samples
+// span the zero value, a zero-size tile (S == 0), a recursive
+// (larger-than-base) tag and the max-coordinate corner of a tiles×tiles
+// problem.
+func gepWire(tiles int) WireVocab {
+	m := tiles - 1
+	if m < 0 {
+		m = 0
+	}
+	w := WireVocab{
+		Tags: []any{
+			gep.Tag{},                           // zero value
+			gep.Tag{I: 0, J: 0, K: 0, S: 0},     // zero-size tile
+			gep.Tag{I: m, J: m, K: m, S: 1},     // max-coordinate base tag
+			gep.Tag{I: 0, J: 0, K: 0, S: tiles}, // recursive root tag
+		},
+	}
+	for _, f := range []gep.Func{gep.FuncA, gep.FuncB, gep.FuncC, gep.FuncD} {
+		coll := f.String() + "_outputs"
+		w.Items = append(w.Items,
+			WireItem{Coll: coll, Key: gep.ItemKey{}, Val: false},
+			WireItem{Coll: coll, Key: gep.ItemKey{I: m, J: m, K: m}, Val: true},
+		)
+	}
+	return w
+}
+
 func (in *gepInstance) Verify() error {
 	if !matrix.Equal(in.work, in.ref) {
 		return fmt.Errorf("bench: %s result disagrees with serial reference (maxdiff %g)",

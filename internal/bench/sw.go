@@ -76,6 +76,27 @@ func (swBench) PrefetchFriendly() bool { return false }
 
 func (swBench) SpecGraph() *cnc.Graph { return sw.NewCnCGraph("SW") }
 
+// Wire enumerates SW's single-pass vocabulary: tile_tags exchanges
+// sw.TileTag (no K dimension) and tile_outputs exchanges sw.TileKey -> bool.
+func (swBench) Wire(tiles int) WireVocab {
+	m := tiles - 1
+	if m < 0 {
+		m = 0
+	}
+	return WireVocab{
+		Tags: []any{
+			sw.TileTag{},                     // zero value
+			sw.TileTag{I: 0, J: 0, S: 0},     // zero-size tile
+			sw.TileTag{I: m, J: m, S: 1},     // max-coordinate base tag
+			sw.TileTag{I: 0, J: 0, S: tiles}, // recursive root tag
+		},
+		Items: []WireItem{
+			{Coll: "tile_outputs", Key: sw.TileKey{}, Val: false},
+			{Coll: "tile_outputs", Key: sw.TileKey{I: m, J: m}, Val: true},
+		},
+	}
+}
+
 // swInstance drives one SW problem; Verify demands both the exact maximum
 // score and a bit-identical DP table against the serial reference.
 type swInstance struct {

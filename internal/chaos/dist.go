@@ -1,0 +1,224 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file extends the fault vocabulary to the process level. The in-graph
+// faults (StepError, DropTag, ...) perturb one runtime through cnc.Hooks;
+// the distributed faults below perturb the *transport* between a
+// coordinator and its shard workers through the TransportControl seam the
+// distributed runtime exposes. The layering mirrors chaos/cnc: this package
+// defines the control interface, internal/dist implements it, and no import
+// cycle exists because dist imports chaos (never the reverse).
+
+// Dir is the direction of a frame crossing the coordinator/worker boundary,
+// from the coordinator's point of view.
+type Dir int
+
+const (
+	// DirSend is a frame leaving the coordinator for a worker.
+	DirSend Dir = iota
+	// DirRecv is a frame arriving at the coordinator from a worker.
+	DirRecv
+)
+
+func (d Dir) String() string {
+	if d == DirSend {
+		return "send"
+	}
+	return "recv"
+}
+
+// Verdict is a frame hook's decision about one frame. The zero value lets
+// the frame pass untouched.
+type Verdict struct {
+	// Drop discards the frame. A dropped request never reaches the worker;
+	// a dropped response strands the coordinator's wait — either way the
+	// per-request deadline must convert the loss into a retry.
+	Drop bool
+	// Delay stalls the frame's delivery, modelling a congested or
+	// scheduler-starved transport. Delays shorter than the request deadline
+	// must be absorbed invisibly; longer ones behave like Drop.
+	Delay time.Duration
+	// Reset tears the connection down mid-exchange instead of delivering
+	// the frame — the half-written-frame failure mode. The coordinator must
+	// reconnect (or respawn) and retry.
+	Reset bool
+}
+
+// TransportControl is the seam a distributed runtime exposes for
+// process-level fault injection. The coordinator in internal/dist
+// implements it; a stub suffices for tests of the faults themselves.
+//
+// Implementations must tolerate hooks being installed and cleared (set to
+// nil) at any moment, including mid-exchange.
+type TransportControl interface {
+	// Shards is the number of shard workers (fault targets).
+	Shards() int
+	// SetFrameHook installs fn on every frame crossing the boundary in
+	// either direction; nil uninstalls. size is the encoded frame length in
+	// bytes, msgType its wire discriminator (e.g. "put", "get", "ack").
+	SetFrameHook(fn func(dir Dir, shard int, msgType string, size int) Verdict)
+	// KillWorker forcefully terminates the given shard's worker process
+	// (SIGKILL semantics: no cleanup, no goodbye frame). The runtime's
+	// supervisor is expected to notice via a failed exchange or heartbeat
+	// and recover.
+	KillWorker(shard int) error
+}
+
+// DistFault is a process-level injectable failure mode, the transport-tier
+// analogue of Fault. ArmDist installs the fault on a live transport and
+// returns the probe recording its injections.
+//
+// All four distributed faults are recoverable by construction: the
+// coordinator's retry/respawn/replay ladder must absorb every one of them
+// or degrade gracefully — a run that verifies is the only acceptable
+// outcome, which is exactly what the chaos sweep asserts.
+type DistFault interface {
+	// Name identifies the fault in errors and logs.
+	Name() string
+	// ArmDist installs the fault on tc, drawing all randomness from rng.
+	ArmDist(tc TransportControl, rng *rand.Rand) *Probe
+}
+
+// ProcessKill SIGKILLs a randomly chosen shard worker after letting a few
+// frames through, forcing the supervisor down the respawn-and-replay path.
+// Each injection kills one worker; the budget bounds total kills.
+type ProcessKill struct {
+	Prob  float64 // per-frame kill probability once armed (default 0.1)
+	Times int     // total kill budget (default 1)
+	// After is the number of frames to let pass before kills may start
+	// (default 4), so the store holds state worth replaying.
+	After int
+}
+
+// Name implements DistFault.
+func (f *ProcessKill) Name() string { return "process-kill" }
+
+// ArmDist implements DistFault.
+func (f *ProcessKill) ArmDist(tc TransportControl, rng *rand.Rand) *Probe {
+	p := &Probe{}
+	a := newArmer(rng, f.Prob, f.Times)
+	after := f.After
+	if after <= 0 {
+		after = 4
+	}
+	var seen int
+	var mu sync.Mutex
+	tc.SetFrameHook(func(dir Dir, shard int, msgType string, size int) Verdict {
+		mu.Lock()
+		seen++
+		warm := seen > after
+		mu.Unlock()
+		if !warm || !a.fire() {
+			return Verdict{}
+		}
+		// Kill the frame's own shard: the exchange in flight is the one
+		// that observes the death, the worst case for the supervisor.
+		p.record(fmt.Sprintf("kill shard %d (%s %s)", shard, dir, msgType))
+		// The frame itself still passes; the kill races it, which is the
+		// point — either order must recover.
+		go tc.KillWorker(shard)
+		return Verdict{}
+	})
+	return p
+}
+
+// MessageDrop silently discards frames, in both directions: lost requests
+// (worker never sees the put/get) and lost responses (coordinator waits for
+// an ack that never comes). The per-request deadline must turn each loss
+// into a retry.
+type MessageDrop struct {
+	Prob  float64
+	Times int
+}
+
+// Name implements DistFault.
+func (f *MessageDrop) Name() string { return "message-drop" }
+
+// ArmDist implements DistFault.
+func (f *MessageDrop) ArmDist(tc TransportControl, rng *rand.Rand) *Probe {
+	p := &Probe{}
+	a := newArmer(rng, f.Prob, f.Times)
+	tc.SetFrameHook(func(dir Dir, shard int, msgType string, size int) Verdict {
+		if !a.fire() {
+			return Verdict{}
+		}
+		p.record(fmt.Sprintf("drop %s %s shard %d (%dB)", dir, msgType, shard, size))
+		return Verdict{Drop: true}
+	})
+	return p
+}
+
+// MessageDelay stalls frame delivery — transport congestion. Sub-deadline
+// delays must be invisible (absorbed by the wait); the sweep also verifies
+// the watchdog attributes the quiet period to remote waiting rather than
+// declaring a livelock.
+type MessageDelay struct {
+	Prob  float64
+	Delay time.Duration // default 5ms
+	Times int
+}
+
+// Name implements DistFault.
+func (f *MessageDelay) Name() string { return "message-delay" }
+
+// ArmDist implements DistFault.
+func (f *MessageDelay) ArmDist(tc TransportControl, rng *rand.Rand) *Probe {
+	p := &Probe{}
+	a := newArmer(rng, f.Prob, f.Times)
+	delay := f.Delay
+	if delay <= 0 {
+		delay = 5 * time.Millisecond
+	}
+	tc.SetFrameHook(func(dir Dir, shard int, msgType string, size int) Verdict {
+		if !a.fire() {
+			return Verdict{}
+		}
+		p.record(fmt.Sprintf("delay %s %s shard %d %v", dir, msgType, shard, delay))
+		return Verdict{Delay: delay}
+	})
+	return p
+}
+
+// ConnReset tears a connection down mid-exchange instead of delivering the
+// frame — the half-written-frame / peer-crash failure mode, distinct from
+// ProcessKill in that the worker process (and its store) survives, so
+// reconnecting without replay suffices.
+type ConnReset struct {
+	Prob  float64
+	Times int
+}
+
+// Name implements DistFault.
+func (f *ConnReset) Name() string { return "conn-reset" }
+
+// ArmDist implements DistFault.
+func (f *ConnReset) ArmDist(tc TransportControl, rng *rand.Rand) *Probe {
+	p := &Probe{}
+	a := newArmer(rng, f.Prob, f.Times)
+	tc.SetFrameHook(func(dir Dir, shard int, msgType string, size int) Verdict {
+		if !a.fire() {
+			return Verdict{}
+		}
+		p.record(fmt.Sprintf("reset %s %s shard %d", dir, msgType, shard))
+		return Verdict{Reset: true}
+	})
+	return p
+}
+
+// DistFaults returns one instance of every process-level fault with the
+// given per-frame probability and total budget — the battery the
+// distributed chaos sweep crosses with benchmarks and seeds.
+func DistFaults(prob float64, times int) []DistFault {
+	return []DistFault{
+		&ProcessKill{Prob: prob, Times: times},
+		&MessageDrop{Prob: prob, Times: times},
+		&MessageDelay{Prob: prob, Times: times},
+		&ConnReset{Prob: prob, Times: times},
+	}
+}

@@ -33,6 +33,22 @@ type WatchdogConfig struct {
 	// when the stall is declared — typically a context.CancelFunc so the
 	// stalled run drains and returns instead of hanging.
 	OnStall func(blocked []string)
+	// RemoteBusy, when non-nil, is sampled at every would-be stall: a
+	// nonzero value means the run is parked inside a remote operation
+	// (cnc.Graph.BackendBusy for distributed runs) — possibly sitting out a
+	// retry/backoff window far longer than Window — not livelocked. The
+	// watchdog defers the stall verdict, counts the deferral in Stats, and
+	// restarts its window, so transport stalls surface through the
+	// transport's own deadline machinery instead of as a false livelock.
+	RemoteBusy func() int64
+}
+
+// WatchdogStats counts what the watchdog observed while monitoring one run.
+type WatchdogStats struct {
+	// RemoteWaitDeferrals is how many times a would-be stall verdict was
+	// deferred because RemoteBusy reported in-flight remote operations —
+	// the "parked on a remote get" vs livelock distinction, made visible.
+	RemoteWaitDeferrals uint64
 }
 
 // Watchdog monitors one run. Start it after the monitored graph exists and
@@ -47,6 +63,7 @@ type Watchdog struct {
 	blockedA []string
 	started  bool
 	stopped  bool
+	stats    WatchdogStats
 }
 
 // NewWatchdog builds a watchdog; Start arms it.
@@ -99,6 +116,13 @@ func (w *Watchdog) Stalled() (bool, []string) {
 	return w.stalled, append([]string(nil), w.blockedA...)
 }
 
+// Stats returns a snapshot of the watchdog's observation counters.
+func (w *Watchdog) Stats() WatchdogStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
 func (w *Watchdog) loop() {
 	defer close(w.done)
 	ticker := time.NewTicker(w.cfg.Poll)
@@ -117,6 +141,16 @@ func (w *Watchdog) loop() {
 			continue
 		}
 		if time.Since(lastChange) < w.cfg.Window {
+			continue
+		}
+		if w.cfg.RemoteBusy != nil && w.cfg.RemoteBusy() > 0 {
+			// Parked inside a remote operation, not livelocked: the
+			// transport's deadline machinery owns this wait. Defer the
+			// verdict and restart the window.
+			w.mu.Lock()
+			w.stats.RemoteWaitDeferrals++
+			w.mu.Unlock()
+			lastChange = time.Now()
 			continue
 		}
 		var blocked []string

@@ -1,0 +1,95 @@
+package cnc
+
+import "fmt"
+
+// ItemBackend is an external item-store backend — the seam the distributed
+// runtime (internal/dist) plugs a sharded multi-process store into without
+// this package knowing anything about processes, sockets or codecs.
+//
+// With a backend installed (Graph.WithItemBackend), every item collection
+// becomes a write-through cache over it:
+//
+//   - Put mirrors each item to the backend synchronously, after the local
+//     store has accepted it (so the write-once rule is already enforced)
+//     and before any parked consumer is woken. The ordering is the
+//     distributed read-your-writes guarantee for woken consumers: by the
+//     time a parked step re-runs, the backend holds the item durably — or
+//     the backend has degraded and said so by returning nil anyway. A
+//     consumer that observes the item through its own speculative timing
+//     (the local insert precedes the mirror) can race the in-flight
+//     mirror; backends must absorb that window in Get.
+//   - Get fetches the authoritative value from the backend on every local
+//     hit; the locally cached value is used only for existence tracking
+//     (parking, wakeups, get-count GC, discipline checks). A distributed
+//     run therefore proves its data plane on every read instead of quietly
+//     serving coordinator-local state.
+//
+// Backends own their robustness: transient transport errors must be
+// absorbed internally (retry, reconnect, respawn, replay, degrade to a
+// local log — see internal/dist's degradation ladder). A non-nil error from
+// either method is terminal and fails the graph. Both methods are called
+// concurrently from every worker and must be safe for concurrent use.
+//
+// TryGet is intentionally not routed through the backend: the non-blocking
+// variant polls it in a hot loop, and a poll miss is not a data access.
+type ItemBackend interface {
+	Put(coll string, key, val any) error
+	Get(coll string, key any) (any, error)
+}
+
+// WithItemBackend installs an external item-store backend on the graph.
+// Write-before-Run configuration, like SetHooks; nil (the default) keeps
+// the item collections purely in-process with zero overhead beyond one nil
+// check per put/get.
+func (g *Graph) WithItemBackend(b ItemBackend) *Graph {
+	g.backend = b
+	return g
+}
+
+// ItemBackendInstalled reports whether the graph routes item storage
+// through an external backend.
+func (g *Graph) ItemBackendInstalled() bool { return g.backend != nil }
+
+// BackendBusy is the number of operations currently inside a backend call —
+// including any retry/backoff window the backend is sitting out internally.
+// External watchdogs use it to tell "parked waiting on a remote get" apart
+// from livelock: a run whose puts have stopped but whose BackendBusy is
+// nonzero is waiting on the transport, not spinning
+// (chaos.WatchdogConfig.RemoteBusy).
+func (g *Graph) BackendBusy() int64 { return g.backendBusy.Load() }
+
+// backendPut mirrors one accepted put to the backend, maintaining the busy
+// gauge and counters. A backend error is terminal (see ItemBackend).
+func (g *Graph) backendPut(coll string, key, val any) {
+	b := g.backend
+	if b == nil {
+		return
+	}
+	g.backendBusy.Add(1)
+	err := b.Put(coll, key, val)
+	g.backendBusy.Add(-1)
+	g.stats.backendPuts.Add(1)
+	if err != nil {
+		g.fail(fmt.Errorf("cnc: item backend put %s[%v]: %w", coll, key, err))
+	}
+}
+
+// backendGet fetches the authoritative value of a locally-present item from
+// the backend. It returns (local, false) when no backend is installed and
+// on (terminal, already-recorded) backend errors, so callers always have a
+// value to hand the step.
+func (g *Graph) backendGet(coll string, key, local any) (any, bool) {
+	b := g.backend
+	if b == nil {
+		return local, false
+	}
+	g.backendBusy.Add(1)
+	v, err := b.Get(coll, key)
+	g.backendBusy.Add(-1)
+	g.stats.backendGets.Add(1)
+	if err != nil {
+		g.fail(fmt.Errorf("cnc: item backend get %s[%v]: %w", coll, key, err))
+		return local, false
+	}
+	return v, true
+}

@@ -107,6 +107,11 @@ type Stats struct {
 	FailedProbes uint64 // steal probes that found an empty victim lane
 	Wakeups      uint64 // targeted wake signals sent to parked workers
 
+	// Item-backend counters (see Graph.WithItemBackend): puts mirrored to
+	// and values fetched from the external store. Zero without a backend.
+	BackendPuts uint64
+	BackendGets uint64
+
 	// Memory accounting (see ItemCollection.WithGetCount and
 	// Graph.WithMemoryLimit). Bytes are counted only for collections with a
 	// WithSizeOf hint; items are counted for every collection.
@@ -150,11 +155,17 @@ type Graph struct {
 	finished  atomic.Bool
 	cancelled atomic.Bool
 
-	// hooks, retry and discipline are write-before-Run configuration; the
-	// runtime reads them without synchronisation once running.
+	// hooks, retry, discipline and backend are write-before-Run
+	// configuration; the runtime reads them without synchronisation once
+	// running.
 	hooks      *Hooks
 	retry      int
 	discipline *determinacy.DisciplineChecker
+	backend    ItemBackend
+
+	// backendBusy gauges operations currently inside a backend call (see
+	// Graph.BackendBusy — the watchdog's remote-wait stall source).
+	backendBusy atomic.Int64
 
 	// acct tracks live items/bytes and implements the WithMemoryLimit
 	// backpressure (see accountant.go).
@@ -179,6 +190,7 @@ type Graph struct {
 		tagsPut, itemsPut, started, done    atomic.Uint64
 		aborts, requeues, inline, triggered atomic.Uint64
 		pinned, retries                     atomic.Uint64
+		backendPuts, backendGets            atomic.Uint64
 	}
 
 	// Static graph structure, for Describe/Dot and deadlock reports.
@@ -275,6 +287,9 @@ func (g *Graph) Stats() Stats {
 		Steals:       g.queue.steals.Load(),
 		FailedProbes: g.queue.failedProbes.Load(),
 		Wakeups:      g.queue.wakeups.Load(),
+
+		BackendPuts: g.stats.backendPuts.Load(),
+		BackendGets: g.stats.backendGets.Load(),
 	}
 }
 

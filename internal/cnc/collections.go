@@ -948,6 +948,12 @@ func (ic *ItemCollection[K, V]) Put(k K, v V) {
 	if freeNow {
 		ic.g.acct.free(size)
 	}
+	// Mirror to the external backend before any consumer can observe the
+	// item: waiters woken below (and every later Get, whose local-presence
+	// check this put just satisfied) may fetch the value remotely, so the
+	// backend must hold it first — the distributed read-your-writes
+	// ordering (see ItemBackend).
+	ic.g.backendPut(ic.name, k, v)
 	if len(ws) > 0 {
 		// Coalesce the wakeups: every waiter this put satisfies lands on
 		// the queue in one batch with a single signalling pass, instead of
@@ -1074,6 +1080,18 @@ func (ic *ItemCollection[K, V]) Get(k K) V {
 		sh.mu.Unlock()
 		if dc := ic.g.discipline; dc != nil {
 			dc.RecordGet(ic.name, k)
+		}
+		// With a backend installed the local value only proves existence;
+		// the authoritative copy comes back over the wire (and must agree
+		// in type — a mismatch is a codec bug, failed loudly).
+		if rv, remote := ic.g.backendGet(ic.name, k, v); remote {
+			tv, ok := rv.(V)
+			if !ok {
+				err := fmt.Errorf("cnc: item backend returned %T for %s[%v], want %T", rv, ic.name, k, v)
+				ic.g.fail(err)
+				panic(err) // unwinds the step like a failed Get; never retried into success
+			}
+			return tv
 		}
 		return v
 	}

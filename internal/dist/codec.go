@@ -1,0 +1,210 @@
+// Package dist is the sharded multi-process runtime: a coordinator process
+// that runs the CnC graph and N worker processes that each own one shard of
+// the item space, connected over Unix-domain sockets. It layers on the
+// generic cnc.ItemBackend seam, so every registered benchmark runs
+// distributed with zero per-benchmark code: the coordinator mirrors each
+// item put to its shard owner before consumers can observe it and fetches
+// the authoritative value on every get (see cnc.ItemBackend for the
+// read-your-writes argument).
+//
+// The runtime's robustness ladder, bottom to top: per-request deadlines
+// with retry + exponential backoff + jitter (retry.go); reconnect against
+// a live but unresponsive worker; supervisor respawn of dead workers with
+// replay of the coordinator's write-ahead put log (safe because items are
+// write-once — workers accept byte-identical duplicate puts); and graceful
+// degradation to coordinator-local serving from that same log when a shard
+// is irrecoverably lost, which is exactly single-process execution. Faults
+// are injected through the chaos.TransportControl seam the Coordinator
+// implements.
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"dpflow/internal/bench"
+)
+
+// Wire format: every frame is
+//
+//	uint32 BE  frame length (bytes after this field)
+//	byte       message type
+//	uint64 BE  sequence number
+//	[]byte     gob-encoded payload (may be empty)
+//
+// The sequence number lives in the frame header, not the payload, so the
+// coordinator can discard stale responses (a retried request's late answer)
+// without decoding them.
+const (
+	// MsgPut carries PutMsg coordinator->worker; answered by MsgAck.
+	MsgPut byte = 1 + iota
+	// MsgGet carries GetMsg coordinator->worker; answered by MsgItem.
+	MsgGet
+	// MsgAck answers MsgPut.
+	MsgAck
+	// MsgItem answers MsgGet.
+	MsgItem
+	// MsgPing is the heartbeat probe (empty payload); answered by MsgPong.
+	MsgPing
+	// MsgPong answers MsgPing.
+	MsgPong
+)
+
+// MsgName renders a message type for logs and fault hooks.
+func MsgName(mt byte) string {
+	switch mt {
+	case MsgPut:
+		return "put"
+	case MsgGet:
+		return "get"
+	case MsgAck:
+		return "ack"
+	case MsgItem:
+		return "item"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	}
+	return fmt.Sprintf("msg(%d)", mt)
+}
+
+// maxFrame bounds a single frame; anything larger is a protocol error, not
+// a legitimate tile (the benchmarks exchange receipt booleans and small
+// structs).
+const maxFrame = 16 << 20
+
+const headerLen = 4 // length field itself
+
+// PutMsg stores one write-once item on its shard owner. Key and Val are
+// pre-encoded (EncodeValue) — workers treat both as opaque bytes and need
+// no type registrations.
+type PutMsg struct {
+	Coll string
+	Key  []byte
+	Val  []byte
+}
+
+// GetMsg fetches one item.
+type GetMsg struct {
+	Coll string
+	Key  []byte
+}
+
+// AckMsg answers a put. A non-empty Err is a protocol-level failure the
+// coordinator must surface (the only expected one: a write-once violation,
+// a differing duplicate put).
+type AckMsg struct {
+	Err string
+}
+
+// ItemMsg answers a get.
+type ItemMsg struct {
+	Found bool
+	Val   []byte
+	Err   string
+}
+
+// PongMsg answers a ping; Stored is the worker's item count, a cheap
+// invariant probe for tests.
+type PongMsg struct {
+	Stored uint64
+}
+
+// EncodeFrame renders one frame. A nil payload encodes as an empty body
+// (MsgPing/partner types with no fields can pass nil).
+func EncodeFrame(mt byte, seq uint64, payload any) ([]byte, error) {
+	var body bytes.Buffer
+	body.Write(make([]byte, headerLen)) // length placeholder
+	body.WriteByte(mt)
+	var seqb [8]byte
+	binary.BigEndian.PutUint64(seqb[:], seq)
+	body.Write(seqb[:])
+	if payload != nil {
+		if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+			return nil, fmt.Errorf("dist: encode %s frame: %w", MsgName(mt), err)
+		}
+	}
+	out := body.Bytes()
+	binary.BigEndian.PutUint32(out[:headerLen], uint32(len(out)-headerLen))
+	return out, nil
+}
+
+// ReadFrame reads one frame off r, returning the message type, sequence
+// number and raw payload bytes.
+func ReadFrame(r io.Reader) (mt byte, seq uint64, payload []byte, err error) {
+	var lenb [headerLen]byte
+	if _, err = io.ReadFull(r, lenb[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n < 9 || n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("dist: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return 0, 0, nil, err
+	}
+	return buf[0], binary.BigEndian.Uint64(buf[1:9]), buf[9:], nil
+}
+
+// DecodePayload decodes a frame payload into v.
+func DecodePayload(payload []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// wireValue is the gob envelope for dynamically-typed tag/key/item values:
+// encoding `any` directly is not possible, encoding a struct with an `any`
+// field is, provided every concrete type is gob-registered
+// (RegisterWireTypes).
+type wireValue struct {
+	V any
+}
+
+// EncodeValue renders one tag/key/item value to bytes. A fresh encoder per
+// call makes the bytes a pure function of the value — the property the
+// shard map (same key, same shard), the worker store key and the byte-equal
+// idempotent-replay check all rely on.
+func EncodeValue(v any) ([]byte, error) {
+	RegisterWireTypes()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireValue{V: v}); err != nil {
+		return nil, fmt.Errorf("dist: encode value %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeValue inverts EncodeValue.
+func DecodeValue(b []byte) (any, error) {
+	RegisterWireTypes()
+	var w wireValue
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("dist: decode value: %w", err)
+	}
+	return w.V, nil
+}
+
+var registerOnce sync.Once
+
+// RegisterWireTypes registers every registered benchmark's tag, key and
+// item-value concrete types with gob, by walking bench.All() through the
+// Wire vocabulary each benchmark declares. Coordinator-side only — workers
+// never decode values. Idempotent and safe from multiple goroutines.
+func RegisterWireTypes() {
+	registerOnce.Do(func() {
+		for _, b := range bench.All() {
+			w := b.Wire(4)
+			for _, tag := range w.Tags {
+				gob.Register(tag)
+			}
+			for _, it := range w.Items {
+				gob.Register(it.Key)
+				gob.Register(it.Val)
+			}
+		}
+	})
+}

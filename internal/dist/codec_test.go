@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dpflow/internal/bench"
+)
+
+// TestValueRoundTripAllBenchmarks sweeps every registered benchmark's wire
+// vocabulary — tags and (collection, key, value) samples including the
+// zero-value tag, zero-size tiles and max-coordinate keys — through
+// EncodeValue/DecodeValue, and checks encoding is deterministic (the
+// property the shard map and byte-equal idempotent replay rely on).
+func TestValueRoundTripAllBenchmarks(t *testing.T) {
+	benches := bench.All()
+	if len(benches) == 0 {
+		t.Fatal("no registered benchmarks")
+	}
+	for _, b := range benches {
+		w := b.Wire(4)
+		if len(w.Tags) == 0 || len(w.Items) == 0 {
+			t.Fatalf("%s: Wire vocabulary empty (tags %d, items %d)", b.Name(), len(w.Tags), len(w.Items))
+		}
+		var vals []any
+		vals = append(vals, w.Tags...)
+		for _, it := range w.Items {
+			vals = append(vals, it.Key, it.Val)
+		}
+		for i, v := range vals {
+			name := fmt.Sprintf("%s/%d:%T", b.Name(), i, v)
+			enc1, err := EncodeValue(v)
+			if err != nil {
+				t.Fatalf("%s: encode: %v", name, err)
+			}
+			enc2, err := EncodeValue(v)
+			if err != nil {
+				t.Fatalf("%s: re-encode: %v", name, err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("%s: encoding not deterministic (%d vs %d bytes)", name, len(enc1), len(enc2))
+			}
+			dec, err := DecodeValue(enc1)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if !reflect.DeepEqual(dec, v) {
+				t.Fatalf("%s: round trip %#v -> %#v", name, v, dec)
+			}
+		}
+	}
+}
+
+// TestFrameRoundTrip pushes each message type through EncodeFrame/ReadFrame.
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		mt      byte
+		seq     uint64
+		payload any
+	}{
+		{MsgPut, 1, PutMsg{Coll: "g1/tile_outputs", Key: []byte{1, 2}, Val: []byte{3}}},
+		{MsgGet, 2, GetMsg{Coll: "g1/tile_outputs", Key: []byte{}}},
+		{MsgAck, 3, AckMsg{}},
+		{MsgAck, 4, AckMsg{Err: "write-once violation"}},
+		{MsgItem, 5, ItemMsg{Found: true, Val: []byte{9, 9}}},
+		{MsgPing, 6, nil},
+		{MsgPong, 7, PongMsg{Stored: 17}},
+	}
+	var stream bytes.Buffer
+	for _, tc := range cases {
+		frame, err := EncodeFrame(tc.mt, tc.seq, tc.payload)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", MsgName(tc.mt), err)
+		}
+		stream.Write(frame)
+	}
+	for _, tc := range cases {
+		mt, seq, pl, err := ReadFrame(&stream)
+		if err != nil {
+			t.Fatalf("%s: read: %v", MsgName(tc.mt), err)
+		}
+		if mt != tc.mt || seq != tc.seq {
+			t.Fatalf("frame header (%s, %d), want (%s, %d)", MsgName(mt), seq, MsgName(tc.mt), tc.seq)
+		}
+		switch tc.mt {
+		case MsgPut:
+			var m PutMsg
+			if err := DecodePayload(pl, &m); err != nil {
+				t.Fatalf("decode put: %v", err)
+			}
+			want := tc.payload.(PutMsg)
+			if m.Coll != want.Coll || !bytes.Equal(m.Key, want.Key) || !bytes.Equal(m.Val, want.Val) {
+				t.Fatalf("put round trip %+v -> %+v", want, m)
+			}
+		case MsgPong:
+			var m PongMsg
+			if err := DecodePayload(pl, &m); err != nil {
+				t.Fatalf("decode pong: %v", err)
+			}
+			if m.Stored != tc.payload.(PongMsg).Stored {
+				t.Fatalf("pong round trip %+v -> %+v", tc.payload, m)
+			}
+		case MsgPing:
+			if len(pl) != 0 {
+				t.Fatalf("ping payload %d bytes, want 0", len(pl))
+			}
+		}
+	}
+}
+
+// TestShardOfDeterministicAndInRange: the shard map is a pure function of
+// (collection, key bytes) with results in [0, shards), and the NUL
+// separator keeps ambiguous concatenations apart.
+func TestShardOfDeterministicAndInRange(t *testing.T) {
+	for _, b := range bench.All() {
+		for _, it := range b.Wire(4).Items {
+			kb, err := EncodeValue(it.Key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{1, 2, 3, 8} {
+				s1 := ShardOf(it.Coll, kb, n)
+				s2 := ShardOf(it.Coll, kb, n)
+				if s1 != s2 {
+					t.Fatalf("%s: shard map not deterministic (%d vs %d)", it.Coll, s1, s2)
+				}
+				if s1 < 0 || s1 >= n {
+					t.Fatalf("%s: shard %d out of range [0,%d)", it.Coll, s1, n)
+				}
+			}
+		}
+	}
+	if storeKey("ab", []byte("c")) == storeKey("a", []byte("bc")) {
+		t.Fatal("store keys collide across the coll/key boundary")
+	}
+}
+
+// TestStoreWriteOnce: byte-identical duplicate puts are accepted (replay
+// idempotence), differing duplicates refused (write-once).
+func TestStoreWriteOnce(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("c", []byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("c", []byte("k"), []byte("v1")); err != nil {
+		t.Fatalf("idempotent replay refused: %v", err)
+	}
+	if err := s.Put("c", []byte("k"), []byte("v2")); err == nil {
+		t.Fatal("differing duplicate put accepted")
+	}
+	if v, ok := s.Get("c", []byte("k")); !ok || string(v) != "v1" {
+		t.Fatalf("Get = (%q, %v), want (v1, true)", v, ok)
+	}
+	if _, ok := s.Get("c", []byte("missing")); ok {
+		t.Fatal("Get of missing key reported found")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}

@@ -1,0 +1,790 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpflow/internal/chaos"
+	"dpflow/internal/cnc"
+)
+
+// ErrShardDegraded reports that a shard exhausted its recovery ladder and
+// the coordinator now serves its items locally from the write-ahead put
+// log — the graceful-degradation terminal state, not a failure: a fully
+// degraded run is exactly single-process execution.
+var ErrShardDegraded = errors.New("dist: shard degraded to local serving")
+
+// Options configures a Coordinator.
+type Options struct {
+	// Shards is the number of worker processes (default 2).
+	Shards int
+	// SocketDir hosts the per-shard Unix sockets; empty means a fresh
+	// temporary directory owned (and removed) by the coordinator.
+	SocketDir string
+	// RequestTimeout is the per-request deadline: one full retry cycle
+	// (attempts + backoff) must land inside it before the ladder escalates
+	// to reconnect/respawn (default 2s).
+	RequestTimeout time.Duration
+	// AttemptTimeout bounds one send+receive attempt inside the cycle, so
+	// a dropped response costs one attempt, not the whole deadline
+	// (default RequestTimeout/4, floor 20ms).
+	AttemptTimeout time.Duration
+	// Backoff is the retry schedule between attempts.
+	Backoff Backoff
+	// HeartbeatEvery is the health-check period; 0 means 250ms, negative
+	// disables heartbeats.
+	HeartbeatEvery time.Duration
+	// MaxRespawns is the per-shard respawn budget before the shard
+	// degrades to local serving. Zero means the default (3); negative
+	// means no respawns at all — a lost worker degrades immediately (the
+	// degradation tests' configuration).
+	MaxRespawns int
+	// Seed seeds the backoff jitter (default 1).
+	Seed int64
+	// Spawn overrides how a shard worker process is created (tests);
+	// default is self-exec with EnvWorkerSocket set (MaybeWorkerChild).
+	Spawn func(socketPath string) (*exec.Cmd, error)
+	// Clock overrides time for the retry engine (tests); default wall.
+	Clock Clock
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.MaxRespawns == 0 {
+		o.MaxRespawns = 3
+	} else if o.MaxRespawns < 0 {
+		o.MaxRespawns = 0
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 2 * time.Second
+	}
+	if o.AttemptTimeout <= 0 {
+		o.AttemptTimeout = o.RequestTimeout / 4
+	}
+	if o.AttemptTimeout < 20*time.Millisecond {
+		o.AttemptTimeout = 20 * time.Millisecond
+	}
+	if o.HeartbeatEvery == 0 {
+		o.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Clock == nil {
+		o.Clock = RealClock
+	}
+	return o
+}
+
+// Counters is the coordinator's observable activity, all monotone.
+type Counters struct {
+	// RemotePuts / RemoteGets are successfully completed remote item
+	// operations.
+	RemotePuts, RemoteGets atomic.Uint64
+	// Retries counts re-attempts inside request deadlines.
+	Retries atomic.Uint64
+	// Respawns counts worker processes relaunched by the supervisor,
+	// ReplayedPuts the log entries re-delivered to them.
+	Respawns, ReplayedPuts atomic.Uint64
+	// Degradations counts shards that exhausted recovery and fell back to
+	// local serving; DegradedGets the gets served from the local log.
+	Degradations, DegradedGets atomic.Uint64
+	// RaceRetries counts gets re-polled because they raced their
+	// producer's in-flight mirror (see graphBackend.Get).
+	RaceRetries atomic.Uint64
+	// BytesOut / BytesIn are frame bytes across all sockets.
+	BytesOut, BytesIn atomic.Uint64
+	// Heartbeats / HeartbeatFailures count health probes sent and probes
+	// that found a shard unhealthy.
+	Heartbeats, HeartbeatFailures atomic.Uint64
+}
+
+// CounterSnapshot is a plain-value copy of Counters for reports.
+type CounterSnapshot struct {
+	RemotePuts, RemoteGets        uint64
+	Retries                       uint64
+	Respawns, ReplayedPuts        uint64
+	Degradations, DegradedGets    uint64
+	RaceRetries                   uint64
+	BytesOut, BytesIn             uint64
+	Heartbeats, HeartbeatFailures uint64
+}
+
+// Snapshot copies the counters.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		RemotePuts: c.RemotePuts.Load(), RemoteGets: c.RemoteGets.Load(),
+		Retries:  c.Retries.Load(),
+		Respawns: c.Respawns.Load(), ReplayedPuts: c.ReplayedPuts.Load(),
+		Degradations: c.Degradations.Load(), DegradedGets: c.DegradedGets.Load(),
+		RaceRetries: c.RaceRetries.Load(),
+		BytesOut:    c.BytesOut.Load(), BytesIn: c.BytesIn.Load(),
+		Heartbeats: c.Heartbeats.Load(), HeartbeatFailures: c.HeartbeatFailures.Load(),
+	}
+}
+
+// shard is the coordinator's view of one worker process.
+type shard struct {
+	idx    int
+	socket string
+
+	// mu serialises the request/response exchange and the recovery ladder.
+	mu       sync.Mutex
+	conn     net.Conn
+	seq      uint64
+	respawns int
+	retrier  *Retrier
+
+	degraded atomic.Bool
+
+	// procMu guards the process handle (KillWorker and the supervisor
+	// race by design).
+	procMu   sync.Mutex
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	waitDone chan struct{}
+
+	// logMu guards the write-ahead put log.
+	logMu  sync.Mutex
+	log    []PutMsg
+	logIdx map[string]int
+}
+
+type frameHookHolder struct {
+	fn func(dir chaos.Dir, shard int, msgType string, size int) chaos.Verdict
+}
+
+// Coordinator owns the worker fleet and implements cnc.ItemBackend (via
+// Attach) and chaos.TransportControl.
+type Coordinator struct {
+	opts     Options
+	dir      string
+	ownsDir  bool
+	shards   []*shard
+	counters Counters
+	hook     atomic.Pointer[frameHookHolder]
+	graphSeq atomic.Uint64
+	closed   atomic.Bool
+	hbStop   chan struct{}
+	hbDone   chan struct{}
+}
+
+// NewCoordinator spawns the worker fleet and connects to every shard. On
+// any startup failure the already-spawned workers are reaped before the
+// error returns.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	c := &Coordinator{opts: opts, dir: opts.SocketDir}
+	if c.dir == "" {
+		dir, err := os.MkdirTemp("", "dpflow-dist-*")
+		if err != nil {
+			return nil, fmt.Errorf("dist: socket dir: %w", err)
+		}
+		c.dir, c.ownsDir = dir, true
+	}
+	for i := 0; i < opts.Shards; i++ {
+		sh := &shard{
+			idx:    i,
+			socket: filepath.Join(c.dir, fmt.Sprintf("shard-%d.sock", i)),
+			logIdx: make(map[string]int),
+		}
+		sh.retrier = NewRetrier(opts.Backoff, opts.Clock, rand.New(rand.NewSource(opts.Seed*31+int64(i))))
+		sh.retrier.OnRetry = func() { c.counters.Retries.Add(1) }
+		c.shards = append(c.shards, sh)
+	}
+	for _, sh := range c.shards {
+		if err := c.spawnWorker(sh); err != nil {
+			c.Close()
+			return nil, err
+		}
+		conn, err := c.dial(sh, time.Now().Add(5*time.Second))
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dist: connect shard %d: %w", sh.idx, err)
+		}
+		sh.conn = conn
+	}
+	if opts.HeartbeatEvery > 0 {
+		c.hbStop = make(chan struct{})
+		c.hbDone = make(chan struct{})
+		go c.heartbeatLoop()
+	}
+	return c, nil
+}
+
+// spawnWorker launches (or relaunches) the shard's process and installs
+// the stdin lifeline: the coordinator holds the pipe's write end for the
+// worker's whole life, so coordinator death reaps every worker.
+func (c *Coordinator) spawnWorker(sh *shard) error {
+	var cmd *exec.Cmd
+	var err error
+	if c.opts.Spawn != nil {
+		cmd, err = c.opts.Spawn(sh.socket)
+	} else {
+		var exe string
+		exe, err = os.Executable()
+		if err == nil {
+			cmd = exec.Command(exe)
+			cmd.Env = append(os.Environ(), EnvWorkerSocket+"="+sh.socket)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("dist: spawn shard %d: %w", sh.idx, err)
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return fmt.Errorf("dist: spawn shard %d: stdin: %w", sh.idx, err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("dist: spawn shard %d: %w", sh.idx, err)
+	}
+	waitDone := make(chan struct{})
+	go func() { _ = cmd.Wait(); close(waitDone) }()
+	sh.procMu.Lock()
+	sh.cmd, sh.stdin, sh.waitDone = cmd, stdin, waitDone
+	sh.procMu.Unlock()
+	return nil
+}
+
+// dial connects to the shard's socket, retrying while the (possibly
+// just-spawned) worker comes up.
+func (c *Coordinator) dial(sh *shard, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for {
+		conn, err := net.DialTimeout("unix", sh.socket, 200*time.Millisecond)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, lastErr
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// alive reports whether the shard's current worker process is running.
+func (c *Coordinator) alive(sh *shard) bool {
+	sh.procMu.Lock()
+	done := sh.waitDone
+	sh.procMu.Unlock()
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return false
+	default:
+		return true
+	}
+}
+
+// killWorker force-terminates the shard's process and reaps it.
+func (c *Coordinator) killWorker(sh *shard) {
+	sh.procMu.Lock()
+	cmd, stdin, done := sh.cmd, sh.stdin, sh.waitDone
+	sh.cmd, sh.stdin, sh.waitDone = nil, nil, nil
+	sh.procMu.Unlock()
+	if stdin != nil {
+		_ = stdin.Close()
+	}
+	if cmd == nil {
+		return
+	}
+	if done != nil {
+		select {
+		case <-done: // already exited, Wait already reaped it
+			return
+		default:
+		}
+	}
+	if cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+	if done != nil {
+		<-done // Kill guarantees exit; Wait (in spawnWorker's goroutine) reaps
+	}
+}
+
+func (c *Coordinator) dropConnLocked(sh *shard) {
+	if sh.conn != nil {
+		_ = sh.conn.Close()
+		sh.conn = nil
+	}
+}
+
+func (c *Coordinator) frameVerdict(dir chaos.Dir, shardIdx int, mt byte, size int) chaos.Verdict {
+	h := c.hook.Load()
+	if h == nil || h.fn == nil {
+		return chaos.Verdict{}
+	}
+	return h.fn(dir, shardIdx, MsgName(mt), size)
+}
+
+// exchange performs one send+receive attempt under sh.mu, applying fault
+// verdicts to each frame in both directions. Any error leaves the
+// connection dropped so the next attempt redials.
+func (c *Coordinator) exchange(sh *shard, mt byte, payload any, cycleDeadline time.Time) ([]byte, error) {
+	attemptDeadline := time.Now().Add(c.opts.AttemptTimeout)
+	if attemptDeadline.After(cycleDeadline) {
+		attemptDeadline = cycleDeadline
+	}
+	if sh.conn == nil {
+		conn, err := c.dial(sh, attemptDeadline)
+		if err != nil {
+			return nil, fmt.Errorf("dist: shard %d dial: %w", sh.idx, err)
+		}
+		sh.conn = conn
+	}
+	frame, err := EncodeFrame(mt, sh.seq, payload)
+	if err != nil {
+		return nil, err
+	}
+	v := c.frameVerdict(chaos.DirSend, sh.idx, mt, len(frame))
+	if v.Delay > 0 {
+		time.Sleep(v.Delay)
+	}
+	switch {
+	case v.Reset:
+		c.dropConnLocked(sh)
+		return nil, fmt.Errorf("dist: shard %d: injected connection reset (send %s)", sh.idx, MsgName(mt))
+	case v.Drop:
+		// Request lost in flight: skip the write and let the read below
+		// time out, exactly as a real loss would play out.
+	default:
+		_ = sh.conn.SetWriteDeadline(attemptDeadline)
+		if _, err := sh.conn.Write(frame); err != nil {
+			c.dropConnLocked(sh)
+			return nil, fmt.Errorf("dist: shard %d write %s: %w", sh.idx, MsgName(mt), err)
+		}
+		c.counters.BytesOut.Add(uint64(len(frame)))
+	}
+	for {
+		_ = sh.conn.SetReadDeadline(attemptDeadline)
+		rmt, rseq, pl, err := ReadFrame(sh.conn)
+		if err != nil {
+			c.dropConnLocked(sh)
+			return nil, fmt.Errorf("dist: shard %d read: %w", sh.idx, err)
+		}
+		c.counters.BytesIn.Add(uint64(headerLen + 9 + len(pl)))
+		rv := c.frameVerdict(chaos.DirRecv, sh.idx, rmt, headerLen+9+len(pl))
+		if rv.Delay > 0 {
+			time.Sleep(rv.Delay)
+		}
+		if rv.Reset {
+			c.dropConnLocked(sh)
+			return nil, fmt.Errorf("dist: shard %d: injected connection reset (recv %s)", sh.idx, MsgName(rmt))
+		}
+		if rv.Drop {
+			continue // response lost in flight: keep waiting for one that isn't
+		}
+		if rseq != sh.seq {
+			continue // stale response to an earlier attempt of this request
+		}
+		return pl, nil
+	}
+}
+
+// rpc runs one request through the full robustness ladder:
+//
+//	retry+backoff within the request deadline
+//	-> reconnect (live worker, fresh deadline)
+//	-> respawn + replay the write-ahead log (dead or unresponsive worker)
+//	-> degrade the shard to local serving (respawn budget exhausted)
+//
+// and returns ErrShardDegraded only from the last rung.
+func (c *Coordinator) rpc(sh *shard, mt byte, payload any) ([]byte, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return c.rpcLocked(sh, mt, payload)
+}
+
+func (c *Coordinator) rpcLocked(sh *shard, mt byte, payload any) ([]byte, error) {
+	if sh.degraded.Load() {
+		return nil, ErrShardDegraded
+	}
+	sh.seq++
+	var out []byte
+	for cycle := 0; ; cycle++ {
+		deadline := c.opts.Clock.Now().Add(c.opts.RequestTimeout)
+		err := sh.retrier.Do(deadline, func() error {
+			pl, xerr := c.exchange(sh, mt, payload, deadline)
+			if xerr == nil {
+				out = pl
+			}
+			return xerr
+		})
+		if err == nil {
+			return out, nil
+		}
+		c.dropConnLocked(sh)
+		if cycle == 0 && c.alive(sh) {
+			continue // reconnect rung: live worker, fresh deadline
+		}
+		for {
+			rerr := c.respawnAndReplayLocked(sh)
+			if rerr == nil {
+				break
+			}
+			if sh.respawns >= c.opts.MaxRespawns {
+				c.degradeLocked(sh, rerr)
+				return nil, ErrShardDegraded
+			}
+		}
+	}
+}
+
+// respawnAndReplayLocked relaunches the shard's worker and replays the
+// write-ahead put log into its empty store. Replay is safe because items
+// are write-once: the worker accepts byte-identical duplicates, so a put
+// that was stored but whose ack was lost replays harmlessly.
+func (c *Coordinator) respawnAndReplayLocked(sh *shard) error {
+	if sh.respawns >= c.opts.MaxRespawns {
+		return fmt.Errorf("dist: shard %d respawn budget (%d) exhausted", sh.idx, c.opts.MaxRespawns)
+	}
+	sh.respawns++
+	c.counters.Respawns.Add(1)
+	c.killWorker(sh)
+	c.dropConnLocked(sh)
+	if err := c.spawnWorker(sh); err != nil {
+		return err
+	}
+	conn, err := c.dial(sh, time.Now().Add(5*time.Second))
+	if err != nil {
+		return fmt.Errorf("dist: shard %d reconnect after respawn: %w", sh.idx, err)
+	}
+	sh.conn = conn
+	sh.logMu.Lock()
+	entries := append([]PutMsg(nil), sh.log...)
+	sh.logMu.Unlock()
+	for i := range entries {
+		sh.seq++
+		deadline := c.opts.Clock.Now().Add(c.opts.RequestTimeout)
+		var pl []byte
+		err := sh.retrier.Do(deadline, func() error {
+			p, xerr := c.exchange(sh, MsgPut, entries[i], deadline)
+			if xerr == nil {
+				pl = p
+			}
+			return xerr
+		})
+		if err != nil {
+			return fmt.Errorf("dist: shard %d replay put %d/%d: %w", sh.idx, i+1, len(entries), err)
+		}
+		var ack AckMsg
+		if err := DecodePayload(pl, &ack); err != nil {
+			return err
+		}
+		if ack.Err != "" {
+			return fmt.Errorf("dist: shard %d replay refused: %s", sh.idx, ack.Err)
+		}
+		c.counters.ReplayedPuts.Add(1)
+	}
+	return nil
+}
+
+// degradeLocked retires the shard: its items are served from the
+// coordinator's log from now on. The worker (if any) is reaped so a
+// degraded run can never leak a process.
+func (c *Coordinator) degradeLocked(sh *shard, cause error) {
+	if sh.degraded.Swap(true) {
+		return
+	}
+	c.counters.Degradations.Add(1)
+	c.killWorker(sh)
+	c.dropConnLocked(sh)
+	_ = cause // recorded implicitly: Degradations counts, callers see ErrShardDegraded
+}
+
+// logPut appends one put to the shard's write-ahead log (before any
+// network I/O, so replay and degraded serving always see it).
+func (c *Coordinator) logPut(sh *shard, m PutMsg) error {
+	k := storeKey(m.Coll, m.Key)
+	sh.logMu.Lock()
+	defer sh.logMu.Unlock()
+	if i, dup := sh.logIdx[k]; dup {
+		if string(sh.log[i].Val) == string(m.Val) {
+			return nil
+		}
+		return fmt.Errorf("dist: write-once violation in put log: %s re-put with differing bytes", m.Coll)
+	}
+	sh.logIdx[k] = len(sh.log)
+	sh.log = append(sh.log, m)
+	return nil
+}
+
+func (c *Coordinator) logLookup(sh *shard, coll string, key []byte) ([]byte, bool) {
+	sh.logMu.Lock()
+	defer sh.logMu.Unlock()
+	i, ok := sh.logIdx[storeKey(coll, key)]
+	if !ok {
+		return nil, false
+	}
+	return sh.log[i].Val, true
+}
+
+func (c *Coordinator) heartbeatLoop() {
+	defer close(c.hbDone)
+	t := time.NewTicker(c.opts.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-t.C:
+		}
+		for _, sh := range c.shards {
+			if sh.degraded.Load() {
+				continue
+			}
+			if !sh.mu.TryLock() {
+				continue // an in-flight rpc is a better health probe
+			}
+			c.counters.Heartbeats.Add(1)
+			if _, err := c.rpcLocked(sh, MsgPing, nil); err != nil {
+				// rpcLocked already ran the whole recovery ladder; a
+				// surviving error means the shard just degraded.
+				c.counters.HeartbeatFailures.Add(1)
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// Counters returns the coordinator's counter block (live; snapshot with
+// Snapshot).
+func (c *Coordinator) Counters() *Counters { return &c.counters }
+
+// WorkerPIDs returns the PIDs of the currently live worker processes —
+// the orphan-freedom tests capture them before Close and probe them after.
+func (c *Coordinator) WorkerPIDs() []int {
+	var pids []int
+	for _, sh := range c.shards {
+		sh.procMu.Lock()
+		if sh.cmd != nil && sh.cmd.Process != nil {
+			select {
+			case <-sh.waitDone:
+			default:
+				pids = append(pids, sh.cmd.Process.Pid)
+			}
+		}
+		sh.procMu.Unlock()
+	}
+	return pids
+}
+
+// Degraded reports how many shards have degraded to local serving.
+func (c *Coordinator) Degraded() int {
+	n := 0
+	for _, sh := range c.shards {
+		if sh.degraded.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close reaps the whole fleet: close each worker's stdin lifeline (its
+// graceful-exit signal), give it a moment, then kill. After Close returns
+// every worker process has been waited on — zero orphans by construction.
+func (c *Coordinator) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	if c.hbStop != nil {
+		close(c.hbStop)
+		<-c.hbDone
+	}
+	for _, sh := range c.shards {
+		sh.procMu.Lock()
+		cmd, stdin, done := sh.cmd, sh.stdin, sh.waitDone
+		sh.cmd, sh.stdin, sh.waitDone = nil, nil, nil
+		sh.procMu.Unlock()
+		if stdin != nil {
+			_ = stdin.Close() // EOF: the worker's exit signal
+		}
+		if sh.conn != nil {
+			_ = sh.conn.Close()
+			sh.conn = nil
+		}
+		if cmd == nil || done == nil {
+			continue
+		}
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			if cmd.Process != nil {
+				_ = cmd.Process.Kill()
+			}
+			<-done
+		}
+	}
+	if c.ownsDir {
+		_ = os.RemoveAll(c.dir)
+	}
+	return nil
+}
+
+// ---- chaos.TransportControl ----
+
+// Shards implements chaos.TransportControl.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// SetFrameHook implements chaos.TransportControl.
+func (c *Coordinator) SetFrameHook(fn func(dir chaos.Dir, shard int, msgType string, size int) chaos.Verdict) {
+	if fn == nil {
+		c.hook.Store(nil)
+		return
+	}
+	c.hook.Store(&frameHookHolder{fn: fn})
+}
+
+// KillWorker implements chaos.TransportControl: SIGKILL the shard's
+// current process, no cleanup — the supervisor must notice and recover.
+func (c *Coordinator) KillWorker(shardIdx int) error {
+	if shardIdx < 0 || shardIdx >= len(c.shards) {
+		return fmt.Errorf("dist: no shard %d", shardIdx)
+	}
+	sh := c.shards[shardIdx]
+	sh.procMu.Lock()
+	defer sh.procMu.Unlock()
+	if sh.cmd == nil || sh.cmd.Process == nil {
+		return nil
+	}
+	if sh.waitDone != nil {
+		select {
+		case <-sh.waitDone:
+			return nil // already dead
+		default:
+		}
+	}
+	return sh.cmd.Process.Kill()
+}
+
+// ---- cnc.ItemBackend (per graph, via Attach) ----
+
+// Attach installs the coordinator as g's item backend. Each attached graph
+// gets a unique collection-name prefix, so two graphs of one run (a tuner
+// rebuild, say) can never collide in the shared item space — collection
+// names are only unique within a graph.
+func (c *Coordinator) Attach(g *cnc.Graph) {
+	n := c.graphSeq.Add(1)
+	g.WithItemBackend(&graphBackend{c: c, prefix: fmt.Sprintf("g%d/", n)})
+}
+
+type graphBackend struct {
+	c      *Coordinator
+	prefix string
+}
+
+func (gb *graphBackend) locate(coll string, key any) (string, []byte, *shard, error) {
+	full := gb.prefix + coll
+	kb, err := EncodeValue(key)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return full, kb, gb.c.shards[ShardOf(full, kb, len(gb.c.shards))], nil
+}
+
+// Put implements cnc.ItemBackend: write-ahead log, then mirror to the
+// shard owner. A degraded shard absorbs the put into the log alone — that
+// is the single-process fallback.
+func (gb *graphBackend) Put(coll string, key, val any) error {
+	full, kb, sh, err := gb.locate(coll, key)
+	if err != nil {
+		return err
+	}
+	vb, err := EncodeValue(val)
+	if err != nil {
+		return err
+	}
+	m := PutMsg{Coll: full, Key: kb, Val: vb}
+	if err := gb.c.logPut(sh, m); err != nil {
+		return err
+	}
+	pl, err := gb.c.rpc(sh, MsgPut, m)
+	if errors.Is(err, ErrShardDegraded) {
+		return nil // the log holds it; gets will be served locally
+	}
+	if err != nil {
+		return err
+	}
+	var ack AckMsg
+	if err := DecodePayload(pl, &ack); err != nil {
+		return err
+	}
+	if ack.Err != "" {
+		return errors.New(ack.Err)
+	}
+	gb.c.counters.RemotePuts.Add(1)
+	return nil
+}
+
+// Get implements cnc.ItemBackend: fetch the authoritative bytes from the
+// shard owner (or the local log for a degraded shard) and decode.
+//
+// A get can legitimately race its producer's in-flight mirror: the local
+// store insert (which makes the item gettable) precedes the mirror RPC, so
+// a speculatively re-executed consumer can reach here before the put frame
+// reaches the worker. The mirror is guaranteed to be on its way — same
+// shard, serialised behind this request — so a not-found answer within the
+// race window is absorbed by re-polling until the request deadline, after
+// which a miss really is a lost item.
+func (gb *graphBackend) Get(coll string, key any) (any, error) {
+	full, kb, sh, err := gb.locate(coll, key)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(gb.c.opts.RequestTimeout)
+	for poll := 0; ; poll++ {
+		if poll > 0 {
+			gb.c.counters.RaceRetries.Add(1)
+			time.Sleep(200 * time.Microsecond)
+		}
+		pl, err := gb.c.rpc(sh, MsgGet, GetMsg{Coll: full, Key: kb})
+		if errors.Is(err, ErrShardDegraded) {
+			vb, ok := gb.c.logLookup(sh, full, kb)
+			if !ok {
+				if time.Now().Before(deadline) {
+					continue // racing the producer's logPut; it will land
+				}
+				return nil, fmt.Errorf("dist: degraded shard %d has no log entry for %s", sh.idx, full)
+			}
+			gb.c.counters.DegradedGets.Add(1)
+			return DecodeValue(vb)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var item ItemMsg
+		if err := DecodePayload(pl, &item); err != nil {
+			return nil, err
+		}
+		if item.Err != "" {
+			return nil, errors.New(item.Err)
+		}
+		if !item.Found {
+			if time.Now().Before(deadline) {
+				continue // racing the producer's in-flight mirror
+			}
+			// Past the deadline the mirror would long since have landed:
+			// the worker's store is genuinely missing an item the
+			// coordinator holds — a protocol bug, not a race.
+			return nil, fmt.Errorf("dist: shard %d lost %s despite replay", sh.idx, full)
+		}
+		gb.c.counters.RemoteGets.Add(1)
+		return DecodeValue(item.Val)
+	}
+}

@@ -1,0 +1,14 @@
+package dist
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the coordinator self-exec this test binary as a shard
+// worker: with EnvWorkerSocket set, MaybeWorkerChild serves the shard and
+// never returns, so the child process never runs any tests.
+func TestMain(m *testing.M) {
+	MaybeWorkerChild()
+	os.Exit(m.Run())
+}

@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when Sleep is called and records every sleep —
+// the retry policy becomes a pure function of its inputs.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Sleep(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.sleeps = append(f.sleeps, d)
+	f.mu.Unlock()
+}
+
+func (f *fakeClock) slept() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.sleeps...)
+}
+
+func TestRetrierExponentialScheduleThenSuccess(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRetrier(Backoff{Base: time.Millisecond, Max: 100 * time.Millisecond, Factor: 2}, clk, nil)
+	retries := 0
+	r.OnRetry = func() { retries++ }
+	fails := 3
+	err := r.Do(clk.Now().Add(time.Second), func() error {
+		if fails > 0 {
+			fails--
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	got := clk.slept()
+	if len(got) != len(want) {
+		t.Fatalf("slept %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (schedule %v)", i, got[i], want[i], got)
+		}
+	}
+	if retries != 3 {
+		t.Fatalf("OnRetry fired %d times, want 3", retries)
+	}
+}
+
+func TestRetrierBackoffCapsAtMax(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRetrier(Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond, Factor: 2}, clk, nil)
+	fails := 6
+	err := r.Do(clk.Now().Add(time.Minute), func() error {
+		if fails > 0 {
+			fails--
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	for i, d := range clk.slept() {
+		if d > 4*time.Millisecond {
+			t.Fatalf("sleep %d = %v exceeds Max 4ms", i, d)
+		}
+	}
+}
+
+// TestRetrierDeadlineMidBackoffWrapsTransportError is the satellite
+// contract: when the next backoff would overrun the deadline, Do returns
+// immediately — without sleeping into the dead window — with an error
+// carrying BOTH ErrDeadline (the policy failure) and the last transport
+// error (the cause).
+func TestRetrierDeadlineMidBackoffWrapsTransportError(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRetrier(Backoff{Base: 4 * time.Millisecond, Max: 100 * time.Millisecond, Factor: 2}, clk, nil)
+	transport := errors.New("connection refused: shard 1")
+	err := r.Do(clk.Now().Add(5*time.Millisecond), func() error { return transport })
+	if err == nil {
+		t.Fatal("Do succeeded with an always-failing op")
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("error does not wrap ErrDeadline: %v", err)
+	}
+	if !errors.Is(err, transport) {
+		t.Fatalf("error does not wrap the transport error: %v", err)
+	}
+	// Exactly one backoff fit inside the deadline (4ms < 5ms); the second
+	// (8ms) was refused without sleeping.
+	if got := clk.slept(); len(got) != 1 || got[0] != 4*time.Millisecond {
+		t.Fatalf("slept %v, want exactly [4ms]", got)
+	}
+}
+
+func TestRetrierJitterBounded(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRetrier(Backoff{Base: 10 * time.Millisecond, Max: 10 * time.Millisecond, Factor: 2, Jitter: 0.5},
+		clk, rand.New(rand.NewSource(7)))
+	fails := 20
+	err := r.Do(clk.Now().Add(time.Hour), func() error {
+		if fails > 0 {
+			fails--
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	varied := false
+	for i, d := range clk.slept() {
+		if d < 10*time.Millisecond || d > 15*time.Millisecond {
+			t.Fatalf("sleep %d = %v outside jitter bounds [10ms, 15ms]", i, d)
+		}
+		if d != 10*time.Millisecond {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter never varied the delay")
+	}
+}

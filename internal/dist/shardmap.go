@@ -1,0 +1,29 @@
+package dist
+
+import "hash/fnv"
+
+// ShardOf maps one (collection, encoded key) pair to its owning shard by
+// FNV-64a over the collection name, a NUL separator and the key bytes. The
+// separator keeps ("ab", "c") and ("a", "bc") distinct; hashing the
+// collection in spreads collections whose key spaces coincide (every GE
+// quadrant collection uses the same ItemKey type) across different shards.
+//
+// Determinism matters more than balance here: the same item must map to the
+// same shard on every call — including replay after a respawn — which holds
+// because EncodeValue is a pure function of the key.
+func ShardOf(coll string, key []byte, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(coll))
+	h.Write([]byte{0})
+	h.Write(key)
+	return int(h.Sum64() % uint64(shards))
+}
+
+// storeKey is the worker store's (and put log's) map key for one item —
+// the same coll+NUL+key bytes the shard map hashes.
+func storeKey(coll string, key []byte) string {
+	return coll + "\x00" + string(key)
+}

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"dpflow/internal/bench"
+	"dpflow/internal/core"
+	"dpflow/internal/dist"
+)
+
+// Distributed-report geometry: one mid-size problem per benchmark, enough
+// item traffic that the shard counters are meaningful, small enough that
+// the serialised per-shard RPC data plane keeps the sweep CI-sized.
+const (
+	distN       = 256
+	distBase    = 32
+	distSeed    = 5
+	distWorkers = 8
+	distShards  = 2
+)
+
+// WriteDist reports every registered benchmark executed two ways: the
+// in-process NativeCnC baseline, and the same graph sharded across worker
+// processes through the coordinator's item backend — same code path every
+// benchmark gets for free via the registry. Each row shows the wall-clock
+// cost of distribution next to the shard counters (remote puts/gets, the
+// mirror-race re-polls, transport retries, respawns, degradations, wire
+// bytes), and both runs verify against the serial reference, so the table
+// doubles as an end-to-end conformance check: a benchmark that breaks the
+// distributed protocol fails the experiment, not just a unit test.
+func WriteDist(ctx context.Context, w io.Writer) error {
+	fmt.Fprintf(w, "# dist: single-process vs %d-shard distributed execution, n=%d base=%d workers=%d (both verified)\n",
+		distShards, distN, distBase, distWorkers)
+	fmt.Fprintf(w, "%6s %10s %10s %7s %9s %9s %8s %8s %8s %8s %10s %10s %7s\n",
+		"bench", "single", "dist", "ratio", "r-puts", "r-gets", "races", "retries", "respawn", "degrade", "bytes-out", "bytes-in", "hbeats")
+
+	var failures []string
+	for _, b := range bench.All() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		in, err := b.NewInstance(distN, distBase, distSeed)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		_, err = in.Run(ctx, core.NativeCnC, bench.RunOpts{Workers: distWorkers})
+		wallSingle := time.Since(start)
+		if err == nil {
+			err = in.Verify()
+		}
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s single-process: %v", b.Name(), err))
+			continue
+		}
+
+		r := &dist.Runner{Shards: distShards, Workers: distWorkers}
+		res := r.Drive(b, distN, distBase, distSeed, nil)
+		if res.Err != nil {
+			failures = append(failures, fmt.Sprintf("%s distributed: %v", b.Name(), res.Err))
+			continue
+		}
+		c := res.Counters
+		fmt.Fprintf(w, "%6s %10s %10s %6.1fx %9d %9d %8d %8d %8d %8d %10d %10d %7d\n",
+			b.Name(), wallSingle.Round(time.Millisecond), res.Wall.Round(time.Millisecond),
+			float64(res.Wall)/float64(wallSingle),
+			c.RemotePuts, c.RemoteGets, c.RaceRetries, c.Retries, c.Respawns, c.Degradations,
+			c.BytesOut, c.BytesIn, c.Heartbeats)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(w, "FAIL:", f)
+		}
+		return fmt.Errorf("dist: %d run(s) failed", len(failures))
+	}
+	fmt.Fprintln(w, "\n// both columns verified against the serial reference; every item of the distributed run travelled put->shard->get")
+	return nil
+}

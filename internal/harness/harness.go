@@ -295,7 +295,7 @@ func sizeLabel(n int) string {
 // IDs returns all known experiment ids (figures plus the derived claims
 // and the table), sorted.
 func IDs() []string {
-	ids := []string{"table1", "crossover", "swspan", "bestblock", "rway", "computeon", "scaling", "cluster", "swwave", "memory", "sched", "perf", "perfdiff"}
+	ids := []string{"table1", "crossover", "swspan", "bestblock", "rway", "computeon", "scaling", "cluster", "swwave", "memory", "sched", "dist", "perf", "perfdiff"}
 	for _, e := range Figures() {
 		ids = append(ids, e.ID)
 	}
