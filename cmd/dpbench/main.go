@@ -46,6 +46,8 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress progress lines")
 		raceDet = flag.Bool("race-detect", false, "perf: run fork-join rows under determinacy-race detection and CnC rows under discipline checking, and report detector stats")
 
+		vsample = flag.Int("verify-sample", 0, "dist: verified-read sampling rate (0 = 1-in-16 default, 1 = every get, <0 = never)")
+
 		baseline = flag.String("baseline", "BENCH_seed.json", "perfdiff: baseline perf snapshot to diff against")
 		current  = flag.String("current", "", "perfdiff: current perf snapshot (empty = measure fresh)")
 		tol      = flag.Float64("tol", 0.10, "perfdiff: fail on any cell regressing by more than this fraction")
@@ -83,7 +85,7 @@ func main() {
 		}
 	}
 	for _, id := range ids {
-		if err := run(ctx, id, *csv, *jsonF, *scale, *tscale, *tiles, *quiet, *raceDet, *baseline, *current, *tol); err != nil {
+		if err := run(ctx, id, *csv, *jsonF, *scale, *tscale, *tiles, *quiet, *raceDet, *vsample, *baseline, *current, *tol); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				fmt.Fprintln(os.Stderr, "dpbench: timeout exceeded during", id)
 			} else {
@@ -94,7 +96,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTiles int, quiet, raceDetect bool, baseline, current string, tol float64) error {
+func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTiles int, quiet, raceDetect bool, vsample int, baseline, current string, tol float64) error {
 	switch id {
 	case "table1":
 		res, err := harness.RunTable1Context(ctx, tscale)
@@ -124,7 +126,7 @@ func run(ctx context.Context, id string, csv, jsonOut bool, scale, tscale, maxTi
 	case "sched":
 		return harness.WriteSched(ctx, os.Stdout)
 	case "dist":
-		return harness.WriteDist(ctx, os.Stdout)
+		return harness.WriteDist(ctx, os.Stdout, vsample)
 	case "perf":
 		return harness.WritePerf(ctx, os.Stdout, jsonOut, raceDetect)
 	case "perfdiff":

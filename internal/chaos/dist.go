@@ -135,6 +135,11 @@ func (f *ProcessKill) ArmDist(tc TransportControl, rng *rand.Rand) *Probe {
 type MessageDrop struct {
 	Prob  float64
 	Times int
+	// Only restricts the fault to frames of one wire type (the msgType
+	// string the frame hook receives, e.g. "putbatch"); empty matches all.
+	// Targeting lets the sweep aim at specific protocol machinery — losing
+	// a whole batch frame must cost one retry, not one item.
+	Only string
 }
 
 // Name implements DistFault.
@@ -145,7 +150,7 @@ func (f *MessageDrop) ArmDist(tc TransportControl, rng *rand.Rand) *Probe {
 	p := &Probe{}
 	a := newArmer(rng, f.Prob, f.Times)
 	tc.SetFrameHook(func(dir Dir, shard int, msgType string, size int) Verdict {
-		if !a.fire() {
+		if (f.Only != "" && msgType != f.Only) || !a.fire() {
 			return Verdict{}
 		}
 		p.record(fmt.Sprintf("drop %s %s shard %d (%dB)", dir, msgType, shard, size))
@@ -162,6 +167,8 @@ type MessageDelay struct {
 	Prob  float64
 	Delay time.Duration // default 5ms
 	Times int
+	// Only restricts the fault to one wire type; empty matches all.
+	Only string
 }
 
 // Name implements DistFault.
@@ -176,7 +183,7 @@ func (f *MessageDelay) ArmDist(tc TransportControl, rng *rand.Rand) *Probe {
 		delay = 5 * time.Millisecond
 	}
 	tc.SetFrameHook(func(dir Dir, shard int, msgType string, size int) Verdict {
-		if !a.fire() {
+		if (f.Only != "" && msgType != f.Only) || !a.fire() {
 			return Verdict{}
 		}
 		p.record(fmt.Sprintf("delay %s %s shard %d %v", dir, msgType, shard, delay))
@@ -192,6 +199,8 @@ func (f *MessageDelay) ArmDist(tc TransportControl, rng *rand.Rand) *Probe {
 type ConnReset struct {
 	Prob  float64
 	Times int
+	// Only restricts the fault to one wire type; empty matches all.
+	Only string
 }
 
 // Name implements DistFault.
@@ -202,7 +211,7 @@ func (f *ConnReset) ArmDist(tc TransportControl, rng *rand.Rand) *Probe {
 	p := &Probe{}
 	a := newArmer(rng, f.Prob, f.Times)
 	tc.SetFrameHook(func(dir Dir, shard int, msgType string, size int) Verdict {
-		if !a.fire() {
+		if (f.Only != "" && msgType != f.Only) || !a.fire() {
 			return Verdict{}
 		}
 		p.record(fmt.Sprintf("reset %s %s shard %d", dir, msgType, shard))

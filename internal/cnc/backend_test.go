@@ -12,13 +12,15 @@ import (
 // serves and count its traffic — the unit-test stand-in for the distributed
 // coordinator.
 type mapBackend struct {
-	mu    sync.Mutex
-	items map[string]any
-	puts  int
-	gets  int
+	mu      sync.Mutex
+	items   map[string]any
+	puts    int
+	gets    int
+	batches int // PutBatch calls (each delivering >= 1 op)
 	// transform, when non-nil, rewrites served values — proof the Get path
 	// returns the backend's copy, not the local cache.
 	transform func(any) any
+	putErr    error // returned by every Put/PutBatch when non-nil (terminal)
 	getErr    error // returned by every Get when non-nil (terminal)
 }
 
@@ -27,11 +29,31 @@ func (b *mapBackend) key(coll string, key any) string { return fmt.Sprintf("%s[%
 func (b *mapBackend) Put(coll string, key, val any) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.putErr != nil {
+		return b.putErr
+	}
 	if b.items == nil {
 		b.items = make(map[string]any)
 	}
 	b.items[b.key(coll, key)] = val
 	b.puts++
+	return nil
+}
+
+func (b *mapBackend) PutBatch(ops []PutOp) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.putErr != nil {
+		return b.putErr
+	}
+	if b.items == nil {
+		b.items = make(map[string]any)
+	}
+	for _, op := range ops {
+		b.items[b.key(op.Coll, op.Key)] = op.Val
+		b.puts++
+	}
+	b.batches++
 	return nil
 }
 
@@ -188,6 +210,142 @@ func TestItemBackendTerminalErrorFailsGraph(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "item backend get vals[3]") {
 		t.Fatalf("error does not name the backend get: %v", err)
+	}
+}
+
+// TestItemBackendErrorCountsOnlySuccesses: Stats.BackendPuts/BackendGets
+// must count operations the backend *accepted* — a terminal error is a
+// failed operation, not traffic. (The counters feed the harness reports'
+// put/get censuses; counting failures would make a failing run's report
+// indistinguishable from a healthy one.)
+func TestItemBackendErrorCountsOnlySuccesses(t *testing.T) {
+	t.Run("put", func(t *testing.T) {
+		be := &mapBackend{putErr: errors.New("shard refused the put")}
+		g := NewGraph("backend-putcount", 2)
+		g.WithItemBackend(be)
+		items := NewItemCollection[int, int](g, "vals")
+		produce := NewStepCollection(g, "produce", func(k int) error {
+			items.Put(k, k)
+			return nil
+		})
+		ptags := NewTagCollection[int](g, "ptags", false)
+		ptags.Prescribe(produce)
+		err := g.Run(func() { ptags.Put(1) })
+		if err == nil || !strings.Contains(err.Error(), "item backend put vals[1]") {
+			t.Fatalf("want a terminal backend-put error, got %v", err)
+		}
+		if st := g.Stats(); st.BackendPuts != 0 {
+			t.Fatalf("BackendPuts = %d after a failed put, want 0", st.BackendPuts)
+		}
+	})
+	t.Run("get", func(t *testing.T) {
+		be := &mapBackend{getErr: errors.New("shard irrecoverably lost")}
+		g := NewGraph("backend-getcount", 2)
+		g.WithItemBackend(be)
+		items := NewItemCollection[int, int](g, "vals")
+		consume := NewStepCollection(g, "consume", func(k int) error {
+			_ = items.Get(k)
+			return nil
+		})
+		ctags := NewTagCollection[int](g, "ctags", false)
+		ctags.Prescribe(consume)
+		produce := NewStepCollection(g, "produce", func(k int) error {
+			items.Put(k, k)
+			return nil
+		})
+		ptags := NewTagCollection[int](g, "ptags", false)
+		ptags.Prescribe(produce)
+		err := g.Run(func() {
+			ptags.Put(2)
+			ctags.Put(2)
+		})
+		if err == nil || !strings.Contains(err.Error(), "item backend get vals[2]") {
+			t.Fatalf("want a terminal backend-get error, got %v", err)
+		}
+		if st := g.Stats(); st.BackendGets != 0 {
+			t.Fatalf("BackendGets = %d after a failed get, want 0", st.BackendGets)
+		}
+	})
+}
+
+// TestItemBackendPutBatchFlushBeforeWakeup: PutInto stages mirrors into the
+// burst, Flush delivers them as one PutBatch call, and — the ordering that
+// distributed read-your-writes rests on — the batch reaches the backend
+// before any consumer woken by the burst reads: the consumers observe the
+// backend's transformed values, proving their reads went out after the
+// batched mirror landed.
+func TestItemBackendPutBatchFlushBeforeWakeup(t *testing.T) {
+	const n = 8
+	be := &mapBackend{transform: func(v any) any { return v.(int) + 100 }}
+	g := NewGraph("backend-batch", 4)
+	g.WithItemBackend(be)
+	items := NewItemCollection[int, int](g, "vals")
+	got := make([]int, n)
+	consume := NewStepCollection(g, "consume", func(k int) error {
+		got[k] = items.Get(k) // parks until the producer's burst flushes
+		return nil
+	})
+	produce := NewStepCollection(g, "produce", func(k int) error {
+		if k != 0 {
+			return nil
+		}
+		bu := g.NewBurst()
+		for i := 0; i < n; i++ {
+			items.PutInto(i, i, bu)
+		}
+		bu.Flush()
+		return nil
+	})
+	ctags := NewTagCollection[int](g, "ctags", false)
+	ptags := NewTagCollection[int](g, "ptags", false)
+	ctags.Prescribe(consume)
+	ptags.Prescribe(produce)
+
+	err := g.Run(func() {
+		for i := 0; i < n; i++ {
+			ctags.Put(i) // park all consumers first
+		}
+		ptags.Put(0)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != i+100 {
+			t.Fatalf("consumer %d read %d, want the backend-served %d", i, got[i], i+100)
+		}
+	}
+	st := g.Stats()
+	if st.BackendPuts != n || be.puts != n {
+		t.Fatalf("BackendPuts = %d (backend saw %d), want %d", st.BackendPuts, be.puts, n)
+	}
+	if be.batches != 1 {
+		t.Fatalf("backend saw %d PutBatch calls for one burst, want 1", be.batches)
+	}
+}
+
+// TestItemBackendBatchTerminalErrorFailsGraph: a refused batch is as
+// terminal as a refused put — the run fails, naming the batch.
+func TestItemBackendBatchTerminalErrorFailsGraph(t *testing.T) {
+	be := &mapBackend{putErr: errors.New("write-once violation")}
+	g := NewGraph("backend-batch-err", 2)
+	g.WithItemBackend(be)
+	items := NewItemCollection[int, int](g, "vals")
+	produce := NewStepCollection(g, "produce", func(k int) error {
+		bu := g.NewBurst()
+		items.PutInto(k, k, bu)
+		items.PutInto(k+1, k, bu)
+		bu.Flush()
+		return nil
+	})
+	ptags := NewTagCollection[int](g, "ptags", false)
+	ptags.Prescribe(produce)
+	err := g.Run(func() { ptags.Put(1) })
+	if err == nil || !strings.Contains(err.Error(), "item backend put batch of 2") {
+		t.Fatalf("want a terminal batch error, got %v", err)
+	}
+	if st := g.Stats(); st.BackendPuts != 0 {
+		t.Fatalf("BackendPuts = %d after a refused batch, want 0", st.BackendPuts)
 	}
 }
 

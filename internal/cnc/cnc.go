@@ -380,6 +380,11 @@ func (g *Graph) RunContext(ctx context.Context, env func()) error {
 	wg.Wait()
 	close(stopMonitor)
 
+	// End-of-run backend barrier: a batching backend (internal/dist) may
+	// still hold mirrored puts or deferred verification work in its
+	// buffers; surface any such error as the run's error.
+	g.flushBackend()
+
 	if g.parked.Load() > 0 {
 		g.fail(&DeadlockError{Blocked: g.collectBlocked()})
 	}
@@ -427,9 +432,17 @@ func (g *Graph) scheduleOn(worker int, run runnable) {
 // the graph open exactly like a plain Put), so a burst in flight can never
 // let the graph quiesce early; dropping a burst without Flush leaks those
 // holds and hangs the run — always Flush.
+//
+// With an item backend installed, a Burst also stages the backend mirrors
+// of any ItemCollection.PutInto calls made through it: Flush delivers the
+// whole batch in one ItemBackend.PutBatch call *before* pushing any of the
+// burst's dispatches, so a waiter woken by the burst can never observe an
+// item whose mirror has not reached the backend (flush-before-wakeup — the
+// batched form of the Put-before-wakeup write-through ordering).
 type Burst struct {
-	g  *Graph
-	rs []runnable
+	g   *Graph
+	rs  []runnable
+	ops []PutOp
 }
 
 // NewBurst returns an empty burst bound to the graph. Bursts are pooled:
@@ -451,6 +464,13 @@ func (bu *Burst) Flush() {
 	if g == nil {
 		return // already flushed
 	}
+	// Backend mirrors first: no waiter wakeup staged in rs may reach the
+	// queue before every staged put has crossed the backend seam.
+	if len(bu.ops) > 0 {
+		g.backendPutBatch(bu.ops)
+		clear(bu.ops)
+		bu.ops = bu.ops[:0]
+	}
 	if len(bu.rs) > 0 {
 		g.queue.pushBatch(bu.rs)
 	}
@@ -465,6 +485,11 @@ func (bu *Burst) Flush() {
 func (bu *Burst) add(g *Graph, run runnable) {
 	g.outstanding.Add(1)
 	bu.rs = append(bu.rs, run)
+}
+
+// addOp stages one backend mirror for Flush (see ItemCollection.PutInto).
+func (bu *Burst) addOp(coll string, key, val any) {
+	bu.ops = append(bu.ops, PutOp{Coll: coll, Key: key, Val: val})
 }
 
 // taskDone retires one unit of outstanding work and signals quiescence when

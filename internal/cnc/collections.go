@@ -880,6 +880,24 @@ func (ic *ItemCollection[K, V]) Key(k K) Dep { return Dep{store: ic, key: k} }
 // assignment rule and fails the graph. Under a memory limit the put waits
 // for byte budget (see Graph.WithMemoryLimit) before storing.
 func (ic *ItemCollection[K, V]) Put(k K, v V) {
+	ic.putInto(k, v, nil)
+}
+
+// PutInto is Put with its backend mirror and waiter wakeups staged into the
+// burst instead of performed immediately: a phase that puts N items through
+// one burst crosses the backend seam (for internal/dist, the socket) as one
+// PutBatch call, and wakes parked workers once for the whole burst.
+// Ordering is preserved — Burst.Flush delivers the batched mirror before
+// any staged wakeup reaches the run queue — but consumers polling via
+// TryGet can observe an item before its mirror lands, the same
+// local-insert-precedes-mirror window plain Put already has. The item is
+// locally visible (and counted) when PutInto returns; only the mirror and
+// the wakeups wait for Flush. Like every burst user: always Flush.
+func (ic *ItemCollection[K, V]) PutInto(k K, v V, bu *Burst) {
+	ic.putInto(k, v, bu) // nil bu degrades to plain Put
+}
+
+func (ic *ItemCollection[K, V]) putInto(k K, v V, bu *Burst) {
 	ic.g.checkRunning()
 	if h := ic.g.hooks; h != nil && h.BeforeItemPut != nil {
 		h.BeforeItemPut(ic.name, k)
@@ -952,22 +970,33 @@ func (ic *ItemCollection[K, V]) Put(k K, v V) {
 	// item: waiters woken below (and every later Get, whose local-presence
 	// check this put just satisfied) may fetch the value remotely, so the
 	// backend must hold it first — the distributed read-your-writes
-	// ordering (see ItemBackend).
-	ic.g.backendPut(ic.name, k, v)
-	if len(ws) > 0 {
-		// Coalesce the wakeups: every waiter this put satisfies lands on
-		// the queue in one batch with a single signalling pass, instead of
-		// one push + one worker wake per waiter. (A lone waiter skips the
-		// burst — a direct push is exactly as cheap.)
-		var bu *Burst
-		if len(ws) > 1 {
-			bu = ic.g.NewBurst()
+	// ordering (see ItemBackend). With a caller burst (PutInto) the mirror
+	// is staged instead; Burst.Flush delivers the whole batch before any
+	// staged wakeup, preserving the same ordering batch-wide.
+	if bu != nil {
+		if ic.g.backend != nil {
+			bu.addOp(ic.name, k, v)
 		}
 		for _, w := range ws {
 			w.notify(bu)
 		}
-		if bu != nil {
-			bu.Flush()
+	} else {
+		ic.g.backendPut(ic.name, k, v)
+		if len(ws) > 0 {
+			// Coalesce the wakeups: every waiter this put satisfies lands on
+			// the queue in one batch with a single signalling pass, instead of
+			// one push + one worker wake per waiter. (A lone waiter skips the
+			// burst — a direct push is exactly as cheap.)
+			var wbu *Burst
+			if len(ws) > 1 {
+				wbu = ic.g.NewBurst()
+			}
+			for _, w := range ws {
+				w.notify(wbu)
+			}
+			if wbu != nil {
+				wbu.Flush()
+			}
 		}
 	}
 	// A new item can make deferred throttled tags runnable.

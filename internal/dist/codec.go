@@ -52,6 +52,18 @@ const (
 	MsgPing
 	// MsgPong answers MsgPing.
 	MsgPong
+	// MsgPutBatch carries PutBatchMsg coordinator->worker — a whole flush
+	// of mirror puts in one frame; answered by MsgAck. Semantically
+	// identical to len(Ops) MsgPut exchanges (same write-once, byte-equal
+	// idempotence per op), amortising the round trip and the syscalls.
+	MsgPutBatch
+	// MsgGetBatch carries GetBatchMsg coordinator->worker; answered by
+	// MsgItemBatch with one ItemMsg per requested key, in order. Used by
+	// the post-replay audit to cross-check a sample of restored items in
+	// one exchange.
+	MsgGetBatch
+	// MsgItemBatch answers MsgGetBatch.
+	MsgItemBatch
 )
 
 // MsgName renders a message type for logs and fault hooks.
@@ -69,6 +81,12 @@ func MsgName(mt byte) string {
 		return "ping"
 	case MsgPong:
 		return "pong"
+	case MsgPutBatch:
+		return "putbatch"
+	case MsgGetBatch:
+		return "getbatch"
+	case MsgItemBatch:
+		return "itembatch"
 	}
 	return fmt.Sprintf("msg(%d)", mt)
 }
@@ -115,6 +133,27 @@ type PongMsg struct {
 	Stored uint64
 }
 
+// PutBatchMsg stores a batch of write-once items in one frame. The worker
+// applies Ops in order and answers with a single MsgAck: empty Err when
+// every op was accepted (or was a byte-identical duplicate — replay), the
+// first failing op's error otherwise. All-or-first-error, not transactional:
+// ops before a failure are stored, which is safe because any error here is
+// terminal for the run.
+type PutBatchMsg struct {
+	Ops []PutMsg
+}
+
+// GetBatchMsg fetches a batch of items in one frame; answered by
+// MsgItemBatch.
+type GetBatchMsg struct {
+	Gets []GetMsg
+}
+
+// ItemBatchMsg answers MsgGetBatch: Items[i] answers Gets[i].
+type ItemBatchMsg struct {
+	Items []ItemMsg
+}
+
 // EncodeFrame renders one frame. A nil payload encodes as an empty body
 // (MsgPing/partner types with no fields can pass nil).
 func EncodeFrame(mt byte, seq uint64, payload any) ([]byte, error) {
@@ -135,21 +174,23 @@ func EncodeFrame(mt byte, seq uint64, payload any) ([]byte, error) {
 }
 
 // ReadFrame reads one frame off r, returning the message type, sequence
-// number and raw payload bytes.
-func ReadFrame(r io.Reader) (mt byte, seq uint64, payload []byte, err error) {
+// number, raw payload bytes, and the total wire size of the frame (header
+// included) — the single source of truth for byte accounting and
+// size-sensitive fault hooks, so no caller re-derives the frame layout.
+func ReadFrame(r io.Reader) (mt byte, seq uint64, payload []byte, wire int, err error) {
 	var lenb [headerLen]byte
 	if _, err = io.ReadFull(r, lenb[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, 0, err
 	}
 	n := binary.BigEndian.Uint32(lenb[:])
 	if n < 9 || n > maxFrame {
-		return 0, 0, nil, fmt.Errorf("dist: bad frame length %d", n)
+		return 0, 0, nil, 0, fmt.Errorf("dist: bad frame length %d", n)
 	}
 	buf := make([]byte, n)
 	if _, err = io.ReadFull(r, buf); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, 0, err
 	}
-	return buf[0], binary.BigEndian.Uint64(buf[1:9]), buf[9:], nil
+	return buf[0], binary.BigEndian.Uint64(buf[1:9]), buf[9:], headerLen + int(n), nil
 }
 
 // DecodePayload decodes a frame payload into v.

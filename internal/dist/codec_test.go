@@ -67,22 +67,33 @@ func TestFrameRoundTrip(t *testing.T) {
 		{MsgItem, 5, ItemMsg{Found: true, Val: []byte{9, 9}}},
 		{MsgPing, 6, nil},
 		{MsgPong, 7, PongMsg{Stored: 17}},
+		{MsgPutBatch, 8, PutBatchMsg{Ops: []PutMsg{
+			{Coll: "g1/a", Key: []byte{1}, Val: []byte{2}},
+			{Coll: "g1/b", Key: []byte{3, 4}, Val: []byte{}},
+		}}},
+		{MsgGetBatch, 9, GetBatchMsg{Gets: []GetMsg{{Coll: "g1/a", Key: []byte{1}}}}},
+		{MsgItemBatch, 10, ItemBatchMsg{Items: []ItemMsg{{Found: true, Val: []byte{2}}, {Found: false}}}},
 	}
 	var stream bytes.Buffer
-	for _, tc := range cases {
+	wires := make([]int, len(cases))
+	for i, tc := range cases {
 		frame, err := EncodeFrame(tc.mt, tc.seq, tc.payload)
 		if err != nil {
 			t.Fatalf("%s: encode: %v", MsgName(tc.mt), err)
 		}
+		wires[i] = len(frame)
 		stream.Write(frame)
 	}
-	for _, tc := range cases {
-		mt, seq, pl, err := ReadFrame(&stream)
+	for i, tc := range cases {
+		mt, seq, pl, wire, err := ReadFrame(&stream)
 		if err != nil {
 			t.Fatalf("%s: read: %v", MsgName(tc.mt), err)
 		}
 		if mt != tc.mt || seq != tc.seq {
 			t.Fatalf("frame header (%s, %d), want (%s, %d)", MsgName(mt), seq, MsgName(tc.mt), tc.seq)
+		}
+		if wire != wires[i] {
+			t.Fatalf("%s: ReadFrame wire size %d, want the %d bytes EncodeFrame produced", MsgName(mt), wire, wires[i])
 		}
 		switch tc.mt {
 		case MsgPut:
@@ -93,6 +104,20 @@ func TestFrameRoundTrip(t *testing.T) {
 			want := tc.payload.(PutMsg)
 			if m.Coll != want.Coll || !bytes.Equal(m.Key, want.Key) || !bytes.Equal(m.Val, want.Val) {
 				t.Fatalf("put round trip %+v -> %+v", want, m)
+			}
+		case MsgPutBatch:
+			var m PutBatchMsg
+			if err := DecodePayload(pl, &m); err != nil {
+				t.Fatalf("decode putbatch: %v", err)
+			}
+			want := tc.payload.(PutBatchMsg)
+			if len(m.Ops) != len(want.Ops) {
+				t.Fatalf("putbatch round trip %d ops, want %d", len(m.Ops), len(want.Ops))
+			}
+			for j := range want.Ops {
+				if m.Ops[j].Coll != want.Ops[j].Coll || !bytes.Equal(m.Ops[j].Key, want.Ops[j].Key) || !bytes.Equal(m.Ops[j].Val, want.Ops[j].Val) {
+					t.Fatalf("putbatch op %d round trip %+v -> %+v", j, want.Ops[j], m.Ops[j])
+				}
 			}
 		case MsgPong:
 			var m PongMsg
@@ -105,6 +130,85 @@ func TestFrameRoundTrip(t *testing.T) {
 		case MsgPing:
 			if len(pl) != 0 {
 				t.Fatalf("ping payload %d bytes, want 0", len(pl))
+			}
+		}
+	}
+}
+
+// TestPutBatchRoundTripAllBenchmarks sweeps every registered benchmark's
+// wire vocabulary through MsgPutBatch frames — the empty batch, every
+// single-entry batch, and the full-vocabulary batch — checking each op's
+// bytes survive the frame intact and that a worker Store fed the decoded
+// batch serves exactly what went in. This is the batch analogue of
+// TestValueRoundTripAllBenchmarks: the batched data plane must be able to
+// carry anything the per-item plane could.
+func TestPutBatchRoundTripAllBenchmarks(t *testing.T) {
+	benches := bench.All()
+	if len(benches) == 0 {
+		t.Fatal("no registered benchmarks")
+	}
+	roundTrip := func(t *testing.T, ops []PutMsg, seq uint64) PutBatchMsg {
+		frame, err := EncodeFrame(MsgPutBatch, seq, PutBatchMsg{Ops: ops})
+		if err != nil {
+			t.Fatalf("encode batch of %d: %v", len(ops), err)
+		}
+		mt, rseq, pl, wire, err := ReadFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("read batch of %d: %v", len(ops), err)
+		}
+		if mt != MsgPutBatch || rseq != seq || wire != len(frame) {
+			t.Fatalf("batch header (%s, %d, wire %d), want (putbatch, %d, %d)", MsgName(mt), rseq, wire, seq, len(frame))
+		}
+		var m PutBatchMsg
+		if err := DecodePayload(pl, &m); err != nil {
+			t.Fatalf("decode batch of %d: %v", len(ops), err)
+		}
+		if len(m.Ops) != len(ops) {
+			t.Fatalf("batch round trip %d ops, want %d", len(m.Ops), len(ops))
+		}
+		for i := range ops {
+			if m.Ops[i].Coll != ops[i].Coll || !bytes.Equal(m.Ops[i].Key, ops[i].Key) || !bytes.Equal(m.Ops[i].Val, ops[i].Val) {
+				t.Fatalf("batch op %d round trip %+v -> %+v", i, ops[i], m.Ops[i])
+			}
+		}
+		return m
+	}
+	// The empty batch (a flush that lost the race with another flusher)
+	// must be representable, not a protocol error.
+	roundTrip(t, nil, 1)
+	for _, b := range benches {
+		w := b.Wire(4)
+		var ops []PutMsg
+		for i, it := range w.Items {
+			kb, err := EncodeValue(it.Key)
+			if err != nil {
+				t.Fatalf("%s: encode key: %v", b.Name(), err)
+			}
+			vb, err := EncodeValue(it.Val)
+			if err != nil {
+				t.Fatalf("%s: encode val: %v", b.Name(), err)
+			}
+			// Distinct keys per op: vocabulary entries may repeat a
+			// collection, and the Store check below needs one slot each.
+			ops = append(ops, PutMsg{Coll: fmt.Sprintf("g1/%s/%d", it.Coll, i), Key: kb, Val: vb})
+		}
+		if len(ops) == 0 {
+			t.Fatalf("%s: empty wire vocabulary", b.Name())
+		}
+		for i := range ops {
+			roundTrip(t, ops[i:i+1], uint64(i)+2) // single-entry batches
+		}
+		m := roundTrip(t, ops, 99)
+		store := NewStore()
+		for _, op := range m.Ops {
+			if err := store.Put(op.Coll, op.Key, op.Val); err != nil {
+				t.Fatalf("%s: store refused decoded batch op: %v", b.Name(), err)
+			}
+		}
+		for _, op := range ops {
+			got, ok := store.Get(op.Coll, op.Key)
+			if !ok || !bytes.Equal(got, op.Val) {
+				t.Fatalf("%s: store serves %d bytes for %s, want the %d put via batch", b.Name(), len(got), op.Coll, len(op.Val))
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -22,6 +23,11 @@ import (
 // log — the graceful-degradation terminal state, not a failure: a fully
 // degraded run is exactly single-process execution.
 var ErrShardDegraded = errors.New("dist: shard degraded to local serving")
+
+// errClosed marks operations attempted after Coordinator.Close. It gates
+// the recovery ladder too: a retrying request that races Close must not
+// respawn a worker the closed coordinator would never reap.
+var errClosed = errors.New("dist: coordinator closed")
 
 // Options configures a Coordinator.
 type Options struct {
@@ -48,6 +54,27 @@ type Options struct {
 	// means no respawns at all — a lost worker degrades immediately (the
 	// degradation tests' configuration).
 	MaxRespawns int
+	// BatchOps caps the per-shard outgoing put buffer in operations: the
+	// buffer flushes as one MsgPutBatch frame when it holds this many.
+	// Zero means the default (64); negative means 1 (every put flushes
+	// its own frame — the pre-batching wire behaviour, for comparison).
+	BatchOps int
+	// BatchBytes caps the same buffer in payload bytes (default 256KB).
+	BatchBytes int
+	// FlushEvery bounds how long a buffered put may wait for its frame:
+	// a background flusher sweeps all shards at this period, so trickle
+	// traffic still reaches the workers promptly between size-triggered
+	// flushes. Zero means the default (2ms); negative disables the
+	// sweeper (flushes then happen only on size, pre-get barriers, and
+	// the end-of-run Flush).
+	FlushEvery time.Duration
+	// VerifySample controls verified-read sampling: gets are served from
+	// the coordinator's write-ahead log (read-your-writes), and one in
+	// VerifySample of them is also fetched from the shard owner and
+	// byte-compared. Zero means the default (16); 1 verifies every read
+	// (the chaos/CI configuration — every get proves the remote data
+	// plane); negative disables verification entirely.
+	VerifySample int
 	// Seed seeds the backoff jitter (default 1).
 	Seed int64
 	// Spawn overrides how a shard worker process is created (tests);
@@ -78,6 +105,20 @@ func (o Options) withDefaults() Options {
 	if o.HeartbeatEvery == 0 {
 		o.HeartbeatEvery = 250 * time.Millisecond
 	}
+	if o.BatchOps == 0 {
+		o.BatchOps = 64
+	} else if o.BatchOps < 0 {
+		o.BatchOps = 1
+	}
+	if o.BatchBytes <= 0 {
+		o.BatchBytes = 256 << 10
+	}
+	if o.FlushEvery == 0 {
+		o.FlushEvery = 2 * time.Millisecond
+	}
+	if o.VerifySample == 0 {
+		o.VerifySample = 16
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -90,8 +131,16 @@ func (o Options) withDefaults() Options {
 // Counters is the coordinator's observable activity, all monotone.
 type Counters struct {
 	// RemotePuts / RemoteGets are successfully completed remote item
-	// operations.
+	// operations (batched puts count one per op, not per frame).
 	RemotePuts, RemoteGets atomic.Uint64
+	// PutFrames counts the MsgPutBatch frames that carried those puts —
+	// the denominator of the puts-per-frame batching ratio.
+	PutFrames atomic.Uint64
+	// LocalGets counts gets served from the write-ahead log without a
+	// remote cross-check; VerifiedReads counts the sampled gets that were
+	// also fetched from the shard owner and byte-compared (each such get
+	// increments RemoteGets too).
+	LocalGets, VerifiedReads atomic.Uint64
 	// Retries counts re-attempts inside request deadlines.
 	Retries atomic.Uint64
 	// Respawns counts worker processes relaunched by the supervisor,
@@ -113,6 +162,8 @@ type Counters struct {
 // CounterSnapshot is a plain-value copy of Counters for reports.
 type CounterSnapshot struct {
 	RemotePuts, RemoteGets        uint64
+	PutFrames                     uint64
+	LocalGets, VerifiedReads      uint64
 	Retries                       uint64
 	Respawns, ReplayedPuts        uint64
 	Degradations, DegradedGets    uint64
@@ -125,6 +176,8 @@ type CounterSnapshot struct {
 func (c *Counters) Snapshot() CounterSnapshot {
 	return CounterSnapshot{
 		RemotePuts: c.RemotePuts.Load(), RemoteGets: c.RemoteGets.Load(),
+		PutFrames: c.PutFrames.Load(),
+		LocalGets: c.LocalGets.Load(), VerifiedReads: c.VerifiedReads.Load(),
 		Retries:  c.Retries.Load(),
 		Respawns: c.Respawns.Load(), ReplayedPuts: c.ReplayedPuts.Load(),
 		Degradations: c.Degradations.Load(), DegradedGets: c.DegradedGets.Load(),
@@ -134,19 +187,58 @@ func (c *Counters) Snapshot() CounterSnapshot {
 	}
 }
 
+// pendReply is what the shard's read loop hands an in-flight request.
+type pendReply struct {
+	payload []byte
+	err     error
+}
+
+// pendEntry is one in-flight request awaiting its demuxed reply. gen pins
+// it to the connection generation it was sent on, so a dying connection
+// fails exactly the requests that were riding it.
+type pendEntry struct {
+	ch  chan pendReply
+	gen uint64
+}
+
 // shard is the coordinator's view of one worker process.
 type shard struct {
 	idx    int
 	socket string
 
-	// mu serialises the request/response exchange and the recovery ladder.
+	// mu guards the connection lifecycle (conn, gen) and serialises the
+	// recovery ladder; requests no longer hold it across the wire — the
+	// transport is pipelined, demuxed by header sequence number.
 	mu       sync.Mutex
 	conn     net.Conn
-	seq      uint64
+	gen      uint64
 	respawns int
 	retrier  *Retrier
 
+	// seq issues globally unique request sequence numbers for this shard.
+	seq atomic.Uint64
+
+	// sendMu serialises frame writes on the current connection (reads are
+	// owned by the single readLoop goroutine per connection).
+	sendMu sync.Mutex
+
+	// pendMu guards pending, the seq -> in-flight-request demux table.
+	pendMu  sync.Mutex
+	pending map[uint64]pendEntry
+
+	// inflight gauges requests inside rpc — the heartbeat's "is traffic
+	// already probing this shard" check.
+	inflight atomic.Int64
+
 	degraded atomic.Bool
+
+	// pbufMu guards the outgoing put buffer; flushMu serialises flushes
+	// so each shard has at most one MsgPutBatch frame in flight and
+	// batches leave in enqueue order.
+	pbufMu    sync.Mutex
+	pbuf      []PutMsg
+	pbufBytes int
+	flushMu   sync.Mutex
 
 	// procMu guards the process handle (KillWorker and the supervisor
 	// race by design).
@@ -178,6 +270,15 @@ type Coordinator struct {
 	closed   atomic.Bool
 	hbStop   chan struct{}
 	hbDone   chan struct{}
+	flStop   chan struct{}
+	flDone   chan struct{}
+
+	// termMu/termErr latch the first terminal data-plane error (a refused
+	// put in an asynchronous flush, a verified-read mismatch): every later
+	// backend operation returns it, so an error detected between a step's
+	// put and the run's end still fails the run.
+	termMu  sync.Mutex
+	termErr error
 }
 
 // NewCoordinator spawns the worker fleet and connects to every shard. On
@@ -195,9 +296,10 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	}
 	for i := 0; i < opts.Shards; i++ {
 		sh := &shard{
-			idx:    i,
-			socket: filepath.Join(c.dir, fmt.Sprintf("shard-%d.sock", i)),
-			logIdx: make(map[string]int),
+			idx:     i,
+			socket:  filepath.Join(c.dir, fmt.Sprintf("shard-%d.sock", i)),
+			logIdx:  make(map[string]int),
+			pending: make(map[uint64]pendEntry),
 		}
 		sh.retrier = NewRetrier(opts.Backoff, opts.Clock, rand.New(rand.NewSource(opts.Seed*31+int64(i))))
 		sh.retrier.OnRetry = func() { c.counters.Retries.Add(1) }
@@ -213,14 +315,34 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 			c.Close()
 			return nil, fmt.Errorf("dist: connect shard %d: %w", sh.idx, err)
 		}
-		sh.conn = conn
+		c.publishConnLocked(sh, conn)
 	}
 	if opts.HeartbeatEvery > 0 {
 		c.hbStop = make(chan struct{})
 		c.hbDone = make(chan struct{})
 		go c.heartbeatLoop()
 	}
+	if opts.FlushEvery > 0 {
+		c.flStop = make(chan struct{})
+		c.flDone = make(chan struct{})
+		go c.flushLoop()
+	}
 	return c, nil
+}
+
+// setTerm latches the first terminal data-plane error.
+func (c *Coordinator) setTerm(err error) {
+	c.termMu.Lock()
+	if c.termErr == nil {
+		c.termErr = err
+	}
+	c.termMu.Unlock()
+}
+
+func (c *Coordinator) termError() error {
+	c.termMu.Lock()
+	defer c.termMu.Unlock()
+	return c.termErr
 }
 
 // spawnWorker launches (or relaunches) the shard's process and installs
@@ -318,11 +440,66 @@ func (c *Coordinator) killWorker(sh *shard) {
 	}
 }
 
+// publishConnLocked installs conn as the shard's live connection and starts
+// its read loop. Callers hold sh.mu (or, during NewCoordinator, have
+// exclusive access).
+func (c *Coordinator) publishConnLocked(sh *shard, conn net.Conn) {
+	sh.gen++
+	sh.conn = conn
+	go c.readLoop(sh, conn, sh.gen)
+}
+
 func (c *Coordinator) dropConnLocked(sh *shard) {
 	if sh.conn != nil {
-		_ = sh.conn.Close()
+		_ = sh.conn.Close() // readLoop notices and fails this gen's pending
 		sh.conn = nil
 	}
+}
+
+func (c *Coordinator) dropConn(sh *shard) {
+	sh.mu.Lock()
+	c.dropConnLocked(sh)
+	sh.mu.Unlock()
+}
+
+// ensureConn returns the shard's live connection (dialling one if needed)
+// and its generation. It refuses after Close: a redial there would talk to
+// a worker the coordinator is about to reap — or respawn one it never will.
+func (c *Coordinator) ensureConn(sh *shard, deadline time.Time) (net.Conn, uint64, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c.closed.Load() {
+		return nil, 0, errClosed
+	}
+	if sh.conn != nil {
+		return sh.conn, sh.gen, nil
+	}
+	conn, err := c.dial(sh, deadline)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dist: shard %d dial: %w", sh.idx, err)
+	}
+	c.publishConnLocked(sh, conn)
+	return sh.conn, sh.gen, nil
+}
+
+// connLost tears down a dead connection: unpublish it (if still current)
+// and fail every pending request that was riding it. Requests already sent
+// on a newer connection keep waiting — their gen differs.
+func (c *Coordinator) connLost(sh *shard, conn net.Conn, gen uint64, err error) {
+	_ = conn.Close()
+	sh.mu.Lock()
+	if sh.conn == conn {
+		sh.conn = nil
+	}
+	sh.mu.Unlock()
+	sh.pendMu.Lock()
+	for seq, e := range sh.pending {
+		if e.gen == gen {
+			delete(sh.pending, seq)
+			e.ch <- pendReply{err: err}
+		}
+	}
+	sh.pendMu.Unlock()
 }
 
 func (c *Coordinator) frameVerdict(dir chaos.Dir, shardIdx int, mt byte, size int) chaos.Verdict {
@@ -333,22 +510,59 @@ func (c *Coordinator) frameVerdict(dir chaos.Dir, shardIdx int, mt byte, size in
 	return h.fn(dir, shardIdx, MsgName(mt), size)
 }
 
-// exchange performs one send+receive attempt under sh.mu, applying fault
-// verdicts to each frame in both directions. Any error leaves the
-// connection dropped so the next attempt redials.
-func (c *Coordinator) exchange(sh *shard, mt byte, payload any, cycleDeadline time.Time) ([]byte, error) {
+// readLoop is the single reader of one connection: it demuxes replies to
+// their in-flight requests by header sequence number, applying receive-side
+// fault verdicts per frame. Replies whose request already gave up (stale
+// seq) are discarded undecoded. On any read error the connection is dead
+// and every request riding it fails immediately instead of waiting out its
+// attempt timeout.
+func (c *Coordinator) readLoop(sh *shard, conn net.Conn, gen uint64) {
+	for {
+		mt, seq, pl, wire, err := ReadFrame(conn)
+		if err != nil {
+			c.connLost(sh, conn, gen, fmt.Errorf("dist: shard %d read: %w", sh.idx, err))
+			return
+		}
+		c.counters.BytesIn.Add(uint64(wire))
+		v := c.frameVerdict(chaos.DirRecv, sh.idx, mt, wire)
+		if v.Delay > 0 {
+			time.Sleep(v.Delay)
+		}
+		if v.Reset {
+			c.connLost(sh, conn, gen, fmt.Errorf("dist: shard %d: injected connection reset (recv %s)", sh.idx, MsgName(mt)))
+			return
+		}
+		if v.Drop {
+			continue // response lost in flight; its request times out
+		}
+		sh.pendMu.Lock()
+		e, ok := sh.pending[seq]
+		if ok {
+			delete(sh.pending, seq)
+		}
+		sh.pendMu.Unlock()
+		if ok {
+			e.ch <- pendReply{payload: pl}
+		}
+	}
+}
+
+// attempt performs one pipelined send+await attempt: register a fresh
+// sequence number, write the frame (send-side fault verdicts applied), and
+// wait for the read loop to demux the reply — without excluding other
+// requests to the same shard, which is what lets gets overlap puts and each
+// other on one connection.
+func (c *Coordinator) attempt(sh *shard, mt byte, payload any, cycleDeadline time.Time) ([]byte, error) {
 	attemptDeadline := time.Now().Add(c.opts.AttemptTimeout)
 	if attemptDeadline.After(cycleDeadline) {
 		attemptDeadline = cycleDeadline
 	}
-	if sh.conn == nil {
-		conn, err := c.dial(sh, attemptDeadline)
-		if err != nil {
-			return nil, fmt.Errorf("dist: shard %d dial: %w", sh.idx, err)
-		}
-		sh.conn = conn
+	conn, gen, err := c.ensureConn(sh, attemptDeadline)
+	if err != nil {
+		return nil, err
 	}
-	frame, err := EncodeFrame(mt, sh.seq, payload)
+	seq := sh.seq.Add(1)
+	frame, err := EncodeFrame(mt, seq, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -356,44 +570,45 @@ func (c *Coordinator) exchange(sh *shard, mt byte, payload any, cycleDeadline ti
 	if v.Delay > 0 {
 		time.Sleep(v.Delay)
 	}
-	switch {
-	case v.Reset:
-		c.dropConnLocked(sh)
+	if v.Reset {
+		c.dropConn(sh)
 		return nil, fmt.Errorf("dist: shard %d: injected connection reset (send %s)", sh.idx, MsgName(mt))
-	case v.Drop:
-		// Request lost in flight: skip the write and let the read below
-		// time out, exactly as a real loss would play out.
-	default:
-		_ = sh.conn.SetWriteDeadline(attemptDeadline)
-		if _, err := sh.conn.Write(frame); err != nil {
-			c.dropConnLocked(sh)
-			return nil, fmt.Errorf("dist: shard %d write %s: %w", sh.idx, MsgName(mt), err)
+	}
+	ch := make(chan pendReply, 1)
+	sh.pendMu.Lock()
+	sh.pending[seq] = pendEntry{ch: ch, gen: gen}
+	sh.pendMu.Unlock()
+	unregister := func() {
+		sh.pendMu.Lock()
+		delete(sh.pending, seq)
+		sh.pendMu.Unlock()
+	}
+	if v.Drop {
+		// Request lost in flight: skip the write and wait out the attempt,
+		// exactly as a real loss would play out.
+	} else {
+		sh.sendMu.Lock()
+		_ = conn.SetWriteDeadline(attemptDeadline)
+		_, werr := conn.Write(frame)
+		sh.sendMu.Unlock()
+		if werr != nil {
+			unregister()
+			c.dropConn(sh)
+			return nil, fmt.Errorf("dist: shard %d write %s: %w", sh.idx, MsgName(mt), werr)
 		}
 		c.counters.BytesOut.Add(uint64(len(frame)))
 	}
-	for {
-		_ = sh.conn.SetReadDeadline(attemptDeadline)
-		rmt, rseq, pl, err := ReadFrame(sh.conn)
-		if err != nil {
-			c.dropConnLocked(sh)
-			return nil, fmt.Errorf("dist: shard %d read: %w", sh.idx, err)
+	timer := time.NewTimer(time.Until(attemptDeadline))
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
 		}
-		c.counters.BytesIn.Add(uint64(headerLen + 9 + len(pl)))
-		rv := c.frameVerdict(chaos.DirRecv, sh.idx, rmt, headerLen+9+len(pl))
-		if rv.Delay > 0 {
-			time.Sleep(rv.Delay)
-		}
-		if rv.Reset {
-			c.dropConnLocked(sh)
-			return nil, fmt.Errorf("dist: shard %d: injected connection reset (recv %s)", sh.idx, MsgName(rmt))
-		}
-		if rv.Drop {
-			continue // response lost in flight: keep waiting for one that isn't
-		}
-		if rseq != sh.seq {
-			continue // stale response to an earlier attempt of this request
-		}
-		return pl, nil
+		return r.payload, nil
+	case <-timer.C:
+		unregister()
+		return nil, fmt.Errorf("dist: shard %d %s: attempt timed out", sh.idx, MsgName(mt))
 	}
 }
 
@@ -404,23 +619,27 @@ func (c *Coordinator) exchange(sh *shard, mt byte, payload any, cycleDeadline ti
 //	-> respawn + replay the write-ahead log (dead or unresponsive worker)
 //	-> degrade the shard to local serving (respawn budget exhausted)
 //
-// and returns ErrShardDegraded only from the last rung.
+// and returns ErrShardDegraded only from the last rung. Requests are
+// pipelined: any number may be in flight per shard, so only the recovery
+// rungs serialise (under sh.mu, deduplicated by respawn count — concurrent
+// failing requests trigger one respawn, not one each).
 func (c *Coordinator) rpc(sh *shard, mt byte, payload any) ([]byte, error) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return c.rpcLocked(sh, mt, payload)
-}
-
-func (c *Coordinator) rpcLocked(sh *shard, mt byte, payload any) ([]byte, error) {
-	if sh.degraded.Load() {
-		return nil, ErrShardDegraded
-	}
-	sh.seq++
-	var out []byte
+	sh.inflight.Add(1)
+	defer sh.inflight.Add(-1)
 	for cycle := 0; ; cycle++ {
+		if c.closed.Load() {
+			return nil, errClosed
+		}
+		if sh.degraded.Load() {
+			return nil, ErrShardDegraded
+		}
+		sh.mu.Lock()
+		sawRespawns := sh.respawns
+		sh.mu.Unlock()
 		deadline := c.opts.Clock.Now().Add(c.opts.RequestTimeout)
+		var out []byte
 		err := sh.retrier.Do(deadline, func() error {
-			pl, xerr := c.exchange(sh, mt, payload, deadline)
+			pl, xerr := c.attempt(sh, mt, payload, deadline)
 			if xerr == nil {
 				out = pl
 			}
@@ -429,27 +648,145 @@ func (c *Coordinator) rpcLocked(sh *shard, mt byte, payload any) ([]byte, error)
 		if err == nil {
 			return out, nil
 		}
-		c.dropConnLocked(sh)
+		if errors.Is(err, errClosed) {
+			return nil, err
+		}
+		c.dropConn(sh)
 		if cycle == 0 && c.alive(sh) {
 			continue // reconnect rung: live worker, fresh deadline
 		}
-		for {
-			rerr := c.respawnAndReplayLocked(sh)
-			if rerr == nil {
-				break
-			}
-			if sh.respawns >= c.opts.MaxRespawns {
-				c.degradeLocked(sh, rerr)
-				return nil, ErrShardDegraded
-			}
+		if rerr := c.recoverShard(sh, sawRespawns); rerr != nil {
+			return nil, rerr
 		}
 	}
 }
 
+// recoverShard runs the respawn rung, serialised per shard. sawRespawns is
+// the respawn count the failing request observed before its cycle: if it
+// moved, another request already respawned the worker on our behalf, so
+// retry instead of burning a second budget slot on one failure.
+func (c *Coordinator) recoverShard(sh *shard, sawRespawns int) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c.closed.Load() {
+		return errClosed
+	}
+	if sh.degraded.Load() {
+		return ErrShardDegraded
+	}
+	if sh.respawns != sawRespawns {
+		return nil // a concurrent request already ran this rung
+	}
+	for {
+		rerr := c.respawnAndReplayLocked(sh)
+		if rerr == nil {
+			return nil
+		}
+		if c.closed.Load() {
+			return errClosed
+		}
+		if sh.respawns >= c.opts.MaxRespawns {
+			c.degradeLocked(sh, rerr)
+			return ErrShardDegraded
+		}
+	}
+}
+
+// syncExchange performs one synchronous request/response on a private,
+// not-yet-published connection (the replay path: sh.mu is held, no read
+// loop exists for conn yet). Fault verdicts apply — replay traffic is as
+// chaos-targetable as live traffic.
+func (c *Coordinator) syncExchange(sh *shard, conn net.Conn, mt byte, seq uint64, payload any, deadline time.Time) ([]byte, error) {
+	frame, err := EncodeFrame(mt, seq, payload)
+	if err != nil {
+		return nil, err
+	}
+	v := c.frameVerdict(chaos.DirSend, sh.idx, mt, len(frame))
+	if v.Delay > 0 {
+		time.Sleep(v.Delay)
+	}
+	switch {
+	case v.Reset:
+		return nil, fmt.Errorf("dist: shard %d: injected connection reset (send %s)", sh.idx, MsgName(mt))
+	case v.Drop:
+		// Request lost in flight: the read below times out.
+	default:
+		_ = conn.SetWriteDeadline(deadline)
+		if _, err := conn.Write(frame); err != nil {
+			return nil, fmt.Errorf("dist: shard %d write %s: %w", sh.idx, MsgName(mt), err)
+		}
+		c.counters.BytesOut.Add(uint64(len(frame)))
+	}
+	for {
+		_ = conn.SetReadDeadline(deadline)
+		rmt, rseq, pl, wire, err := ReadFrame(conn)
+		if err != nil {
+			return nil, fmt.Errorf("dist: shard %d read: %w", sh.idx, err)
+		}
+		c.counters.BytesIn.Add(uint64(wire))
+		rv := c.frameVerdict(chaos.DirRecv, sh.idx, rmt, wire)
+		if rv.Delay > 0 {
+			time.Sleep(rv.Delay)
+		}
+		if rv.Reset {
+			return nil, fmt.Errorf("dist: shard %d: injected connection reset (recv %s)", sh.idx, MsgName(rmt))
+		}
+		if rv.Drop {
+			continue // response lost in flight: keep waiting for one that isn't
+		}
+		if rseq != seq {
+			continue // stale response to an earlier request on this conn
+		}
+		return pl, nil
+	}
+}
+
+// replayExchange wraps syncExchange in the retry policy, redialling the
+// (possibly *conn=nil) connection as needed. Used only under sh.mu by the
+// respawn rung.
+func (c *Coordinator) replayExchange(sh *shard, conn *net.Conn, mt byte, payload any) ([]byte, error) {
+	seq := sh.seq.Add(1)
+	deadline := c.opts.Clock.Now().Add(c.opts.RequestTimeout)
+	var pl []byte
+	err := sh.retrier.Do(deadline, func() error {
+		if *conn == nil {
+			nc, derr := c.dial(sh, time.Now().Add(c.opts.AttemptTimeout))
+			if derr != nil {
+				return fmt.Errorf("dist: shard %d dial: %w", sh.idx, derr)
+			}
+			*conn = nc
+		}
+		attemptDeadline := time.Now().Add(c.opts.AttemptTimeout)
+		if attemptDeadline.After(deadline) {
+			attemptDeadline = deadline
+		}
+		p, xerr := c.syncExchange(sh, *conn, mt, seq, payload, attemptDeadline)
+		if xerr != nil {
+			_ = (*conn).Close()
+			*conn = nil
+			return xerr
+		}
+		pl = p
+		return nil
+	})
+	return pl, err
+}
+
+// replayAuditSize bounds the post-replay cross-check: up to this many
+// restored items, spread evenly across the log, are fetched back in one
+// MsgGetBatch and byte-compared against the write-ahead log.
+const replayAuditSize = 16
+
 // respawnAndReplayLocked relaunches the shard's worker and replays the
-// write-ahead put log into its empty store. Replay is safe because items
-// are write-once: the worker accepts byte-identical duplicates, so a put
-// that was stored but whose ack was lost replays harmlessly.
+// write-ahead put log into its empty store — in MsgPutBatch chunks, not one
+// frame per item, so recovery of a large shard costs O(log/batch) round
+// trips. Replay is safe because items are write-once: the worker accepts
+// byte-identical duplicates, so a put that was stored but whose ack was
+// lost replays harmlessly. After replay, a sampled MsgGetBatch audit
+// fetches restored items back and byte-compares them against the log; a
+// mismatch fails this rung (the ladder respawns again or degrades — the
+// log stays authoritative either way). The fresh connection is published
+// (read loop started) only after replay and audit succeed.
 func (c *Coordinator) respawnAndReplayLocked(sh *shard) error {
 	if sh.respawns >= c.opts.MaxRespawns {
 		return fmt.Errorf("dist: shard %d respawn budget (%d) exhausted", sh.idx, c.opts.MaxRespawns)
@@ -465,39 +802,79 @@ func (c *Coordinator) respawnAndReplayLocked(sh *shard) error {
 	if err != nil {
 		return fmt.Errorf("dist: shard %d reconnect after respawn: %w", sh.idx, err)
 	}
-	sh.conn = conn
+	fail := func(err error) error {
+		if conn != nil {
+			_ = conn.Close()
+		}
+		return err
+	}
 	sh.logMu.Lock()
 	entries := append([]PutMsg(nil), sh.log...)
 	sh.logMu.Unlock()
-	for i := range entries {
-		sh.seq++
-		deadline := c.opts.Clock.Now().Add(c.opts.RequestTimeout)
-		var pl []byte
-		err := sh.retrier.Do(deadline, func() error {
-			p, xerr := c.exchange(sh, MsgPut, entries[i], deadline)
-			if xerr == nil {
-				pl = p
-			}
-			return xerr
-		})
+	for start := 0; start < len(entries); {
+		end := start
+		batchBytes := 0
+		for end < len(entries) && end-start < c.opts.BatchOps && batchBytes < c.opts.BatchBytes {
+			batchBytes += len(entries[end].Coll) + len(entries[end].Key) + len(entries[end].Val)
+			end++
+		}
+		pl, err := c.replayExchange(sh, &conn, MsgPutBatch, PutBatchMsg{Ops: entries[start:end]})
 		if err != nil {
-			return fmt.Errorf("dist: shard %d replay put %d/%d: %w", sh.idx, i+1, len(entries), err)
+			return fail(fmt.Errorf("dist: shard %d replay puts %d-%d/%d: %w", sh.idx, start+1, end, len(entries), err))
 		}
 		var ack AckMsg
 		if err := DecodePayload(pl, &ack); err != nil {
-			return err
+			return fail(err)
 		}
 		if ack.Err != "" {
-			return fmt.Errorf("dist: shard %d replay refused: %s", sh.idx, ack.Err)
+			return fail(fmt.Errorf("dist: shard %d replay refused: %s", sh.idx, ack.Err))
 		}
-		c.counters.ReplayedPuts.Add(1)
+		c.counters.ReplayedPuts.Add(uint64(end - start))
+		start = end
 	}
+	if len(entries) > 0 {
+		stride := len(entries) / replayAuditSize
+		if stride < 1 {
+			stride = 1
+		}
+		var idxs []int
+		for i := 0; i < len(entries) && len(idxs) < replayAuditSize; i += stride {
+			idxs = append(idxs, i)
+		}
+		gets := make([]GetMsg, len(idxs))
+		for j, i := range idxs {
+			gets[j] = GetMsg{Coll: entries[i].Coll, Key: entries[i].Key}
+		}
+		pl, err := c.replayExchange(sh, &conn, MsgGetBatch, GetBatchMsg{Gets: gets})
+		if err != nil {
+			return fail(fmt.Errorf("dist: shard %d replay audit: %w", sh.idx, err))
+		}
+		var batch ItemBatchMsg
+		if err := DecodePayload(pl, &batch); err != nil {
+			return fail(err)
+		}
+		if len(batch.Items) != len(idxs) {
+			return fail(fmt.Errorf("dist: shard %d replay audit: %d answers for %d gets", sh.idx, len(batch.Items), len(idxs)))
+		}
+		for j, i := range idxs {
+			it := &batch.Items[j]
+			if it.Err != "" {
+				return fail(fmt.Errorf("dist: shard %d replay audit: %s", sh.idx, it.Err))
+			}
+			if !it.Found || !bytes.Equal(it.Val, entries[i].Val) {
+				return fail(fmt.Errorf("dist: shard %d replay audit: restored %s differs from the put log", sh.idx, entries[i].Coll))
+			}
+		}
+	}
+	c.publishConnLocked(sh, conn)
 	return nil
 }
 
 // degradeLocked retires the shard: its items are served from the
 // coordinator's log from now on. The worker (if any) is reaped so a
-// degraded run can never leak a process.
+// degraded run can never leak a process. Buffered puts are discarded — the
+// write-ahead log already holds every one of them, and the log is now the
+// serving store.
 func (c *Coordinator) degradeLocked(sh *shard, cause error) {
 	if sh.degraded.Swap(true) {
 		return
@@ -505,24 +882,29 @@ func (c *Coordinator) degradeLocked(sh *shard, cause error) {
 	c.counters.Degradations.Add(1)
 	c.killWorker(sh)
 	c.dropConnLocked(sh)
+	sh.pbufMu.Lock()
+	sh.pbuf, sh.pbufBytes = nil, 0
+	sh.pbufMu.Unlock()
 	_ = cause // recorded implicitly: Degradations counts, callers see ErrShardDegraded
 }
 
 // logPut appends one put to the shard's write-ahead log (before any
-// network I/O, so replay and degraded serving always see it).
-func (c *Coordinator) logPut(sh *shard, m PutMsg) error {
+// network I/O, so replay and degraded serving always see it). dup reports
+// a byte-identical duplicate — already logged, and already on its way to
+// (or at) the worker, so the caller must not enqueue it again.
+func (c *Coordinator) logPut(sh *shard, m PutMsg) (dup bool, err error) {
 	k := storeKey(m.Coll, m.Key)
 	sh.logMu.Lock()
 	defer sh.logMu.Unlock()
-	if i, dup := sh.logIdx[k]; dup {
-		if string(sh.log[i].Val) == string(m.Val) {
-			return nil
+	if i, prev := sh.logIdx[k]; prev {
+		if bytes.Equal(sh.log[i].Val, m.Val) {
+			return true, nil
 		}
-		return fmt.Errorf("dist: write-once violation in put log: %s re-put with differing bytes", m.Coll)
+		return false, fmt.Errorf("dist: write-once violation in put log: %s re-put with differing bytes", m.Coll)
 	}
 	sh.logIdx[k] = len(sh.log)
 	sh.log = append(sh.log, m)
-	return nil
+	return false, nil
 }
 
 func (c *Coordinator) logLookup(sh *shard, coll string, key []byte) ([]byte, bool) {
@@ -533,6 +915,112 @@ func (c *Coordinator) logLookup(sh *shard, coll string, key []byte) ([]byte, boo
 		return nil, false
 	}
 	return sh.log[i].Val, true
+}
+
+// enqueuePut appends one already-logged put to the shard's outgoing
+// buffer, reporting whether the buffer tripped a size threshold and wants
+// an inline flush.
+func (c *Coordinator) enqueuePut(sh *shard, m PutMsg) (full bool) {
+	sh.pbufMu.Lock()
+	sh.pbuf = append(sh.pbuf, m)
+	sh.pbufBytes += len(m.Coll) + len(m.Key) + len(m.Val)
+	full = len(sh.pbuf) >= c.opts.BatchOps || sh.pbufBytes >= c.opts.BatchBytes
+	sh.pbufMu.Unlock()
+	return full
+}
+
+// flushShard sends the shard's buffered puts as one MsgPutBatch frame and
+// waits for the ack. Serialised per shard (flushMu) so batches leave in
+// enqueue order with at most one in flight; puts arriving meanwhile simply
+// buffer for the next frame. A degraded shard absorbs the flush silently —
+// the write-ahead log holds every buffered put and is now the serving
+// store. Any worker refusal is terminal (latched via setTerm).
+func (c *Coordinator) flushShard(sh *shard) error {
+	sh.flushMu.Lock()
+	defer sh.flushMu.Unlock()
+	sh.pbufMu.Lock()
+	ops := sh.pbuf
+	sh.pbuf, sh.pbufBytes = nil, 0
+	sh.pbufMu.Unlock()
+	if len(ops) == 0 {
+		return nil
+	}
+	if sh.degraded.Load() {
+		return nil
+	}
+	pl, err := c.rpc(sh, MsgPutBatch, PutBatchMsg{Ops: ops})
+	if errors.Is(err, ErrShardDegraded) {
+		return nil // the log holds them; gets will be served locally
+	}
+	if err != nil {
+		c.setTerm(err)
+		return err
+	}
+	var ack AckMsg
+	if err := DecodePayload(pl, &ack); err != nil {
+		c.setTerm(err)
+		return err
+	}
+	if ack.Err != "" {
+		err := errors.New(ack.Err)
+		c.setTerm(err)
+		return err
+	}
+	c.counters.RemotePuts.Add(uint64(len(ops)))
+	c.counters.PutFrames.Add(1)
+	return nil
+}
+
+// flushIfPending is the pre-verified-read barrier, made precise: the read
+// needs its own mirror on the worker, so flush only when that key still
+// sits in the outgoing buffer, or when a flush is mid-rpc (it may be
+// carrying the key; queueing behind it on flushMu is the wait). With
+// neither, the key's mirror was already acked — or its producer has logged
+// but not yet enqueued it, a window the caller's not-found re-poll absorbs.
+// Skipping the flush here is what keeps sampled reads from fragmenting the
+// put batches the rest of the run is amortising.
+func (c *Coordinator) flushIfPending(sh *shard, coll string, kb []byte) error {
+	if !sh.flushMu.TryLock() {
+		return c.flushShard(sh)
+	}
+	pending := false
+	sh.pbufMu.Lock()
+	for i := range sh.pbuf {
+		if sh.pbuf[i].Coll == coll && bytes.Equal(sh.pbuf[i].Key, kb) {
+			pending = true
+			break
+		}
+	}
+	sh.pbufMu.Unlock()
+	sh.flushMu.Unlock()
+	if !pending {
+		return nil
+	}
+	return c.flushShard(sh)
+}
+
+// flushLoop is the time-based flush: it sweeps every shard each
+// FlushEvery, so a trickle of puts that never trips a size threshold still
+// reaches the workers with bounded latency.
+func (c *Coordinator) flushLoop() {
+	defer close(c.flDone)
+	t := time.NewTicker(c.opts.FlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.flStop:
+			return
+		case <-t.C:
+		}
+		for _, sh := range c.shards {
+			sh.pbufMu.Lock()
+			n := len(sh.pbuf)
+			sh.pbufMu.Unlock()
+			if n > 0 {
+				_ = c.flushShard(sh) // errors latch via setTerm
+			}
+		}
+	}
 }
 
 func (c *Coordinator) heartbeatLoop() {
@@ -546,19 +1034,18 @@ func (c *Coordinator) heartbeatLoop() {
 		case <-t.C:
 		}
 		for _, sh := range c.shards {
-			if sh.degraded.Load() {
+			if sh.degraded.Load() || c.closed.Load() {
 				continue
 			}
-			if !sh.mu.TryLock() {
-				continue // an in-flight rpc is a better health probe
+			if sh.inflight.Load() > 0 {
+				continue // an in-flight request is a better health probe
 			}
 			c.counters.Heartbeats.Add(1)
-			if _, err := c.rpcLocked(sh, MsgPing, nil); err != nil {
-				// rpcLocked already ran the whole recovery ladder; a
-				// surviving error means the shard just degraded.
+			if _, err := c.rpc(sh, MsgPing, nil); err != nil && !errors.Is(err, errClosed) {
+				// rpc already ran the whole recovery ladder; a surviving
+				// error means the shard just degraded.
 				c.counters.HeartbeatFailures.Add(1)
 			}
-			sh.mu.Unlock()
 		}
 	}
 }
@@ -599,6 +1086,13 @@ func (c *Coordinator) Degraded() int {
 // Close reaps the whole fleet: close each worker's stdin lifeline (its
 // graceful-exit signal), give it a moment, then kill. After Close returns
 // every worker process has been waited on — zero orphans by construction.
+//
+// Close is safe against in-flight requests: c.closed flips first, the
+// recovery ladder refuses to spawn once it is set, and the connection /
+// process teardown happens under the same locks (sh.mu, sh.procMu) the
+// transport and the respawn rung hold — a respawn that won the race
+// finishes publishing its worker before Close's lock acquisition, and
+// Close then reaps that worker like any other.
 func (c *Coordinator) Close() error {
 	if c.closed.Swap(true) {
 		return nil
@@ -607,17 +1101,20 @@ func (c *Coordinator) Close() error {
 		close(c.hbStop)
 		<-c.hbDone
 	}
+	if c.flStop != nil {
+		close(c.flStop)
+		<-c.flDone
+	}
 	for _, sh := range c.shards {
+		sh.mu.Lock()
+		c.dropConnLocked(sh)
 		sh.procMu.Lock()
 		cmd, stdin, done := sh.cmd, sh.stdin, sh.waitDone
 		sh.cmd, sh.stdin, sh.waitDone = nil, nil, nil
 		sh.procMu.Unlock()
+		sh.mu.Unlock()
 		if stdin != nil {
 			_ = stdin.Close() // EOF: the worker's exit signal
-		}
-		if sh.conn != nil {
-			_ = sh.conn.Close()
-			sh.conn = nil
 		}
 		if cmd == nil || done == nil {
 			continue
@@ -687,6 +1184,39 @@ func (c *Coordinator) Attach(g *cnc.Graph) {
 type graphBackend struct {
 	c      *Coordinator
 	prefix string
+
+	// gets numbers this graph's backend gets for verified-read sampling
+	// (every VerifySample'th get goes to the wire).
+	gets atomic.Uint64
+
+	// objs caches each put's original value object by (collection, key) so
+	// an unverified local get returns it with zero gob work — the
+	// coordinator-side analogue of single-process object sharing, and the
+	// difference between a get costing a map load and costing an encode of
+	// the key plus a decode of the value. The write-ahead log's bytes stay
+	// canonical: degraded serving, replay and every verified read still go
+	// through them, so the cache can only ever short-circuit work, never
+	// change what a get observes (items are write-once, the object never
+	// mutates after Put).
+	objs sync.Map // objKey -> any
+
+	// verifyWG tracks in-flight asynchronous verified reads; the Flush
+	// barrier waits on it so a mismatch discovered off the critical path
+	// still fails the run it belongs to. verifyInflight bounds them —
+	// a saturated verifier sheds the sample instead of stalling steps.
+	verifyWG       sync.WaitGroup
+	verifyInflight atomic.Int64
+}
+
+// maxAsyncVerify bounds concurrently outstanding asynchronous verified
+// reads per graph.
+const maxAsyncVerify = 32
+
+// objKey addresses the object cache. Item keys are comparable by the same
+// contract that lets cnc collections use them as map keys.
+type objKey struct {
+	coll string
+	key  any
 }
 
 func (gb *graphBackend) locate(coll string, key any) (string, []byte, *shard, error) {
@@ -698,71 +1228,197 @@ func (gb *graphBackend) locate(coll string, key any) (string, []byte, *shard, er
 	return full, kb, gb.c.shards[ShardOf(full, kb, len(gb.c.shards))], nil
 }
 
-// Put implements cnc.ItemBackend: write-ahead log, then mirror to the
-// shard owner. A degraded shard absorbs the put into the log alone — that
-// is the single-process fallback.
-func (gb *graphBackend) Put(coll string, key, val any) error {
-	full, kb, sh, err := gb.locate(coll, key)
-	if err != nil {
-		return err
-	}
-	vb, err := EncodeValue(val)
-	if err != nil {
-		return err
-	}
-	m := PutMsg{Coll: full, Key: kb, Val: vb}
-	if err := gb.c.logPut(sh, m); err != nil {
-		return err
-	}
-	pl, err := gb.c.rpc(sh, MsgPut, m)
-	if errors.Is(err, ErrShardDegraded) {
-		return nil // the log holds it; gets will be served locally
-	}
-	if err != nil {
-		return err
-	}
-	var ack AckMsg
-	if err := DecodePayload(pl, &ack); err != nil {
-		return err
-	}
-	if ack.Err != "" {
-		return errors.New(ack.Err)
-	}
-	gb.c.counters.RemotePuts.Add(1)
-	return nil
-}
-
-// Get implements cnc.ItemBackend: fetch the authoritative bytes from the
-// shard owner (or the local log for a degraded shard) and decode.
-//
-// A get can legitimately race its producer's in-flight mirror: the local
-// store insert (which makes the item gettable) precedes the mirror RPC, so
-// a speculatively re-executed consumer can reach here before the put frame
-// reaches the worker. The mirror is guaranteed to be on its way — same
-// shard, serialised behind this request — so a not-found answer within the
-// race window is absorbed by re-polling until the request deadline, after
-// which a miss really is a lost item.
-func (gb *graphBackend) Get(coll string, key any) (any, error) {
+// stagePut logs one put into the shard's write-ahead log and buffers its
+// mirror. Returns the shard when the buffer tripped a size threshold (the
+// caller flushes after staging everything it has).
+func (gb *graphBackend) stagePut(coll string, key, val any) (*shard, error) {
 	full, kb, sh, err := gb.locate(coll, key)
 	if err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(gb.c.opts.RequestTimeout)
+	vb, err := EncodeValue(val)
+	if err != nil {
+		return nil, err
+	}
+	m := PutMsg{Coll: full, Key: kb, Val: vb}
+	dup, err := gb.c.logPut(sh, m)
+	if err != nil {
+		return nil, err
+	}
+	// Logged (or a byte-identical replay): the object may serve local gets.
+	gb.objs.Store(objKey{coll: full, key: key}, val)
+	if dup || sh.degraded.Load() {
+		// Already buffered/sent, or the log is this shard's only store.
+		return nil, nil
+	}
+	if gb.c.enqueuePut(sh, m) {
+		return sh, nil
+	}
+	return nil, nil
+}
+
+// Put implements cnc.ItemBackend: write-ahead log (synchronous — the log
+// is what gets serve and replay rebuilds from, so it must hold the item
+// before any consumer can observe it), then buffer the mirror for the
+// shard's next MsgPutBatch frame. The frame flushes when a size threshold
+// trips (inline, here), when the FlushEvery sweeper fires, before any
+// sampled remote read of the shard, and at the end-of-run barrier — the
+// put itself no longer waits a round trip.
+func (gb *graphBackend) Put(coll string, key, val any) error {
+	if err := gb.c.termError(); err != nil {
+		return err
+	}
+	full, err := gb.stagePut(coll, key, val)
+	if err != nil {
+		return err
+	}
+	if full != nil {
+		if err := gb.flushIgnoreDegraded(full); err != nil {
+			return err
+		}
+	}
+	return gb.c.termError()
+}
+
+// PutBatch implements cnc.ItemBackend: stage every op, then flush only the
+// shards whose buffers tripped a threshold — a burst of N puts costs at
+// most one frame per tripped shard now and leaves the rest to the sweeper.
+func (gb *graphBackend) PutBatch(ops []cnc.PutOp) error {
+	if err := gb.c.termError(); err != nil {
+		return err
+	}
+	var full []*shard
+	for i := range ops {
+		sh, err := gb.stagePut(ops[i].Coll, ops[i].Key, ops[i].Val)
+		if err != nil {
+			return err
+		}
+		if sh != nil {
+			full = append(full, sh)
+		}
+	}
+	for _, sh := range full {
+		if err := gb.flushIgnoreDegraded(sh); err != nil {
+			return err
+		}
+	}
+	return gb.c.termError()
+}
+
+func (gb *graphBackend) flushIgnoreDegraded(sh *shard) error {
+	err := gb.c.flushShard(sh)
+	if err == nil || errors.Is(err, ErrShardDegraded) {
+		return nil
+	}
+	return err
+}
+
+// Flush implements cnc.BackendFlusher: drain every shard's put buffer,
+// wait out the in-flight asynchronous verified reads, and surface any
+// latched terminal error — the end-of-run barrier that makes "run
+// succeeded" mean "every mirror landed (or its shard degraded with the
+// log serving) and every sampled cross-check passed".
+func (gb *graphBackend) Flush() error {
+	for _, sh := range gb.c.shards {
+		if err := gb.flushIgnoreDegraded(sh); err != nil {
+			return err
+		}
+	}
+	gb.verifyWG.Wait()
+	return gb.c.termError()
+}
+
+// shouldVerify decides whether this get is a sampled verified read.
+func (gb *graphBackend) shouldVerify() bool {
+	vs := gb.c.opts.VerifySample
+	if vs < 0 {
+		return false
+	}
+	if vs <= 1 {
+		return true
+	}
+	return gb.gets.Add(1)%uint64(vs) == 0
+}
+
+// Get implements cnc.ItemBackend. The write-ahead log is the
+// read-your-writes cache: every put was logged synchronously before its
+// producer could wake a consumer, so the authoritative bytes are always
+// local and a get usually costs no round trip at all. A sampled fraction
+// (Options.VerifySample) is additionally fetched from the shard owner and
+// byte-compared — the statistical form of PR 8's fetch-every-read proof
+// that the remote data plane actually holds what the coordinator thinks
+// it holds. A mismatch is terminal.
+//
+// Sampled verification (VerifySample > 1) runs off the step's critical
+// path: the get serves locally and the cross-check proceeds in a bounded
+// background fetch whose failure latches terminally and whose completion
+// the Flush barrier awaits — the run cannot succeed past an unfinished or
+// failed check. Full verification (VerifySample 1, the chaos/CI setting)
+// stays synchronous, so a failed comparison pins the exact get.
+//
+// A get can legitimately race its producer's in-flight mirror: the local
+// store insert (which makes the item gettable) precedes the backend Put,
+// so a speculatively re-executed consumer can reach here before the
+// producer logged the item. A log miss within the request deadline is
+// therefore re-polled, not failed; the same re-poll absorbs the window on
+// the remote side of a verified read (the mirror is flushed before the
+// fetch, but an earlier flush may still be in flight).
+func (gb *graphBackend) Get(coll string, key any) (any, error) {
+	if err := gb.c.termError(); err != nil {
+		return nil, err
+	}
+	c := gb.c
+	verify := gb.shouldVerify()
+	syncVerify := verify && c.opts.VerifySample == 1
+	if !syncVerify {
+		// Fast path: the producer's own object, no key encode, no value
+		// decode. A miss falls through to the log poll below (the consumer
+		// is racing its producer's stagePut).
+		if v, ok := gb.objs.Load(objKey{coll: gb.prefix + coll, key: key}); ok {
+			c.counters.LocalGets.Add(1)
+			if verify {
+				gb.verifyAsync(coll, key)
+			}
+			return v, nil
+		}
+	}
+	full, kb, sh, err := gb.locate(coll, key)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.opts.RequestTimeout)
 	for poll := 0; ; poll++ {
 		if poll > 0 {
-			gb.c.counters.RaceRetries.Add(1)
+			c.counters.RaceRetries.Add(1)
 			time.Sleep(200 * time.Microsecond)
 		}
-		pl, err := gb.c.rpc(sh, MsgGet, GetMsg{Coll: full, Key: kb})
-		if errors.Is(err, ErrShardDegraded) {
-			vb, ok := gb.c.logLookup(sh, full, kb)
-			if !ok {
-				if time.Now().Before(deadline) {
-					continue // racing the producer's logPut; it will land
-				}
-				return nil, fmt.Errorf("dist: degraded shard %d has no log entry for %s", sh.idx, full)
+		vb, ok := c.logLookup(sh, full, kb)
+		if !ok {
+			if time.Now().Before(deadline) {
+				continue // racing the producer's logPut; it will land
 			}
-			gb.c.counters.DegradedGets.Add(1)
+			return nil, fmt.Errorf("dist: no put-log entry for %s (item never mirrored)", full)
+		}
+		if sh.degraded.Load() {
+			c.counters.DegradedGets.Add(1)
+			return DecodeValue(vb)
+		}
+		if !syncVerify {
+			c.counters.LocalGets.Add(1)
+			if verify {
+				gb.verifyAsync(coll, key)
+			}
+			return DecodeValue(vb)
+		}
+		// Sampled verified read: make sure this key's mirror has reached
+		// the shard (flush only if it is still buffered or riding an
+		// in-flight frame), then fetch and compare.
+		if err := c.flushIfPending(sh, full, kb); err != nil && !errors.Is(err, ErrShardDegraded) {
+			return nil, err
+		}
+		pl, err := c.rpc(sh, MsgGet, GetMsg{Coll: full, Key: kb})
+		if errors.Is(err, ErrShardDegraded) {
+			c.counters.DegradedGets.Add(1)
 			return DecodeValue(vb)
 		}
 		if err != nil {
@@ -777,14 +1433,93 @@ func (gb *graphBackend) Get(coll string, key any) (any, error) {
 		}
 		if !item.Found {
 			if time.Now().Before(deadline) {
-				continue // racing the producer's in-flight mirror
+				continue // racing an in-flight mirror frame
 			}
 			// Past the deadline the mirror would long since have landed:
 			// the worker's store is genuinely missing an item the
 			// coordinator holds — a protocol bug, not a race.
 			return nil, fmt.Errorf("dist: shard %d lost %s despite replay", sh.idx, full)
 		}
-		gb.c.counters.RemoteGets.Add(1)
-		return DecodeValue(item.Val)
+		if !bytes.Equal(item.Val, vb) {
+			err := fmt.Errorf("dist: verified read mismatch: shard %d holds %d bytes for %s, put log has %d",
+				sh.idx, len(item.Val), full, len(vb))
+			c.setTerm(err)
+			return nil, err
+		}
+		c.counters.RemoteGets.Add(1)
+		c.counters.VerifiedReads.Add(1)
+		return DecodeValue(vb)
+	}
+}
+
+// verifyAsync schedules one sampled cross-check off the critical path. A
+// saturated verifier sheds the sample — sampling is statistical, stalling
+// a step to preserve one data point would defeat its purpose.
+func (gb *graphBackend) verifyAsync(coll string, key any) {
+	if gb.verifyInflight.Add(1) > maxAsyncVerify {
+		gb.verifyInflight.Add(-1)
+		return
+	}
+	gb.verifyWG.Add(1)
+	go func() {
+		defer gb.verifyWG.Done()
+		defer gb.verifyInflight.Add(-1)
+		if err := gb.verifyOnce(coll, key); err != nil && !errors.Is(err, errClosed) {
+			gb.c.setTerm(err)
+		}
+	}()
+}
+
+// verifyOnce fetches one item from its shard owner and byte-compares it
+// against the write-ahead log — the background body of a sampled verified
+// read. Degraded shards have nothing to verify against; a missing item is
+// re-polled within the request deadline (an in-flight mirror frame), after
+// which it is the terminal protocol failure the sampling exists to catch.
+func (gb *graphBackend) verifyOnce(coll string, key any) error {
+	c := gb.c
+	full, kb, sh, err := gb.locate(coll, key)
+	if err != nil {
+		return err
+	}
+	vb, ok := c.logLookup(sh, full, kb)
+	if !ok {
+		return nil // the serving get saw it; nothing coherent to compare yet
+	}
+	deadline := time.Now().Add(c.opts.RequestTimeout)
+	for {
+		if sh.degraded.Load() {
+			return nil
+		}
+		if err := c.flushIfPending(sh, full, kb); err != nil && !errors.Is(err, ErrShardDegraded) {
+			return err
+		}
+		pl, err := c.rpc(sh, MsgGet, GetMsg{Coll: full, Key: kb})
+		if errors.Is(err, ErrShardDegraded) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		var item ItemMsg
+		if err := DecodePayload(pl, &item); err != nil {
+			return err
+		}
+		if item.Err != "" {
+			return errors.New(item.Err)
+		}
+		if !item.Found {
+			if time.Now().Before(deadline) {
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			return fmt.Errorf("dist: shard %d lost %s despite replay", sh.idx, full)
+		}
+		if !bytes.Equal(item.Val, vb) {
+			return fmt.Errorf("dist: verified read mismatch: shard %d holds %d bytes for %s, put log has %d",
+				sh.idx, len(item.Val), full, len(vb))
+		}
+		c.counters.RemoteGets.Add(1)
+		c.counters.VerifiedReads.Add(1)
+		return nil
 	}
 }

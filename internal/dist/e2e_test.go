@@ -2,6 +2,9 @@ package dist
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -12,7 +15,10 @@ import (
 )
 
 // fastOpts are coordinator options tuned for tests: tight deadlines and
-// backoffs so recovery ladders complete in tens of milliseconds.
+// backoffs so recovery ladders complete in tens of milliseconds. Reads are
+// verified against the shard on every get (VerifySample 1) so the tests
+// exercise the full wire path; CI's second sweep overrides the rate via
+// DPFLOW_VERIFY_SAMPLE to run the same matrix at the production default.
 func fastOpts() Options {
 	return Options{
 		Shards:         2,
@@ -20,7 +26,19 @@ func fastOpts() Options {
 		AttemptTimeout: 50 * time.Millisecond,
 		Backoff:        Backoff{Base: time.Millisecond, Max: 20 * time.Millisecond, Factor: 2, Jitter: 0.5},
 		HeartbeatEvery: 50 * time.Millisecond,
+		VerifySample:   verifySampleFromEnv(),
 	}
+}
+
+// verifySampleFromEnv resolves the test suite's verified-read rate:
+// every get (1) unless DPFLOW_VERIFY_SAMPLE says otherwise.
+func verifySampleFromEnv() int {
+	if s := os.Getenv("DPFLOW_VERIFY_SAMPLE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			return n
+		}
+	}
+	return 1
 }
 
 // TestDistAllBenchmarksVerify: every registered benchmark runs 2-process
@@ -36,9 +54,17 @@ func TestDistAllBenchmarksVerify(t *testing.T) {
 			if res.Err != nil {
 				t.Fatal(res.Err)
 			}
-			if res.Counters.RemotePuts == 0 || res.Counters.RemoteGets == 0 {
-				t.Fatalf("no remote traffic (puts %d, gets %d) — the run was not actually distributed",
-					res.Counters.RemotePuts, res.Counters.RemoteGets)
+			if res.Counters.RemotePuts == 0 || res.Counters.PutFrames == 0 {
+				t.Fatalf("no remote puts (%d ops in %d frames) — the run was not actually distributed",
+					res.Counters.RemotePuts, res.Counters.PutFrames)
+			}
+			// With sampling on, verified reads must really cross the wire;
+			// with it off (env override), every get must be served locally.
+			if fastOpts().VerifySample >= 0 && res.Counters.RemoteGets == 0 {
+				t.Fatalf("sampling enabled but no get crossed the wire (counters %+v)", res.Counters)
+			}
+			if res.Counters.LocalGets+res.Counters.RemoteGets == 0 {
+				t.Fatal("no gets at all — the backend was bypassed")
 			}
 			if res.Counters.BytesOut == 0 || res.Counters.BytesIn == 0 {
 				t.Fatalf("no bytes on the wire (out %d, in %d)", res.Counters.BytesOut, res.Counters.BytesIn)
@@ -130,6 +156,10 @@ func TestDistDegradation(t *testing.T) {
 	}
 	opts := fastOpts()
 	opts.MaxRespawns = -1 // no respawns: first loss degrades
+	// Full synchronous verification regardless of the env override: the
+	// degraded-serving counters this test asserts only tick on gets that
+	// actually try the shard.
+	opts.VerifySample = 1
 	r := &Runner{Shards: 2, Discipline: true, Options: opts}
 	res := r.Drive(ge, 64, 16, 7, &chaos.ProcessKill{Prob: 1, Times: 1, After: 6})
 	if res.Err != nil {
@@ -153,7 +183,12 @@ func TestDistDegradation(t *testing.T) {
 // put items, SIGKILL every worker, then get the items back — each get
 // forces a respawn whose log replay must restore the dead shard's store.
 func TestRespawnReplayServesPrekillItems(t *testing.T) {
-	c, err := NewCoordinator(fastOpts())
+	opts := fastOpts()
+	// Full synchronous verification regardless of the env override: it is
+	// the verified reads that notice the dead workers and force the
+	// respawn-and-replay this test exists to exercise.
+	opts.VerifySample = 1
+	c, err := NewCoordinator(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,5 +242,120 @@ func TestCloseReapsAllWorkers(t *testing.T) {
 	}
 	if leaked := livePIDs(pids); len(leaked) != 0 {
 		t.Fatalf("worker PIDs %v still alive after Close", leaked)
+	}
+}
+
+// TestCloseMidRPC closes the coordinator while rpcs are in flight from many
+// goroutines. Close must win cleanly: no data race on the connection (this
+// test is the -race target for that fix), no deadlock in the draining rpcs,
+// and — because the recovery ladder is gated on closed — no worker spawned
+// after Close, so no orphaned PIDs.
+func TestCloseMidRPC(t *testing.T) {
+	c, err := NewCoordinator(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := c.WorkerPIDs()
+	gb := &graphBackend{c: c, prefix: "t/"}
+	const seeded = 8
+	for i := 0; i < seeded; i++ {
+		if err := gb.Put("receipts", gep.ItemKey{I: i}, true); err != nil {
+			t.Fatalf("seed put %d: %v", i, err)
+		}
+	}
+	// Stall every frame a little so the workers' replies are reliably still
+	// in flight when Close lands mid-exchange.
+	c.SetFrameHook(func(dir chaos.Dir, shard int, msgType string, size int) chaos.Verdict {
+		return chaos.Verdict{Delay: 2 * time.Millisecond}
+	})
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 64; i++ {
+				// Errors are expected once Close lands; what matters is
+				// that every call returns instead of deadlocking.
+				_, _ = gb.Get("receipts", gep.ItemKey{I: i % seeded})
+				_ = gb.Put("receipts", gep.ItemKey{I: 1000 + g*100 + i}, true)
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond) // let the rpcs take flight
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if leaked := livePIDs(pids); len(leaked) != 0 {
+		t.Fatalf("worker PIDs %v still alive after mid-rpc Close", leaked)
+	}
+	// The recovery ladder must not have respawned anything post-Close:
+	// WorkerPIDs reports only processes not yet reaped.
+	if after := livePIDs(c.WorkerPIDs()); len(after) != 0 {
+		t.Fatalf("worker PIDs %v spawned by recovery after Close", after)
+	}
+}
+
+// TestChaosDropsBatchFrame aims MessageDrop at putbatch frames only: losing
+// a whole batch mid-flight must cost one retry of the batch, never an item.
+// The run must still verify with zero violations.
+func TestChaosDropsBatchFrame(t *testing.T) {
+	ge, err := bench.ByName("ge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Shards: 2, Discipline: true, Options: fastOpts()}
+	res := r.Drive(ge, 64, 16, 11, &chaos.MessageDrop{Prob: 1, Times: 3, Only: "putbatch"})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Injections == 0 {
+		t.Fatal("no putbatch frame was dropped — the targeted fault never fired")
+	}
+	if res.Counters.Retries == 0 {
+		t.Fatal("batch frames dropped but no retry recorded — the loss was not absorbed by the retry rung")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("discipline violations after dropped batch frames: %v", res.Violations)
+	}
+	if res.Counters.PutFrames == 0 || res.Counters.RemotePuts == 0 {
+		t.Fatalf("no batched puts on the wire (counters %+v)", res.Counters)
+	}
+}
+
+// TestBatchedPutsReduceFrames is the tentpole's wire-level acceptance
+// check: with verified reads off (no per-get flush barriers), a run's
+// mirror puts must cross the socket in far fewer frames than ops — at
+// least 4 ops per putbatch frame on average, against the 1:1 ratio of the
+// old per-item data plane.
+func TestBatchedPutsReduceFrames(t *testing.T) {
+	ge, err := bench.ByName("ge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts()
+	opts.VerifySample = -1                  // local reads: no pre-get flush barriers
+	opts.FlushEvery = 20 * time.Millisecond // let size, not time, trigger flushes
+	r := &Runner{Shards: 2, Discipline: true, Options: opts}
+	res := r.Drive(ge, 64, 16, 3, nil)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Counters.PutFrames == 0 {
+		t.Fatalf("no putbatch frames (counters %+v)", res.Counters)
+	}
+	if ratio := float64(res.Counters.RemotePuts) / float64(res.Counters.PutFrames); ratio < 4 {
+		t.Fatalf("%d puts in %d frames (%.1f puts/frame) — batching is not amortising the round trips",
+			res.Counters.RemotePuts, res.Counters.PutFrames, ratio)
+	}
+	if res.Counters.RemoteGets != 0 {
+		t.Fatalf("%d remote gets with sampling disabled — local serving is broken", res.Counters.RemoteGets)
+	}
+	if res.Counters.LocalGets == 0 {
+		t.Fatal("no local gets recorded")
 	}
 }

@@ -85,13 +85,14 @@ func ServeWorker(socketPath string) error {
 }
 
 // serveConn answers frames until the connection dies. Request handling is
-// strictly sequential per connection — the coordinator serialises per-shard
-// traffic anyway, and sequential handling keeps the worker trivially
-// race-free.
+// strictly sequential per connection: the coordinator pipelines multiple
+// in-flight requests, but each carries its own header sequence number and
+// the coordinator demuxes replies by seq, so in-order sequential answers
+// are sufficient — and keep the worker trivially race-free.
 func serveConn(conn net.Conn, store *Store) {
 	defer conn.Close()
 	for {
-		mt, seq, payload, err := ReadFrame(conn)
+		mt, seq, payload, _, err := ReadFrame(conn)
 		if err != nil {
 			return
 		}
@@ -106,6 +107,25 @@ func serveConn(conn net.Conn, store *Store) {
 				ack.Err = err.Error()
 			}
 			reply, err = EncodeFrame(MsgAck, seq, ack)
+		case MsgPutBatch:
+			// One ack for the whole batch: empty when every op landed (or
+			// was an idempotent byte-identical replay), else the first
+			// failing op's error. Ops before a failure stay stored — any
+			// error here is terminal for the coordinator anyway.
+			var m PutBatchMsg
+			var ack AckMsg
+			if err := DecodePayload(payload, &m); err != nil {
+				ack.Err = err.Error()
+			} else {
+				for i := range m.Ops {
+					op := &m.Ops[i]
+					if err := store.Put(op.Coll, op.Key, op.Val); err != nil {
+						ack.Err = err.Error()
+						break
+					}
+				}
+			}
+			reply, err = EncodeFrame(MsgAck, seq, ack)
 		case MsgGet:
 			var m GetMsg
 			var item ItemMsg
@@ -115,6 +135,21 @@ func serveConn(conn net.Conn, store *Store) {
 				item.Val, item.Found = store.Get(m.Coll, m.Key)
 			}
 			reply, err = EncodeFrame(MsgItem, seq, item)
+		case MsgGetBatch:
+			var m GetBatchMsg
+			var batch ItemBatchMsg
+			if derr := DecodePayload(payload, &m); derr != nil {
+				// Answer every slot with the decode error so the reply
+				// still pairs Items[i] with Gets[i] by position.
+				batch.Items = []ItemMsg{{Err: derr.Error()}}
+			} else {
+				batch.Items = make([]ItemMsg, len(m.Gets))
+				for i := range m.Gets {
+					it := &batch.Items[i]
+					it.Val, it.Found = store.Get(m.Gets[i].Coll, m.Gets[i].Key)
+				}
+			}
+			reply, err = EncodeFrame(MsgItemBatch, seq, batch)
 		case MsgPing:
 			reply, err = EncodeFrame(MsgPong, seq, PongMsg{Stored: store.Len()})
 		default:
