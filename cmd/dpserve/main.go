@@ -1,0 +1,71 @@
+// Command dpserve runs the dpflow job service: a long-running HTTP server
+// that executes dynamic-programming jobs — registry benchmarks or dynamic
+// fork-join specs — on one shared executor sized to GOMAXPROCS, with
+// multi-tenant memory admission control and Prometheus metrics.
+//
+// Usage:
+//
+//	dpserve [-addr :8080] [-budget bytes] [-quota bytes] [-stall 10s] [-workers n]
+//
+// Submit a registry job:
+//
+//	curl -d '{"tenant":"t1","benchmark":"ge","n":256,"base":16,"memory_bytes":1048576}' localhost:8080/jobs
+//
+// Submit a dynamic fork-join spec (children expanded at submission, run
+// concurrently on the same shared executor):
+//
+//	curl -d '{"tenant":"t1","fork":[{"benchmark":"ge","n":128},{"benchmark":"sw","n":128,"variant":"openmp"}]}' localhost:8080/jobs
+//
+// Then poll GET /jobs/{id}, cancel with POST /jobs/{id}/cancel, and scrape
+// GET /metrics.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dpflow/internal/exec"
+	"dpflow/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	budget := flag.Int64("budget", 0, "process memory budget in bytes (0 = unlimited)")
+	quota := flag.Int64("quota", 0, "default per-tenant quota in bytes (0 = unlimited)")
+	stall := flag.Duration("stall", 10*time.Second, "per-job watchdog window (0 disables)")
+	workers := flag.Int("workers", 0, "physical workers (0 = shared GOMAXPROCS pool)")
+	flag.Parse()
+
+	cfg := serve.Config{Budget: *budget, DefaultQuota: *quota, StallWindow: *stall}
+	if *stall == 0 {
+		cfg.StallWindow = -1
+	}
+	if *workers > 0 {
+		cfg.Executor = exec.New(*workers)
+		defer cfg.Executor.Close()
+	}
+	s := serve.New(cfg)
+	defer s.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("dpserve listening on %s (budget=%d quota=%d stall=%v)", *addr, *budget, *quota, *stall)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-sig:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+}

@@ -83,6 +83,7 @@ import (
 	"sync/atomic"
 
 	"dpflow/internal/determinacy"
+	"dpflow/internal/exec"
 )
 
 // Stats is a snapshot of runtime activity, useful both for tests and for
@@ -142,13 +143,36 @@ func (e *DeadlockError) Error() string {
 // Graph.Run.
 var ErrNotRunning = errors.New("cnc: graph is not running")
 
-// Graph is a CnC context: it owns the collections, the worker pool and the
-// quiescence state. Build the collections, declare their relationships, then
-// call Run exactly once with an environment function that performs the
+// ErrConcurrentRun is returned when Run/RunContext is called while another
+// run of the same Graph is still in flight. Graphs are single-run objects;
+// server clients that want N concurrent jobs build N graphs — they all
+// multiplex onto the shared executor anyway, so there is nothing to gain
+// (and a pile of shared mutable collection state to lose) from racing two
+// runs of one instance.
+var ErrConcurrentRun = errors.New("cnc: concurrent Run on the same Graph")
+
+// ErrFinished is returned when Run/RunContext is called on a Graph that
+// already completed a run.
+var ErrFinished = errors.New("cnc: Run called twice on the same Graph")
+
+// Graph is a CnC context: it owns the collections, the dispatch lanes and
+// the quiescence state. Build the collections, declare their relationships,
+// then call Run exactly once with an environment function that performs the
 // initial puts.
+//
+// Graphs do not own worker goroutines: a run leases `workers` logical
+// workers from a shared exec.Executor (the process-wide exec.Default
+// unless WithExecutor overrides it), so N concurrent graphs multiplex onto
+// one GOMAXPROCS-sized pool instead of oversubscribing the machine.
+// Workers() is therefore a logical-concurrency cap — the number of
+// dispatch lanes and the ComputeOn pinning space — not a goroutine count.
 type Graph struct {
 	name    string
 	workers int
+
+	// executor is write-before-Run configuration: the shared pool this
+	// graph leases logical workers from; nil means exec.Default().
+	executor *exec.Executor
 
 	queue     workQueue
 	running   atomic.Bool
@@ -238,6 +262,16 @@ func NewGraph(name string, workers int) *Graph {
 // (StealRandom by default). Write-before-Run configuration, like SetHooks.
 func (g *Graph) SetStealPolicy(p StealPolicy) { g.queue.policy = p }
 
+// WithExecutor selects the shared executor the run leases its logical
+// workers from; nil (the default) means the process-wide exec.Default().
+// Dedicated executors are for harnesses that pin a physical worker count
+// (perf snapshots) and for tests that need goroutine isolation.
+// Write-before-Run configuration, like SetHooks.
+func (g *Graph) WithExecutor(e *exec.Executor) *Graph {
+	g.executor = e
+	return g
+}
+
 // WithDisciplineCheck installs a dataflow-discipline checker: every item
 // put, get and release is attributed to the step instance (or environment)
 // that issued it, double puts report both writers and whether their values
@@ -258,10 +292,16 @@ func (g *Graph) DisciplineChecker() *determinacy.DisciplineChecker { return g.di
 // Name returns the graph's name.
 func (g *Graph) Name() string { return g.name }
 
-// Workers returns the worker count the graph runs with.
+// Workers returns the graph's logical-concurrency cap: the number of
+// dispatch lanes the run leases from the shared executor, and the modulus
+// ComputeOn placements wrap at. It is not a goroutine count — physical
+// workers belong to the executor.
 func (g *Graph) Workers() int { return g.workers }
 
-// Stats returns a snapshot of the activity counters.
+// Stats returns a snapshot of the activity counters. It is safe to call
+// concurrently with a run — every counter is read atomically and the
+// memory figures come from the accountant's locked snapshot — which is how
+// the dpserve /metrics endpoint scrapes live jobs.
 func (g *Graph) Stats() Stats {
 	mem := g.acct.snapshot()
 	return Stats{
@@ -314,8 +354,31 @@ func (g *Graph) Run(env func()) error {
 // runs on the calling goroutine and should observe ctx itself if it can
 // block.
 func (g *Graph) RunContext(ctx context.Context, env func()) error {
-	if g.finished.Load() || !g.running.CompareAndSwap(false, true) {
-		return errors.New("cnc: Run called twice")
+	if g.finished.Load() {
+		return ErrFinished
+	}
+	if !g.running.CompareAndSwap(false, true) {
+		return ErrConcurrentRun
+	}
+
+	// Lease the graph's logical workers from the shared executor. The lease
+	// must be installed before the environment's first put — every push
+	// reports through q.lease.Notify — and is left in place after Close
+	// (Notify on a closed lease is a no-op).
+	ex := g.executor
+	if ex == nil {
+		ex = exec.Default()
+	}
+	lease := ex.Lease(g.name, g.workers, (*graphSource)(g))
+	g.queue.lease = lease
+
+	// A context cancelled before the run starts must fail the run
+	// deterministically: the monitor goroutine races the executor draining
+	// the graph (unlike the old dedicated workers, the shared pool is
+	// already awake), so check synchronously before the first put.
+	if err := ctx.Err(); err != nil {
+		g.fail(err)
+		g.cancelled.Store(true)
 	}
 
 	stopMonitor := make(chan struct{})
@@ -334,24 +397,6 @@ func (g *Graph) RunContext(ctx context.Context, env func()) error {
 			case <-stopMonitor:
 			}
 		}()
-	}
-
-	var wg sync.WaitGroup
-	wg.Add(g.workers)
-	for i := 0; i < g.workers; i++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				w, ok := g.queue.pop(worker)
-				if !ok {
-					return
-				}
-				// Cancellation is checked per dispatched unit inside
-				// StepCollection.execute, which also covers inline and
-				// pinned dispatch paths that never pass through here.
-				w.run()
-			}
-		}(i)
 	}
 
 	// The environment counts as outstanding work while it runs so that the
@@ -374,10 +419,13 @@ func (g *Graph) RunContext(ctx context.Context, env func()) error {
 	}
 	g.quiesceMu.Unlock()
 
-	g.running.Store(false)
+	// Quiescence means the lanes are empty (every queued unit holds the
+	// graph open), so closing the lease only waits for in-flight slot
+	// claims to notice and return. finished is set before running so a
+	// racing RunContext can never slip between the two guards.
 	g.finished.Store(true)
-	g.queue.close()
-	wg.Wait()
+	g.running.Store(false)
+	lease.Close()
 	close(stopMonitor)
 
 	// End-of-run backend barrier: a batching backend (internal/dist) may
@@ -391,6 +439,16 @@ func (g *Graph) RunContext(ctx context.Context, env func()) error {
 	g.failMu.Lock()
 	defer g.failMu.Unlock()
 	return g.err
+}
+
+// graphSource adapts a Graph to the executor's Source interface without
+// allocating (a named pointer type boxes for free). Cancellation is
+// checked per dispatched unit inside StepCollection.execute, which also
+// covers inline and pinned dispatch paths that never pass through here.
+type graphSource Graph
+
+func (s *graphSource) RunSlot(slot, budget int) int {
+	return (*Graph)(s).queue.runSlot(slot, budget)
 }
 
 func (g *Graph) fail(err error) {

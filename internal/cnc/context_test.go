@@ -12,12 +12,14 @@ import (
 	"time"
 
 	"dpflow/internal/determinacy"
+	"dpflow/internal/exec"
 )
 
 // A cancelled RunContext must return ctx.Err() promptly — well under any
 // watchdog window — even while the graph keeps generating work, and must
 // not leak goroutines.
 func TestRunContextCancellation(t *testing.T) {
+	exec.Default() // the shared pool is process-lifetime, not a leak
 	before := runtime.NumGoroutine()
 
 	g := NewGraph("cancel", 4)
@@ -166,6 +168,7 @@ func TestWithRetryAbsorbsTransientFailures(t *testing.T) {
 // failed attempt releases nothing, so cancelling between attempts can never
 // double-decrement a count or free an item early.
 func TestWithRetryCancellationMidRetry(t *testing.T) {
+	exec.Default() // the shared pool is process-lifetime, not a leak
 	before := runtime.NumGoroutine()
 
 	dc := determinacy.NewDisciplineChecker()

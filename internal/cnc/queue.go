@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+
+	"dpflow/internal/exec"
 )
 
 // StealPolicy selects how an idle worker picks steal victims — the same
@@ -83,21 +85,19 @@ func (r *ring) popFront() (runnable, bool) {
 	return w, true
 }
 
-// workerLane is one worker's share of the work pool: a pinned FIFO for
-// ComputeOn placements (only the owner may run those), a general queue
-// other workers may steal from, a buffered wake token, and the owner's
-// victim-order RNG.
+// workerLane is one logical worker's share of the work pool: a pinned FIFO
+// for ComputeOn placements (only the owner may run those), a general queue
+// other workers may steal from, and the owner's victim-order RNG.
 type workerLane struct {
 	mu     sync.Mutex
 	pinned ring // ComputeOn work; strictly FIFO, owner-only
 	queue  ring // general work; owner and thieves both take oldest-first
-	wake   chan struct{}
 	rng    *rand.Rand // victim order; touched only by the owning worker
 }
 
-// workQueue is the runtime's work pool: per-worker lanes with randomized
-// work stealing, replacing the seed's single mutex-guarded global FIFO
-// whose every push cond.Broadcast()ed all workers.
+// workQueue is the runtime's work pool: per-logical-worker lanes with
+// randomized work stealing, replacing the seed's single mutex-guarded
+// global FIFO whose every push cond.Broadcast()ed all workers.
 //
 // Placement: pinned work (ComputeOn) goes to its designated worker's
 // pinned FIFO and runs only there, preserving the per-worker put-order
@@ -109,27 +109,24 @@ type workerLane struct {
 // requires queue fairness — owner-LIFO would let a single worker re-pop
 // its own re-put forever.
 //
-// Sleep/wake protocol (lost-wakeup-free): a worker that finds nothing —
-// own pinned, own queue, steal sweep — registers itself in the parked set
-// under parkMu, probes everything once more, and only then blocks on its
-// wake token. A pusher enqueues first and wakes second, so it either
-// completed the enqueue before the worker's post-registration probe (the
-// probe finds the item: both sides synchronise on the lane mutex) or it
-// observes the registration and hands the worker a token. Tokens are
-// buffered (capacity 1) so a wake sent before the worker actually blocks
-// is retained, and a stale token at worst causes one spurious re-probe.
-// Each push wakes at most one worker — the pinned target, or any parked
-// worker for stealable work — so puts stop paying the seed's
-// workers×puts thundering-herd broadcast bill (counted in Stats.Wakeups).
+// Idleness is no longer handled here: since the shared-executor refactor
+// the lanes are drained by exec.Executor physical workers claiming the
+// graph's lease slots (one lane per slot), and every push reports new work
+// through the lease's dirty-bit Notify seam. The lost-wakeup argument
+// moved with the park protocol into internal/exec: a push completes its
+// enqueue (under the lane mutex) before Notify, and the executor clears
+// dirty bits only before re-scanning, so work is never stranded. Each push
+// still produces at most one counted wake (Stats.Wakeups), preserving the
+// PR 4 targeted-signal bound of wakeups ≤ dispatches.
 type workQueue struct {
 	lanes  []*workerLane
 	policy StealPolicy
 
-	parkMu   sync.Mutex
-	parked   []int // ids of parked workers, most recently parked last
-	isParked []bool
-	closed   bool
-	nParked  atomic.Int32 // mirror of len(parked) for the push fast path
+	// lease is the graph's reservation on the shared executor, set by
+	// RunContext before the environment's first put and left in place after
+	// the run (Notify on a closed lease is a no-op, so late pushes from
+	// stray goroutines cannot race a nil check).
+	lease *exec.Lease
 
 	nextPush atomic.Uint64 // round-robin placement cursor
 
@@ -141,33 +138,42 @@ type workQueue struct {
 func (q *workQueue) init(workers int, policy StealPolicy, seed int64) {
 	q.policy = policy
 	q.lanes = make([]*workerLane, workers)
-	q.isParked = make([]bool, workers)
 	for i := range q.lanes {
 		q.lanes[i] = &workerLane{
-			wake: make(chan struct{}, 1),
-			rng:  rand.New(rand.NewSource(seed + int64(i)*7919 + 1)),
+			rng: rand.New(rand.NewSource(seed + int64(i)*7919 + 1)),
+		}
+	}
+}
+
+// notify reports new work on the given lane to the executor lease. Counted
+// wakeups are the ones that actually roused a parked physical worker — the
+// client-visible wake bill the sched harness gates on.
+func (q *workQueue) notify(slot int) {
+	if l := q.lease; l != nil {
+		if l.Notify(slot) {
+			q.wakeups.Add(1)
 		}
 	}
 }
 
 // push enqueues stealable work on the next lane in round-robin order and
-// wakes at most one parked worker.
+// notifies the executor (waking at most one parked physical worker).
 func (q *workQueue) push(w runnable) {
 	t := int(q.nextPush.Add(1) % uint64(len(q.lanes)))
 	lane := q.lanes[t]
 	lane.mu.Lock()
 	lane.queue.pushBack(w)
 	lane.mu.Unlock()
-	q.wakeAny(t)
+	q.notify(t)
 }
 
 // pushBatch enqueues a burst of stealable work, distributing it round-robin
-// across the lanes with one lock acquisition per lane, and then signals
-// parked workers once for the whole burst instead of once per item: at most
-// min(len(ws), parked) wake tokens are sent. This is the dispatch
+// across the lanes with one lock acquisition per lane, and then notifies
+// once per touched lane instead of once per item: at most
+// min(len(ws), lanes) wakes for the whole burst. This is the dispatch
 // amortisation behind TagCollection.PutRange and Burst — a GE elimination
-// phase that puts hundreds of tags pays a handful of lock/wake operations
-// rather than hundreds.
+// phase that puts hundreds of tags pays a handful of lock/notify
+// operations rather than hundreds.
 func (q *workQueue) pushBatch(ws []runnable) {
 	if len(ws) == 0 {
 		return
@@ -182,103 +188,20 @@ func (q *workQueue) pushBatch(ws []runnable) {
 		}
 		lane.mu.Unlock()
 	}
-	q.wakeBatch(len(ws))
+	for off := 0; off < n && off < len(ws); off++ {
+		q.notify((start + off) % n)
+	}
 }
 
-// pushLocal enqueues pinned work for one worker and wakes that worker
-// specifically — nobody else can run it.
+// pushLocal enqueues pinned work for one logical worker and notifies with
+// that slot as the hint — nobody else can run it, and the executor's
+// dirty-slot pass guarantees the hinted slot is eventually claimed.
 func (q *workQueue) pushLocal(worker int, w runnable) {
 	lane := q.lanes[worker]
 	lane.mu.Lock()
 	lane.pinned.pushBack(w)
 	lane.mu.Unlock()
-	q.wakeWorker(worker)
-}
-
-// wakeAny wakes one parked worker, preferring the lane owner the item was
-// placed on. No-op when nobody is parked (the common busy-graph case,
-// checked without taking parkMu).
-func (q *workQueue) wakeAny(preferred int) {
-	if q.nParked.Load() == 0 {
-		return
-	}
-	q.parkMu.Lock()
-	chosen := -1
-	if q.isParked[preferred] {
-		chosen = preferred
-	} else if n := len(q.parked); n > 0 {
-		chosen = q.parked[n-1]
-	}
-	if chosen >= 0 {
-		q.removeParkedLocked(chosen)
-	}
-	q.parkMu.Unlock()
-	if chosen >= 0 {
-		q.sendWake(chosen)
-	}
-}
-
-// wakeBatch wakes up to n parked workers in one parkMu pass — the burst
-// analogue of wakeAny. Most recently parked workers are woken first (their
-// stacks are warmest). The same lost-wakeup argument as wakeAny applies:
-// pushBatch completes every enqueue before calling here, so a worker that
-// parks between the enqueue and the wake either re-probes and finds the
-// work or is in the parked set and receives a token.
-func (q *workQueue) wakeBatch(n int) {
-	if n <= 0 || q.nParked.Load() == 0 {
-		return
-	}
-	var buf [64]int
-	if n > len(buf) {
-		n = len(buf)
-	}
-	m := 0
-	q.parkMu.Lock()
-	for m < n && len(q.parked) > 0 {
-		id := q.parked[len(q.parked)-1]
-		q.removeParkedLocked(id)
-		buf[m] = id
-		m++
-	}
-	q.parkMu.Unlock()
-	for i := 0; i < m; i++ {
-		q.sendWake(buf[i])
-	}
-}
-
-// wakeWorker wakes the given worker iff it is parked.
-func (q *workQueue) wakeWorker(worker int) {
-	if q.nParked.Load() == 0 {
-		return
-	}
-	q.parkMu.Lock()
-	ok := q.isParked[worker]
-	if ok {
-		q.removeParkedLocked(worker)
-	}
-	q.parkMu.Unlock()
-	if ok {
-		q.sendWake(worker)
-	}
-}
-
-func (q *workQueue) sendWake(worker int) {
-	q.wakeups.Add(1)
-	select {
-	case q.lanes[worker].wake <- struct{}{}:
-	default: // a token is already pending; the worker will wake anyway
-	}
-}
-
-func (q *workQueue) removeParkedLocked(worker int) {
-	q.isParked[worker] = false
-	q.nParked.Add(-1)
-	for i, id := range q.parked {
-		if id == worker {
-			q.parked = append(q.parked[:i], q.parked[i+1:]...)
-			return
-		}
-	}
+	q.notify(worker)
 }
 
 // take attempts to acquire one unit of work without blocking: the
@@ -334,62 +257,21 @@ func (q *workQueue) steal(worker int) runnable {
 	return nil
 }
 
-// pop returns the next unit for the given worker, blocking until work
-// arrives or the queue closes. On close it keeps returning remaining work
-// (pinned first, then anything stealable) until none is left.
-func (q *workQueue) pop(worker int) (runnable, bool) {
-	lane := q.lanes[worker]
-	for {
-		if w, ok := q.take(worker); ok {
-			return w, true
+// runSlot is the executor-facing drain loop: run up to budget units
+// available to the given logical worker — own pinned FIFO first, then own
+// queue, then steals — returning as soon as nothing is runnable. The
+// executor guarantees single-claim per slot, so the per-lane pinned-order
+// and owner-RNG disciplines are preserved exactly as under the old
+// dedicated worker goroutines.
+func (q *workQueue) runSlot(slot, budget int) int {
+	n := 0
+	for n < budget {
+		w, ok := q.take(slot)
+		if !ok {
+			break
 		}
-		// Register as parked, then probe once more before sleeping: a
-		// pusher that missed the registration finished its enqueue first,
-		// so this probe sees the item; a pusher that saw it leaves a token.
-		q.parkMu.Lock()
-		if q.closed {
-			q.parkMu.Unlock()
-			return q.take(worker)
-		}
-		q.isParked[worker] = true
-		q.parked = append(q.parked, worker)
-		q.nParked.Add(1)
-		q.parkMu.Unlock()
-		if w, ok := q.take(worker); ok {
-			q.cancelPark(worker)
-			return w, true
-		}
-		<-lane.wake
-		// A stale token (left by a wake that raced with cancelPark) can
-		// deliver before anyone deregistered us: always deregister here so
-		// the parked set never holds a running worker.
-		q.cancelPark(worker)
+		w.run()
+		n++
 	}
-}
-
-// cancelPark deregisters the worker if a waker has not already done so.
-func (q *workQueue) cancelPark(worker int) {
-	q.parkMu.Lock()
-	if q.isParked[worker] {
-		q.removeParkedLocked(worker)
-	}
-	q.parkMu.Unlock()
-}
-
-func (q *workQueue) close() {
-	q.parkMu.Lock()
-	q.closed = true
-	ws := append([]int(nil), q.parked...)
-	for _, id := range ws {
-		q.removeParkedLocked(id)
-	}
-	q.parkMu.Unlock()
-	for _, id := range ws {
-		// Shutdown wakeups are not counted in Stats.Wakeups: the counter
-		// measures dispatch-path signalling, not teardown.
-		select {
-		case q.lanes[id].wake <- struct{}{}:
-		default:
-		}
-	}
+	return n
 }

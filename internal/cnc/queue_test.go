@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"dpflow/internal/exec"
 )
 
 // TestQueuePinnedBeforeGlobalOrder checks the dispatch-order guarantee the
@@ -19,12 +21,8 @@ func TestQueuePinnedBeforeGlobalOrder(t *testing.T) {
 	q.push(rec(99))
 	q.pushLocal(0, rec(2))
 	q.pushLocal(0, rec(3))
-	for i := 0; i < 4; i++ {
-		w, ok := q.pop(0)
-		if !ok {
-			t.Fatalf("pop %d: queue reported closed", i)
-		}
-		w.run()
+	if n := q.runSlot(0, 16); n != 4 {
+		t.Fatalf("runSlot drained %d units, want 4", n)
 	}
 	want := []int{1, 2, 3, 99}
 	for i := range want {
@@ -72,8 +70,8 @@ func TestQueueStealCounters(t *testing.T) {
 }
 
 // TestQueueQuiesceOneWorker checks the deterministic single-worker
-// contract: every pushed unit pops exactly once, in FIFO order per lane,
-// and close() ends the pop loop with nothing retained.
+// contract: every pushed unit runs exactly once, in FIFO order per lane,
+// and a drained queue reports no phantom work.
 func TestQueueQuiesceOneWorker(t *testing.T) {
 	var q workQueue
 	q.init(1, StealRandom, 1)
@@ -82,109 +80,69 @@ func TestQueueQuiesceOneWorker(t *testing.T) {
 	for i := 0; i < n; i++ {
 		q.push(funcTask(func() { got++ }))
 	}
-	for i := 0; i < n; i++ {
-		w, ok := q.pop(0)
-		if !ok {
-			t.Fatalf("pop %d: queue reported closed early", i)
-		}
-		w.run()
+	if ran := q.runSlot(0, n); ran != n {
+		t.Fatalf("runSlot drained %d units, want %d", ran, n)
 	}
-	q.close()
-	if _, ok := q.pop(0); ok {
-		t.Fatal("pop after close on empty queue returned work")
+	if _, ok := q.take(0); ok {
+		t.Fatal("take on drained queue returned work")
 	}
 	if got != n {
 		t.Fatalf("executed %d units, want %d", got, n)
 	}
 }
 
-// TestQueueCloseWakesAllParked parks every worker on an empty queue, then
-// closes it: all must return promptly (shutdown is lost-wakeup-free too).
-func TestQueueCloseWakesAllParked(t *testing.T) {
-	var q workQueue
-	const workers = 4
-	q.init(workers, StealRandom, 1)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func(id int) {
-			defer wg.Done()
-			if _, ok := q.pop(id); ok {
-				t.Errorf("worker %d got work from an empty closed queue", id)
-			}
-		}(i)
-	}
-	for q.nParked.Load() != workers {
-		time.Sleep(time.Millisecond)
-	}
-	q.close()
-	done := make(chan struct{})
-	go func() { wg.Wait(); close(done) }()
-	select {
-	case <-done:
-	case <-time.After(5 * time.Second):
-		t.Fatal("parked workers did not wake on close")
-	}
-}
+// laneSource adapts a workQueue to exec.Source for the lease-seam tests
+// below: the same wiring graphSource does for a real Graph.
+type laneSource struct{ q *workQueue }
 
-// TestQueueNoLostWakeup ping-pongs a single item between a producer and a
-// consumer that goes fully idle between items — the tightest race between
-// a put and a worker parking. A lost wakeup hangs the test.
-func TestQueueNoLostWakeup(t *testing.T) {
+func (s laneSource) RunSlot(slot, budget int) int { return s.q.runSlot(slot, budget) }
+
+// TestQueueLeaseNoLostWakeup ping-pongs a single item through the full
+// push → Notify → executor-claim → runSlot path with the consumer side
+// fully idle between items — the tightest race between a put and a
+// physical worker parking. A lost wakeup hangs the test.
+func TestQueueLeaseNoLostWakeup(t *testing.T) {
+	e := exec.New(1)
+	defer e.Close()
 	var q workQueue
 	q.init(1, StealRandom, 1)
+	q.lease = e.Lease("q", 1, laneSource{&q})
+	defer q.lease.Close()
 	const rounds = 5000
-	ran := make(chan struct{})
-	go func() {
-		for {
-			w, ok := q.pop(0)
-			if !ok {
-				return
-			}
-			w.run()
-		}
-	}()
+	ran := make(chan struct{}, 1)
 	for i := 0; i < rounds; i++ {
 		q.push(funcTask(func() { ran <- struct{}{} }))
 		select {
 		case <-ran:
 		case <-time.After(10 * time.Second):
-			t.Fatalf("round %d: wakeup lost (consumer never ran the item)", i)
+			t.Fatalf("round %d: wakeup lost (the item never ran)", i)
 		}
 	}
-	q.close()
 }
 
-// TestQueueConcurrentStress hammers push/pushLocal/pop/steal from many
-// goroutines (run under -race in CI): every unit must execute exactly
-// once, pinned units on their designated worker only.
+// TestQueueConcurrentStress hammers push/pushLocal/steal through a real
+// executor lease from many pushers (run under -race in CI): every unit
+// must execute exactly once, pinned units on their designated logical
+// worker only. Slot-claim exclusivity stands in for the old per-worker
+// goroutines: current[slot] counts claims inside RunSlot(slot).
 func TestQueueConcurrentStress(t *testing.T) {
-	var q workQueue
 	const workers = 4
 	const pushers = 4
 	const perPusher = 2000
+	e := exec.New(workers)
+	defer e.Close()
+	var q workQueue
 	q.init(workers, StealRandom, 1)
 
-	// workerID[g] is set by each consumer goroutine so a pinned unit can
-	// verify it ran on the right worker.
 	var current [workers]atomic.Int32
 	var executed, pinnedWrong atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func(id int) {
-			defer wg.Done()
-			for {
-				w, ok := q.pop(id)
-				if !ok {
-					return
-				}
-				current[id].Add(1)
-				w.run()
-				current[id].Add(-1)
-			}
-		}(i)
-	}
+	src := funcSource(func(slot, budget int) int {
+		current[slot].Add(1)
+		n := q.runSlot(slot, budget)
+		current[slot].Add(-1)
+		return n
+	})
+	q.lease = e.Lease("stress", workers, src)
 
 	var pwg sync.WaitGroup
 	pwg.Add(pushers)
@@ -215,15 +173,19 @@ func TestQueueConcurrentStress(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	q.close()
-	wg.Wait()
+	q.lease.Close()
 	if n := pinnedWrong.Load(); n != 0 {
-		t.Fatalf("%d pinned unit(s) observed their designated worker idle", n)
+		t.Fatalf("%d pinned unit(s) observed their designated slot unclaimed", n)
 	}
 	if got := q.steals.Load() + q.wakeups.Load(); got == 0 {
 		t.Fatal("stress run recorded neither steals nor wakeups — counters dead?")
 	}
 }
+
+// funcSource adapts a function to exec.Source.
+type funcSource func(slot, budget int) int
+
+func (f funcSource) RunSlot(slot, budget int) int { return f(slot, budget) }
 
 // TestRingReusesBacking is the allocation-bound regression test for the
 // re-slicing leak the seed queues had (`q.items = q.items[1:]` kept dead

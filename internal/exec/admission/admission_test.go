@@ -1,0 +1,287 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustAdmit(t *testing.T, tn *Tenant, bytes int64) *Grant {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	g, err := tn.Admit(ctx, bytes)
+	if err != nil {
+		t.Fatalf("Admit(%d) = %v", bytes, err)
+	}
+	return g
+}
+
+func TestAdmitWithinBudget(t *testing.T) {
+	c := New(100)
+	tn := c.Tenant("a", 0)
+	g1 := mustAdmit(t, tn, 60)
+	g2 := mustAdmit(t, tn, 40)
+	if g1.Degraded() || g2.Degraded() {
+		t.Fatal("in-budget admissions marked degraded")
+	}
+	s := c.Stats()
+	if s.Reserved != 100 || s.Admitted != 2 || s.Degradations != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	g1.Release()
+	g2.Release()
+	if s := c.Stats(); s.Reserved != 0 || s.Released != 2 {
+		t.Fatalf("after release: %+v", s)
+	}
+}
+
+// A reservation that does not fit waits until a release makes room, and
+// the sum of live reservations never exceeds the budget.
+func TestAdmitBackpressure(t *testing.T) {
+	c := New(100)
+	tn := c.Tenant("a", 0)
+	g1 := mustAdmit(t, tn, 80)
+
+	admitted := make(chan *Grant)
+	go func() {
+		g, err := tn.Admit(context.Background(), 50)
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- g
+	}()
+	// The 50 must be queued, not admitted: 80+50 > 100.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-admitted:
+		t.Fatal("reservation admitted over budget")
+	default:
+	}
+	if s := c.Stats(); s.QueueDepth != 1 {
+		t.Fatalf("queue depth = %d, want 1", s.QueueDepth)
+	}
+	g1.Release()
+	g2 := <-admitted
+	if g2.Degraded() {
+		t.Fatal("normally admitted reservation marked degraded")
+	}
+	if s := c.Stats(); s.Reserved != 50 || s.QueueDepth != 0 {
+		t.Fatalf("after pump: %+v", s)
+	}
+	g2.Release()
+}
+
+// Admission is strict FIFO: a small job that fits cannot jump a queued
+// big job.
+func TestAdmitFIFONoStarvation(t *testing.T) {
+	c := New(100)
+	tn := c.Tenant("a", 0)
+	g1 := mustAdmit(t, tn, 80)
+
+	var order []int
+	var mu sync.Mutex
+	record := func(i int) {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	big := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(big) // queued first
+		g, _ := tn.Admit(context.Background(), 95)
+		record(1)
+		g.Release()
+	}()
+	<-big
+	time.Sleep(20 * time.Millisecond) // let the 90 reach the queue
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g, _ := tn.Admit(context.Background(), 10) // would fit right now
+		record(2)
+		g.Release()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if s := c.Stats(); s.QueueDepth != 2 {
+		t.Fatalf("queue depth = %d, want 2 (small job must queue behind big)", s.QueueDepth)
+	}
+	g1.Release()
+	wg.Wait()
+	if len(order) != 2 || order[0] != 1 {
+		t.Fatalf("admission order = %v, want the big job first", order)
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	c := New(0) // unlimited process budget: quota-only arbitration
+	a := c.Tenant("a", 50)
+	b := c.Tenant("b", 50)
+	ga := mustAdmit(t, a, 50)
+	// Tenant b is unaffected by a's full quota.
+	gb := mustAdmit(t, b, 50)
+	// a's next reservation waits for a's own release.
+	admitted := make(chan struct{})
+	go func() {
+		g, _ := a.Admit(context.Background(), 10)
+		close(admitted)
+		g.Release()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-admitted:
+		t.Fatal("tenant exceeded its quota")
+	default:
+	}
+	ga.Release()
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("release did not unblock the tenant's waiter")
+	}
+	gb.Release()
+}
+
+// A reservation larger than the process budget is force-admitted once the
+// controller drains, counted as a degradation — never deadlocked.
+func TestDegradationOverBudget(t *testing.T) {
+	c := New(100)
+	tn := c.Tenant("a", 0)
+	g1 := mustAdmit(t, tn, 30)
+	admitted := make(chan *Grant)
+	go func() {
+		g, err := tn.Admit(context.Background(), 500)
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- g
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-admitted:
+		t.Fatal("hopeless reservation admitted while others still run")
+	default:
+	}
+	g1.Release() // drains the controller: force-admission fires
+	var g2 *Grant
+	select {
+	case g2 = <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hopeless reservation never force-admitted (deadlock)")
+	}
+	if !g2.Degraded() {
+		t.Fatal("forced admission not marked degraded")
+	}
+	if s := c.Stats(); s.Degradations != 1 {
+		t.Fatalf("degradations = %d, want 1", s.Degradations)
+	}
+	g2.Release()
+	if s := c.Stats(); s.Reserved != 0 {
+		t.Fatalf("reserved = %d after all releases", s.Reserved)
+	}
+}
+
+// A reservation larger than its tenant quota degrades once the tenant
+// drains, without waiting for unrelated tenants.
+func TestDegradationOverQuota(t *testing.T) {
+	c := New(1000)
+	a := c.Tenant("a", 50)
+	b := c.Tenant("b", 0)
+	gb := mustAdmit(t, b, 100) // unrelated live reservation
+	g := mustAdmit(t, a, 90)   // > a's quota; a has nothing out
+	if !g.Degraded() {
+		t.Fatal("over-quota admission with idle tenant not degraded")
+	}
+	g.Release()
+	gb.Release()
+}
+
+func TestAdmitCancellation(t *testing.T) {
+	c := New(100)
+	tn := c.Tenant("a", 0)
+	g1 := mustAdmit(t, tn, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error)
+	go func() {
+		_, err := tn.Admit(ctx, 50)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("cancelled Admit = %v, want context.Canceled", err)
+	}
+	if s := c.Stats(); s.QueueDepth != 0 {
+		t.Fatalf("queue depth = %d after cancellation", s.QueueDepth)
+	}
+	// A cancelled head must not wedge the queue for the next waiter.
+	admitted := make(chan struct{})
+	go func() {
+		g, _ := tn.Admit(context.Background(), 50)
+		close(admitted)
+		defer g.Release()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	g1.Release()
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queue wedged after a cancelled waiter")
+	}
+}
+
+// Concurrent stress: reservations from many goroutines never exceed the
+// budget (checked at every admission) and all eventually complete.
+func TestAdmitConcurrentNeverOverBudget(t *testing.T) {
+	const budget = 1000
+	c := New(budget)
+	tn := c.Tenant("a", 0)
+	var live atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			size := int64(100 + 10*(i%5))
+			g, err := tn.Admit(context.Background(), size)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if now := live.Add(size); now > budget {
+				t.Errorf("live reservations %d exceed budget %d", now, budget)
+			}
+			time.Sleep(time.Millisecond)
+			live.Add(-size)
+			g.Release()
+		}(i)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Reserved != 0 || s.Degradations != 0 {
+		t.Fatalf("final stats: %+v", s)
+	}
+	if s.MaxQueueDepth == 0 {
+		t.Fatal("stress run never queued — budget contention untested")
+	}
+}
+
+func TestUnsizedJobsBypass(t *testing.T) {
+	c := New(10)
+	tn := c.Tenant("a", 0)
+	g1 := mustAdmit(t, tn, 10)
+	g2 := mustAdmit(t, tn, 0) // unsized: no reservation to arbitrate
+	if g2.Bytes() != 0 {
+		t.Fatalf("unsized grant bytes = %d", g2.Bytes())
+	}
+	g2.Release()
+	g1.Release()
+	if s := c.Stats(); s.Reserved != 0 {
+		t.Fatalf("reserved = %d", s.Reserved)
+	}
+}

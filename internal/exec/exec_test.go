@@ -1,0 +1,243 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chanSource is a minimal Source over per-slot FIFO queues. When steal is
+// set, any slot may also drain other slots' queues (modelling stealable
+// work); otherwise work is runnable only on its own slot (modelling
+// ComputeOn pinning).
+type chanSource struct {
+	mu    sync.Mutex
+	qs    [][]func()
+	steal bool
+	ran   atomic.Int64
+}
+
+func newChanSource(slots int, steal bool) *chanSource {
+	return &chanSource{qs: make([][]func(), slots), steal: steal}
+}
+
+func (s *chanSource) push(slot int, f func()) {
+	s.mu.Lock()
+	s.qs[slot] = append(s.qs[slot], f)
+	s.mu.Unlock()
+}
+
+func (s *chanSource) pop(slot int) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.qs[slot]) > 0 {
+		f := s.qs[slot][0]
+		s.qs[slot] = s.qs[slot][1:]
+		return f
+	}
+	if s.steal {
+		for i := range s.qs {
+			if len(s.qs[i]) > 0 {
+				f := s.qs[i][0]
+				s.qs[i] = s.qs[i][1:]
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func (s *chanSource) RunSlot(slot, budget int) int {
+	n := 0
+	for n < budget {
+		f := s.pop(slot)
+		if f == nil {
+			break
+		}
+		f()
+		s.ran.Add(1)
+		n++
+	}
+	return n
+}
+
+func TestExecutorRunsAllWork(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	src := newChanSource(4, true)
+	l := e.Lease("t", 4, src)
+	defer l.Close()
+
+	const total = 1000
+	var done sync.WaitGroup
+	done.Add(total)
+	for i := 0; i < total; i++ {
+		slot := i % 4
+		src.push(slot, func() { done.Done() })
+		l.Notify(slot)
+	}
+	waitDone(t, &done, 5*time.Second, "work did not complete")
+	if got := src.ran.Load(); got != total {
+		t.Fatalf("ran %d, want %d", got, total)
+	}
+}
+
+// TestExecutorNoLostWakeup ping-pongs single items with full quiescence in
+// between, the pattern most likely to race Notify against a parking worker.
+func TestExecutorNoLostWakeup(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	src := newChanSource(1, false)
+	l := e.Lease("t", 1, src)
+	defer l.Close()
+
+	for i := 0; i < 2000; i++ {
+		ch := make(chan struct{})
+		src.push(0, func() { close(ch) })
+		l.Notify(0)
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: item never ran (lost wakeup)", i)
+		}
+	}
+}
+
+// TestExecutorPinnedSlotServed verifies work runnable only on its hinted
+// slot is served even when other leases keep the executor busy.
+func TestExecutorPinnedSlotServed(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+
+	// A noisy lease that keeps generating work.
+	noisy := newChanSource(2, true)
+	nl := e.Lease("noisy", 2, noisy)
+	defer nl.Close()
+	stop := atomic.Bool{}
+	var refill func()
+	refill = func() {
+		if !stop.Load() {
+			noisy.push(0, refill)
+			nl.Notify(0)
+		}
+	}
+	noisy.push(0, refill)
+	nl.Notify(0)
+	defer stop.Store(true)
+
+	// Pinned work on slot 3 of a 4-slot non-stealing lease.
+	pinned := newChanSource(4, false)
+	pl := e.Lease("pinned", 4, pinned)
+	defer pl.Close()
+	for i := 0; i < 100; i++ {
+		ch := make(chan struct{})
+		pinned.push(3, func() { close(ch) })
+		pl.Notify(3)
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: pinned work starved", i)
+		}
+	}
+}
+
+// TestExecutorMultiLeaseCompletion runs many leases concurrently and
+// verifies every one finishes, with goroutines bounded by the pool.
+func TestExecutorMultiLeaseCompletion(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	before := runtime.NumGoroutine()
+
+	const leases, perLease = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < leases; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := newChanSource(4, true)
+			l := e.Lease("t", 4, src)
+			defer l.Close()
+			var done sync.WaitGroup
+			done.Add(perLease)
+			for j := 0; j < perLease; j++ {
+				slot := j % 4
+				src.push(slot, func() { done.Done() })
+				l.Notify(slot)
+			}
+			waitDone(t, &done, 10*time.Second, "lease work did not complete")
+		}()
+	}
+	wg.Wait()
+
+	after := runtime.NumGoroutine()
+	if after > before+leases {
+		t.Fatalf("goroutines grew from %d to %d: not bounded by pool + O(leases)", before, after)
+	}
+	st := e.Stats()
+	if st.Units < leases*perLease {
+		t.Fatalf("executor ran %d units, want >= %d", st.Units, leases*perLease)
+	}
+	if st.Leases != 0 {
+		t.Fatalf("leases still registered after close: %d", st.Leases)
+	}
+}
+
+// TestLeaseCloseDrains verifies that after Close returns the executor
+// never calls RunSlot again, even with work still queued.
+func TestLeaseCloseDrains(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	src := newChanSource(2, true)
+	l := e.Lease("t", 2, src)
+	for i := 0; i < 100; i++ {
+		src.push(i%2, func() { time.Sleep(100 * time.Microsecond) })
+		l.Notify(i % 2)
+	}
+	l.Close()
+	ranAtClose := src.ran.Load()
+	time.Sleep(50 * time.Millisecond)
+	if got := src.ran.Load(); got != ranAtClose {
+		t.Fatalf("RunSlot called after Close: %d -> %d", ranAtClose, got)
+	}
+	l.Close() // idempotent
+}
+
+// TestExecutorCloseJoinsWorkers verifies Close wakes parked workers and
+// joins them.
+func TestExecutorCloseJoinsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := New(4)
+	// Let workers reach their parked state.
+	time.Sleep(20 * time.Millisecond)
+	e.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("worker goroutines leaked: %d -> %d", before, after)
+	}
+}
+
+func TestDefaultSingleton(t *testing.T) {
+	a, b := Default(), Default()
+	if a != b {
+		t.Fatal("Default not a singleton")
+	}
+	if a.Workers() < 1 {
+		t.Fatalf("default workers = %d", a.Workers())
+	}
+}
+
+func waitDone(t *testing.T, wg *sync.WaitGroup, d time.Duration, msg string) {
+	t.Helper()
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	select {
+	case <-ch:
+	case <-time.After(d):
+		t.Fatal(msg)
+	}
+}

@@ -1,7 +1,10 @@
 // Package forkjoin implements the fork-join execution model the paper's
-// OpenMP benchmarks use: a fixed pool of workers with per-worker task deques
-// and work stealing, plus task groups whose Wait method is the analogue of
-// "#pragma omp taskwait" (and of cilk_sync).
+// OpenMP benchmarks use: per-worker task deques with work stealing, plus
+// task groups whose Wait method is the analogue of "#pragma omp taskwait"
+// (and of cilk_sync). A Pool's workers are logical: execution is leased
+// from the process-wide shared executor (internal/exec), so any number of
+// pools — and any mix of pools and CnC graphs — multiplex onto GOMAXPROCS
+// physical workers without oversubscription.
 //
 // The structural property under study — joins acting as barriers over all
 // spawned children and thereby introducing artificial dependencies — is
@@ -15,10 +18,17 @@
 // stealing the oldest and typically largest sub-computations). A worker
 // blocked in Wait helps by draining its own deque and stealing, so waiting
 // never idles a worker that could make progress.
+//
+// Because physical workers are shared, tasks must not block the worker
+// waiting on other tasks except through Wait (which helps): a sibling
+// barrier inside two tasks can deadlock when one physical worker runs both
+// back to back — the same discipline TBB and Java's ForkJoinPool impose.
+// Kernels that merely compute (every DP benchmark here) are unaffected.
 package forkjoin
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -26,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"dpflow/internal/determinacy"
+	"dpflow/internal/exec"
 )
 
 // Task is a unit of work. The Ctx identifies the worker executing the task
@@ -65,6 +76,14 @@ type runState struct {
 // re-raises its own from Wait, and RunContext translates it to ctx.Err().
 type runCancelled struct{}
 
+// ErrConcurrentRun is returned (RunContext) or panicked (Run) when a run is
+// started while another run of the same Pool is still in flight. Pools are
+// one-run-at-a-time objects: the deques, steal RNGs and race detector are
+// all scoped to a single computation. Server clients that want N concurrent
+// jobs build N pools — they all lease from the same shared executor, so
+// extra pools cost lanes, not goroutines.
+var ErrConcurrentRun = errors.New("forkjoin: concurrent Run on the same Pool")
+
 // StealPolicy selects how an idle worker picks victims.
 type StealPolicy int
 
@@ -79,12 +98,16 @@ const (
 
 // Config controls pool construction.
 type Config struct {
-	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	// Workers is the number of logical workers (deques) the pool leases
+	// from the shared executor; 0 means GOMAXPROCS. This caps the pool's
+	// concurrency — physical worker goroutines belong to the executor.
 	Workers int
 	// Policy selects the steal order; the zero value is StealRandom.
 	Policy StealPolicy
 	// Seed seeds the per-worker steal RNGs so runs are reproducible.
 	Seed int64
+	// Executor is the shared pool to lease from; nil means exec.Default().
+	Executor *exec.Executor
 }
 
 // Stats is a snapshot of pool activity counters.
@@ -96,18 +119,20 @@ type Stats struct {
 	Yields       uint64 // scheduler yields while out of work
 }
 
-// Pool is a fork-join worker pool. Create one with NewPool and release it
-// with Close. A Pool may execute any number of Run calls, one at a time or
-// concurrently.
+// Pool is a fork-join task pool: per-logical-worker deques leasing
+// execution from a shared exec.Executor. Create one with NewPool and
+// release it with Close. A Pool may execute any number of Run calls
+// sequentially; concurrent Run calls on the same Pool fail loudly with
+// ErrConcurrentRun (build one Pool per concurrent job — they multiplex on
+// the executor anyway).
 type Pool struct {
 	workers []*worker
 	policy  StealPolicy
 	race    *determinacy.Detector
 
-	done     atomic.Bool
-	sleepers atomic.Int32
-	idleMu   sync.Mutex
-	idleCond *sync.Cond
+	lease   *exec.Lease
+	done    atomic.Bool // Close called: leased slots are gone
+	running atomic.Bool // a Run/RunContext is in flight
 
 	// framePool recycles spawn frames and ctxPool the task contexts, so a
 	// steady-state run (spawn → steal → execute → retire) allocates
@@ -121,8 +146,29 @@ type Pool struct {
 	steals   atomic.Uint64
 	failed   atomic.Uint64
 	yields   atomic.Uint64
+}
 
-	wg sync.WaitGroup
+// poolSource adapts a Pool to the executor's Source interface without
+// allocating: run up to budget frames on the given logical worker, own
+// deque first (LIFO bottom), then steals (FIFO top of a victim).
+type poolSource Pool
+
+func (s *poolSource) RunSlot(slot, budget int) int {
+	p := (*Pool)(s)
+	w := p.workers[slot]
+	n := 0
+	for n < budget {
+		fr := w.pop()
+		if fr == nil {
+			fr = w.steal()
+		}
+		if fr == nil {
+			break
+		}
+		w.execute(fr)
+		n++
+	}
+	return n
 }
 
 // frame is one pooled spawned task: the body (either a Task closure or the
@@ -229,14 +275,14 @@ func (c *Ctx) Pool() *Pool { return c.w.pool }
 //	if f := c.Race(); f != nil { f.Write(cell); f.Read(dep) }
 func (c *Ctx) Race() *determinacy.Frame { return c.fr }
 
-// NewPool creates and starts a pool.
+// NewPool creates a pool and leases its logical workers from the shared
+// executor (cfg.Executor, or exec.Default()). The pool owns no goroutines.
 func NewPool(cfg Config) *Pool {
 	n := cfg.Workers
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{policy: cfg.Policy}
-	p.idleCond = sync.NewCond(&p.idleMu)
 	p.workers = make([]*worker, n)
 	for i := range p.workers {
 		p.workers[i] = &worker{
@@ -245,14 +291,17 @@ func NewPool(cfg Config) *Pool {
 			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1)),
 		}
 	}
-	p.wg.Add(n)
-	for _, w := range p.workers {
-		go w.loop()
+	ex := cfg.Executor
+	if ex == nil {
+		ex = exec.Default()
 	}
+	p.lease = ex.Lease("forkjoin", n, (*poolSource)(p))
 	return p
 }
 
-// Workers returns the number of workers in the pool.
+// Workers returns the pool's logical worker count (its concurrency cap and
+// deque fan-out), not a goroutine count — physical workers belong to the
+// shared executor.
 func (p *Pool) Workers() int { return len(p.workers) }
 
 // WithRaceDetection enables DePa-style determinacy-race detection: every
@@ -269,7 +318,9 @@ func (p *Pool) WithRaceDetection(d *determinacy.Detector) *Pool {
 // RaceDetector returns the detector installed by WithRaceDetection, or nil.
 func (p *Pool) RaceDetector() *determinacy.Detector { return p.race }
 
-// Stats returns a snapshot of the pool's activity counters.
+// Stats returns a snapshot of the pool's activity counters. It is safe to
+// call concurrently with a run — every counter is atomic — which is how
+// the dpserve /metrics endpoint scrapes live jobs.
 func (p *Pool) Stats() Stats {
 	return Stats{
 		Spawned:      p.spawned.Load(),
@@ -280,26 +331,26 @@ func (p *Pool) Stats() Stats {
 	}
 }
 
-// Close shuts the pool down and waits for the workers to exit. Tasks still
-// queued are abandoned; callers should Close only after their Run calls have
-// returned.
+// Close releases the pool's executor lease, waiting for in-flight slot
+// claims to drain. Tasks still queued are abandoned; callers should Close
+// only after their Run calls have returned.
 func (p *Pool) Close() {
 	p.done.Store(true)
-	p.idleMu.Lock()
-	p.idleCond.Broadcast()
-	p.idleMu.Unlock()
-	p.wg.Wait()
+	p.lease.Close()
 }
 
 // Run injects f as a root task and blocks until f — including every task it
 // transitively spawns and waits for — has returned. It panics with the
 // task's panic value if the computation panicked (a *ChildPanicError when
 // the panic came from a spawned child, whose Value field holds the
-// original payload).
+// original payload), and with ErrConcurrentRun if another run of this Pool
+// is still in flight.
 func (p *Pool) Run(f Task) {
-	// context.Background is never cancelled, so the error is always nil and
-	// panics propagate unchanged.
-	_ = p.RunContext(context.Background(), f)
+	// context.Background is never cancelled, so a non-nil error can only be
+	// the concurrent-run guard; panics propagate unchanged.
+	if err := p.RunContext(context.Background(), f); err != nil {
+		panic(err)
+	}
 }
 
 // RunContext is Run with cooperative cancellation. Cancellation is observed
@@ -314,7 +365,16 @@ func (p *Pool) RunContext(ctx context.Context, f Task) error {
 	if p.done.Load() {
 		panic("forkjoin: Run on closed pool")
 	}
+	if !p.running.CompareAndSwap(false, true) {
+		return ErrConcurrentRun
+	}
+	defer p.running.Store(false)
 	rs := &runState{}
+	// Observe a pre-cancelled context synchronously: the monitor goroutine
+	// races the shared executor running the root otherwise.
+	if ctx.Err() != nil {
+		rs.cancelled.Store(true)
+	}
 	finished := make(chan struct{})
 	if ctx.Done() != nil {
 		go func() {
@@ -344,7 +404,7 @@ func (p *Pool) RunContext(ctx context.Context, f Task) error {
 	fr.fr = rootFr
 	w := p.workers[0]
 	w.push(fr)
-	p.wakeOne()
+	p.lease.Notify(0)
 	r := <-done
 	close(finished)
 	if _, unwound := r.(runCancelled); unwound || rs.cancelled.Load() {
@@ -424,9 +484,10 @@ func (c *Ctx) spawn(g *Group, fr *frame) {
 	}
 	w.pool.spawned.Add(1)
 	w.push(fr)
-	if w.pool.sleepers.Load() > 0 {
-		w.pool.wakeOne()
-	}
+	// The spawning worker's own slot is busy (we are inside its claim), but
+	// the dirty hint lets a parked physical worker claim a free sibling slot
+	// and steal the child. Notify is a cheap no-op when nobody is parked.
+	w.pool.lease.Notify(w.id)
 }
 
 // Wait blocks until every task spawned on g has completed — the analogue of
@@ -581,47 +642,3 @@ func (w *worker) runFrame(fr *frame) {
 	f(c)
 }
 
-func (w *worker) loop() {
-	defer w.pool.wg.Done()
-	p := w.pool
-	for {
-		if t := w.pop(); t != nil {
-			w.execute(t)
-			continue
-		}
-		if t := w.steal(); t != nil {
-			w.execute(t)
-			continue
-		}
-		if p.done.Load() {
-			return
-		}
-		// Nothing to do: park until a Spawn or Close wakes us. The re-check
-		// under the lock closes the lost-wakeup window.
-		p.idleMu.Lock()
-		p.sleepers.Add(1)
-		if !p.anyWork() && !p.done.Load() {
-			p.idleCond.Wait()
-		}
-		p.sleepers.Add(-1)
-		p.idleMu.Unlock()
-	}
-}
-
-func (p *Pool) anyWork() bool {
-	for _, w := range p.workers {
-		w.mu.Lock()
-		n := w.dq.n
-		w.mu.Unlock()
-		if n > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-func (p *Pool) wakeOne() {
-	p.idleMu.Lock()
-	p.idleCond.Signal()
-	p.idleMu.Unlock()
-}

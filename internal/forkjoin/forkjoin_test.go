@@ -1,6 +1,8 @@
 package forkjoin
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -293,17 +295,54 @@ func TestWideBurstStress(t *testing.T) {
 	}
 }
 
-// Concurrent Run calls from independent goroutines share the pool safely.
+// Concurrent Run calls on one Pool fail loudly and deterministically with
+// ErrConcurrentRun — a Pool is a single-computation object; concurrent
+// jobs take one Pool each and multiplex on the shared executor. Sequential
+// reuse of the same Pool keeps working, and callers that want concurrency
+// get it from independent pools.
 func TestConcurrentRuns(t *testing.T) {
 	p := NewPool(Config{Workers: 4})
 	defer p.Close()
-	var wg sync.WaitGroup
+
+	// A run that is still in flight makes every overlapping RunContext
+	// return ErrConcurrentRun (and Run panic with it).
+	rootRunning := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- p.RunContext(context.Background(), func(ctx *Ctx) {
+			close(rootRunning)
+			<-release
+		})
+	}()
+	<-rootRunning
+	if err := p.RunContext(context.Background(), func(*Ctx) {}); !errors.Is(err, ErrConcurrentRun) {
+		t.Fatalf("overlapping RunContext returned %v, want ErrConcurrentRun", err)
+	}
+	func() {
+		defer func() {
+			if r := recover(); !errors.Is(r.(error), ErrConcurrentRun) {
+				t.Errorf("overlapping Run panicked with %v, want ErrConcurrentRun", r)
+			}
+		}()
+		p.Run(func(*Ctx) {})
+		t.Error("overlapping Run did not panic")
+	}()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("first run failed: %v", err)
+	}
+
+	// Sequential reuse still works; concurrent jobs use one pool each.
 	var total atomic.Int64
+	var wg sync.WaitGroup
 	for r := 0; r < 8; r++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p.Run(func(ctx *Ctx) {
+			q := NewPool(Config{Workers: 4})
+			defer q.Close()
+			q.Run(func(ctx *Ctx) {
 				var g Group
 				for i := 0; i < 50; i++ {
 					ctx.Spawn(&g, func(*Ctx) { total.Add(1) })
@@ -315,5 +354,9 @@ func TestConcurrentRuns(t *testing.T) {
 	wg.Wait()
 	if total.Load() != 400 {
 		t.Fatalf("total = %d, want 400", total.Load())
+	}
+	p.Run(func(ctx *Ctx) { total.Add(1) })
+	if total.Load() != 401 {
+		t.Fatalf("sequential reuse after concurrent error broke: total = %d", total.Load())
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"dpflow/internal/cnc"
 	"dpflow/internal/core"
 	"dpflow/internal/determinacy"
+	"dpflow/internal/exec"
 	"dpflow/internal/forkjoin"
 )
 
@@ -95,7 +96,7 @@ const PerfSchema = "dpflow-perf/v2"
 // wall time plus, when raceDetect is set, the detector snapshot. Detection
 // failures (a race or discipline violation on a production schedule) are
 // errors.
-func runPerfOnce(ctx context.Context, b bench.Benchmark, v core.Variant, base int, raceDetect bool) (time.Duration, *PerfDetector, error) {
+func runPerfOnce(ctx context.Context, ex *exec.Executor, b bench.Benchmark, v core.Variant, base int, raceDetect bool) (time.Duration, *PerfDetector, error) {
 	in, err := b.NewInstance(perfN, base, perfSeed)
 	if err != nil {
 		return 0, nil, err
@@ -106,17 +107,20 @@ func runPerfOnce(ctx context.Context, b bench.Benchmark, v core.Variant, base in
 	var disc *determinacy.DisciplineChecker
 	var pool *forkjoin.Pool
 	if v == core.OMPTasking {
-		pool = forkjoin.NewPool(forkjoin.Config{Workers: perfWorkers, Seed: perfSeed})
+		pool = forkjoin.NewPool(forkjoin.Config{Workers: perfWorkers, Seed: perfSeed, Executor: ex})
 		defer pool.Close()
 		if raceDetect {
 			det = determinacy.NewDetector()
 			pool.WithRaceDetection(det)
 		}
 		opts.Pool = pool
-	} else if raceDetect && v.IsCnC() {
+	} else if v.IsCnC() {
 		opts.Tune = func(g *cnc.Graph) {
-			disc = determinacy.NewDisciplineChecker()
-			g.WithDisciplineCheck(disc)
+			g.WithExecutor(ex)
+			if raceDetect {
+				disc = determinacy.NewDisciplineChecker()
+				g.WithDisciplineCheck(disc)
+			}
 		}
 	}
 
@@ -160,6 +164,13 @@ func RunPerf(ctx context.Context, raceDetect bool) (*PerfReport, error) {
 	prev := runtime.GOMAXPROCS(perfWorkers)
 	defer runtime.GOMAXPROCS(prev)
 
+	// A dedicated executor pinned to perfWorkers physical workers, not the
+	// process-wide Default (which is sized to the host's original
+	// GOMAXPROCS): perf rows must measure the configured parallelism
+	// regardless of host shape, exactly like the GOMAXPROCS pin above.
+	ex := exec.New(perfWorkers)
+	defer ex.Close()
+
 	rep := &PerfReport{
 		Schema: PerfSchema, N: perfN, Bases: append([]int(nil), perfBases...),
 		Workers: perfWorkers, Seed: perfSeed, Reps: perfReps,
@@ -173,7 +184,7 @@ func RunPerf(ctx context.Context, raceDetect bool) (*PerfReport, error) {
 					if err := ctx.Err(); err != nil {
 						return nil, err
 					}
-					wall, pd, err := runPerfOnce(ctx, b, v, base, raceDetect)
+					wall, pd, err := runPerfOnce(ctx, ex, b, v, base, raceDetect)
 					if err != nil {
 						return nil, fmt.Errorf("perf: %s %s base=%d: %w", b.Name(), v, base, err)
 					}
